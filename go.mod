@@ -1,0 +1,3 @@
+module lapushdb
+
+go 1.22

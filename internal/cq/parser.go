@@ -1,0 +1,257 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a query in the paper's datalog-style notation:
+//
+//	q(z) :- R(z, x), S(x, y), T(y)
+//	Q(a) :- S(s, a), PS(s, u), P(u, n), s <= 1000, n like '%red%'
+//
+// Variables are lowercase identifiers; constants are single-quoted strings
+// or bare numbers; a Boolean query has an empty head "q()". Comparison
+// predicates may appear between or after atoms.
+func Parse(input string) (*Query, error) {
+	p := &parser{toks: lex(input)}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("cq: parse %q: %w", input, err)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples with
+// literal queries.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokString
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokTurnstile // :-
+	tokOp        // <=, <, >=, >, =, !=
+	tokEOF
+	tokErr
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(s string) []token {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ","})
+			i++
+		case c == ':' && i+1 < len(s) && s[i+1] == '-':
+			toks = append(toks, token{tokTurnstile, ":-"})
+			i += 2
+		case c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != '\'' {
+				j++
+			}
+			if j >= len(s) {
+				toks = append(toks, token{tokErr, "unterminated string"})
+				return toks
+			}
+			toks = append(toks, token{tokString, s[i+1 : j]})
+			i = j + 1
+		case c == '<' || c == '>' || c == '=':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tokOp, s[i : i+2]})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, string(c)})
+				i++
+			}
+		case c == '!':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!="})
+				i += 2
+			} else {
+				toks = append(toks, token{tokErr, "'!' must be followed by '='"})
+				return toks
+			}
+		case unicode.IsDigit(rune(c)) || (c == '-' && i+1 < len(s) && unicode.IsDigit(rune(s[i+1]))):
+			j := i + 1
+			for j < len(s) && (unicode.IsDigit(rune(s[j])) || s[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j]})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i + 1
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j]})
+			i = j
+		default:
+			toks = append(toks, token{tokErr, fmt.Sprintf("unexpected character %q", c)})
+			return toks
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind == tokErr {
+		return t, fmt.Errorf("%s", t.text)
+	}
+	if t.kind != k {
+		return t, fmt.Errorf("expected %s, got %q", what, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	name, err := p.expect(tokIdent, "query name")
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Name: name.text}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	for p.peek().kind != tokRParen {
+		if len(q.Head) > 0 {
+			if _, err := p.expect(tokComma, "','"); err != nil {
+				return nil, err
+			}
+		}
+		v, err := p.expect(tokIdent, "head variable")
+		if err != nil {
+			return nil, err
+		}
+		q.Head = append(q.Head, Var(v.text))
+	}
+	p.next() // ')'
+	if _, err := p.expect(tokTurnstile, "':-'"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.parseBodyItem(q); err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("trailing input at %q", t.text)
+	}
+	return q, nil
+}
+
+// parseBodyItem parses one atom "R(x, y)" or one predicate "x <= 5" /
+// "x like '%a%'".
+func (p *parser) parseBodyItem(q *Query) error {
+	id, err := p.expect(tokIdent, "relation symbol or variable")
+	if err != nil {
+		return err
+	}
+	switch t := p.peek(); {
+	case t.kind == tokLParen:
+		p.next()
+		atom := Atom{Rel: id.text}
+		for p.peek().kind != tokRParen {
+			if len(atom.Args) > 0 {
+				if _, err := p.expect(tokComma, "','"); err != nil {
+					return err
+				}
+			}
+			term, err := p.parseTerm()
+			if err != nil {
+				return err
+			}
+			atom.Args = append(atom.Args, term)
+		}
+		p.next() // ')'
+		q.Atoms = append(q.Atoms, atom)
+		return nil
+	case t.kind == tokOp:
+		p.next()
+		val := p.next()
+		if val.kind != tokNumber && val.kind != tokString {
+			return fmt.Errorf("expected comparison constant, got %q", val.text)
+		}
+		q.Preds = append(q.Preds, Predicate{Var: Var(id.text), Op: CompareOp(t.text), Const: val.text})
+		return nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "like"):
+		p.next()
+		val, err := p.expect(tokString, "LIKE pattern")
+		if err != nil {
+			return err
+		}
+		q.Preds = append(q.Preds, Predicate{Var: Var(id.text), Op: OpLike, Const: val.text})
+		return nil
+	default:
+		return fmt.Errorf("expected '(' or comparison after %q, got %q", id.text, t.text)
+	}
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		// Convention: identifiers starting with a lowercase letter are
+		// variables; atoms never take bare uppercase constants (quote them).
+		return V(t.text), nil
+	case tokString:
+		return C(t.text), nil
+	case tokNumber:
+		return C(t.text), nil
+	default:
+		return Term{}, fmt.Errorf("expected term, got %q", t.text)
+	}
+}

@@ -1,0 +1,307 @@
+// Package engine is the in-memory relational substrate: tuple-independent
+// probabilistic relations, the operators of probabilistic query plans
+// (selection scan, k-ary hash join, probabilistic projection, per-tuple
+// min), plan evaluation under the extensional score semantics of Section 2
+// of the paper, lineage extraction, deterministic evaluation, and the
+// deterministic semi-join reduction of Optimization 3.
+//
+// The paper runs its plans on PostgreSQL / SQL Server; this package plays
+// that role so the whole system is self-contained. Values are interned
+// int64s: non-negative values are integers, negative values index a
+// per-database string dictionary, so joins and group-bys hash machine
+// words.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is an interned attribute value. Non-negative values represent the
+// integer itself; negative values are indices into the database's string
+// dictionary.
+type Value int64
+
+// DB is a tuple-independent probabilistic database: a set of relations
+// plus a probability per tuple. Every tuple is also a Boolean lineage
+// variable, identified by a dense global id.
+type DB struct {
+	rels    map[string]*Relation
+	order   []string
+	strs    []string
+	strIDs  map[string]Value
+	varProb []float64 // probability per lineage variable id
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{rels: map[string]*Relation{}, strIDs: map[string]Value{}}
+}
+
+// Relation is one probabilistic relation. All tuples of a deterministic
+// relation have probability 1 and are not assigned lineage variables.
+type Relation struct {
+	Name string
+	Cols []string
+	// Deterministic marks relations whose tuples are all certain.
+	Deterministic bool
+	// Key lists the positions of the primary key, or nil. Keys contribute
+	// functional dependencies to plan enumeration.
+	Key []int
+
+	db   *DB
+	rows []Value   // flattened: len = arity * count
+	prob []float64 // per tuple; nil for deterministic relations
+	vars []int32   // lineage variable ids; nil for deterministic relations
+
+	// Secondary indexes, built lazily (see index.go). Not persisted or
+	// cloned: they rebuild on first use.
+	hashIdx  map[int]*hashIndex
+	rangeIdx map[int]*rangeIndex
+}
+
+// CreateRelation adds a probabilistic relation with the given attribute
+// names. It panics if the name is taken — schema setup errors are
+// programming errors.
+func (db *DB) CreateRelation(name string, cols []string) *Relation {
+	if _, ok := db.rels[name]; ok {
+		panic(fmt.Sprintf("engine: relation %s already exists", name))
+	}
+	r := &Relation{Name: name, Cols: append([]string(nil), cols...), db: db}
+	db.rels[name] = r
+	db.order = append(db.order, name)
+	return r
+}
+
+// CreateDeterministicRelation adds a relation whose tuples are all
+// certain (probability 1).
+func (db *DB) CreateDeterministicRelation(name string, cols []string) *Relation {
+	r := db.CreateRelation(name, cols)
+	r.Deterministic = true
+	return r
+}
+
+// Relation returns the named relation, or nil.
+func (db *DB) Relation(name string) *Relation { return db.rels[name] }
+
+// Relations returns all relations in creation order.
+func (db *DB) Relations() []*Relation {
+	out := make([]*Relation, len(db.order))
+	for i, n := range db.order {
+		out[i] = db.rels[n]
+	}
+	return out
+}
+
+// NumVars returns the number of lineage variables (probabilistic tuples)
+// in the database.
+func (db *DB) NumVars() int { return len(db.varProb) }
+
+// ProbOf returns the probability of the lineage variable id.
+func (db *DB) ProbOf(id int32) float64 { return db.varProb[id] }
+
+// VarProbs returns the probability table indexed by lineage variable id.
+// The returned slice is shared; callers must not modify it.
+func (db *DB) VarProbs() []float64 { return db.varProb }
+
+// ScaleProbs multiplies every tuple probability in the database by f
+// (Proposition 21 / the scaling experiments). f must be in (0, 1].
+func (db *DB) ScaleProbs(f float64) {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("engine: scale factor %v out of (0, 1]", f))
+	}
+	for i := range db.varProb {
+		db.varProb[i] *= f
+	}
+	for _, r := range db.rels {
+		for i := range r.prob {
+			r.prob[i] *= f
+		}
+	}
+}
+
+// Clone returns a deep copy of the database (used by experiments that
+// scale probabilities without disturbing the original).
+func (db *DB) Clone() *DB {
+	c := &DB{
+		rels:    map[string]*Relation{},
+		order:   append([]string(nil), db.order...),
+		strs:    append([]string(nil), db.strs...),
+		strIDs:  make(map[string]Value, len(db.strIDs)),
+		varProb: append([]float64(nil), db.varProb...),
+	}
+	for s, id := range db.strIDs {
+		c.strIDs[s] = id
+	}
+	for name, r := range db.rels {
+		c.rels[name] = &Relation{
+			Name:          r.Name,
+			Cols:          append([]string(nil), r.Cols...),
+			Deterministic: r.Deterministic,
+			Key:           append([]int(nil), r.Key...),
+			db:            c,
+			rows:          append([]Value(nil), r.rows...),
+			prob:          append([]float64(nil), r.prob...),
+			vars:          append([]int32(nil), r.vars...),
+		}
+	}
+	return c
+}
+
+// Intern returns the Value for a string, adding it to the dictionary if
+// needed.
+func (db *DB) Intern(s string) Value {
+	if id, ok := db.strIDs[s]; ok {
+		return id
+	}
+	id := Value(-int64(len(db.strs)) - 1)
+	db.strs = append(db.strs, s)
+	db.strIDs[s] = id
+	return id
+}
+
+// Int returns the Value for an integer. Negative integers are interned
+// via their decimal representation to keep the id space unambiguous.
+func (db *DB) Int(i int64) Value {
+	if i >= 0 {
+		return Value(i)
+	}
+	return db.Intern(strconv.FormatInt(i, 10))
+}
+
+// Decode renders a Value back to its external string form.
+func (db *DB) Decode(v Value) string {
+	if v >= 0 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return db.strs[-int64(v)-1]
+}
+
+// EncodeConst interns a query constant: numeric literals become integer
+// values, everything else dictionary ids.
+func (db *DB) EncodeConst(lit string) Value {
+	if i, err := strconv.ParseInt(lit, 10, 64); err == nil && i >= 0 {
+		return Value(i)
+	}
+	return db.Intern(lit)
+}
+
+// VarLabels returns a human-readable label for every lineage variable,
+// of the form "Rel(v1, v2)". Used to render lineage formulas.
+func (db *DB) VarLabels() map[int32]string {
+	out := make(map[int32]string, len(db.varProb))
+	for _, name := range db.order {
+		r := db.rels[name]
+		if r.Deterministic {
+			continue
+		}
+		for i := 0; i < r.Len(); i++ {
+			row := r.Row(i)
+			parts := make([]string, len(row))
+			for j, v := range row {
+				parts[j] = db.Decode(v)
+			}
+			out[r.vars[i]] = r.Name + "(" + strings.Join(parts, ", ") + ")"
+		}
+	}
+	return out
+}
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.Cols) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int {
+	if len(r.Cols) == 0 {
+		return len(r.prob)
+	}
+	return len(r.rows) / len(r.Cols)
+}
+
+// Insert adds one tuple with the given probability. Deterministic
+// relations require p == 1. Values must already be encoded via the
+// owning database (Intern/Int/EncodeConst).
+func (r *Relation) Insert(tuple []Value, p float64) {
+	if len(tuple) != len(r.Cols) {
+		panic(fmt.Sprintf("engine: %s arity %d, got %d values", r.Name, len(r.Cols), len(tuple)))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("engine: probability %v out of [0, 1]", p))
+	}
+	r.rows = append(r.rows, tuple...)
+	if r.Deterministic {
+		if p != 1 {
+			panic(fmt.Sprintf("engine: deterministic relation %s requires p = 1", r.Name))
+		}
+		r.prob = append(r.prob, 1)
+		return
+	}
+	r.prob = append(r.prob, p)
+	id := int32(len(r.db.varProb))
+	r.db.varProb = append(r.db.varProb, p)
+	r.vars = append(r.vars, id)
+}
+
+// InsertStrings encodes the string forms of a tuple and inserts it.
+func (r *Relation) InsertStrings(tuple []string, p float64) {
+	vals := make([]Value, len(tuple))
+	for i, s := range tuple {
+		vals[i] = r.db.EncodeConst(s)
+	}
+	r.Insert(vals, p)
+}
+
+// Row returns the i-th tuple (a view into internal storage; do not
+// modify).
+func (r *Relation) Row(i int) []Value {
+	a := len(r.Cols)
+	return r.rows[i*a : (i+1)*a]
+}
+
+// Prob returns the probability of the i-th tuple.
+func (r *Relation) Prob(i int) float64 { return r.prob[i] }
+
+// VarID returns the lineage variable id of the i-th tuple, or -1 for
+// tuples of deterministic relations.
+func (r *Relation) VarID(i int) int32 {
+	if r.Deterministic {
+		return -1
+	}
+	return r.vars[i]
+}
+
+// SetProb updates the probability of the i-th tuple (and its lineage
+// variable).
+func (r *Relation) SetProb(i int, p float64) {
+	if r.Deterministic {
+		panic("engine: cannot set probability on a deterministic relation")
+	}
+	r.prob[i] = p
+	r.db.varProb[r.vars[i]] = p
+}
+
+// colIndex returns the position of a column by name, or -1.
+func (r *Relation) colIndex(name string) int {
+	for i, c := range r.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SetKey declares the primary key by column names. The key contributes
+// functional dependencies to plan enumeration (Section 3.3.2).
+func (r *Relation) SetKey(cols ...string) {
+	r.Key = r.Key[:0]
+	for _, c := range cols {
+		i := r.colIndex(c)
+		if i < 0 {
+			panic(fmt.Sprintf("engine: relation %s has no column %s", r.Name, c))
+		}
+		r.Key = append(r.Key, i)
+	}
+	sort.Ints(r.Key)
+}

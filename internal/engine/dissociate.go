@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"lapushdb/internal/cq"
+	"lapushdb/internal/plan"
+)
+
+// MaterializeDissociation builds the dissociated database D∆ of
+// Definition 10: every relation Ri dissociated on variables yi is
+// replaced by Ri^yi, holding one copy of each tuple per combination of
+// values in the active domains of yi; each copy keeps the original
+// tuple's probability but becomes an independent event (a fresh lineage
+// variable).
+//
+// The paper's algorithms never materialize D∆ — Theorem 18 lets plans
+// run on the original database — so this function exists to validate
+// that shortcut: the exact probability of q∆ on the materialized D∆
+// must equal score(P∆) on D. It returns the new database and the
+// dissociated query q∆ (same relation symbols, extended atoms).
+func MaterializeDissociation(db *DB, q *cq.Query, d plan.Dissociation) (*DB, *cq.Query) {
+	dq := d.Apply(q)
+	// Active domain per variable: union over atoms containing it.
+	adom := map[cq.Var][]Value{}
+	varDomain := func(v cq.Var) []Value {
+		if vals, ok := adom[v]; ok {
+			return vals
+		}
+		set := map[Value]bool{}
+		for _, a := range q.Atoms {
+			rel := db.Relation(a.Rel)
+			if rel == nil {
+				panic(fmt.Sprintf("engine: unknown relation %s", a.Rel))
+			}
+			for j, t := range a.Args {
+				if t.Var != v {
+					continue
+				}
+				for i := 0; i < rel.Len(); i++ {
+					set[rel.Row(i)[j]] = true
+				}
+			}
+		}
+		vals := make([]Value, 0, len(set))
+		for val := range set {
+			vals = append(vals, val)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		adom[v] = vals
+		return vals
+	}
+
+	out := NewDB()
+	out.strs = append([]string(nil), db.strs...)
+	for s, id := range db.strIDs {
+		out.strIDs[s] = id
+	}
+	for _, a := range q.Atoms {
+		rel := db.Relation(a.Rel)
+		extra := d.ExtraOf(a.Rel).Sorted()
+		cols := append([]string(nil), rel.Cols...)
+		for _, v := range extra {
+			cols = append(cols, "y_"+string(v))
+		}
+		var nr *Relation
+		if rel.Deterministic {
+			nr = out.CreateDeterministicRelation(rel.Name, cols)
+		} else {
+			nr = out.CreateRelation(rel.Name, cols)
+		}
+		// Cartesian product of the extra variables' active domains.
+		domains := make([][]Value, len(extra))
+		for i, v := range extra {
+			domains[i] = varDomain(v)
+		}
+		tuple := make([]Value, len(cols))
+		var emit func(i int, base []Value, p float64)
+		emit = func(i int, base []Value, p float64) {
+			if i == len(domains) {
+				copy(tuple, base)
+				nr.Insert(tuple, p)
+				return
+			}
+			for _, val := range domains[i] {
+				base[len(rel.Cols)+i] = val
+				emit(i+1, base, p)
+			}
+		}
+		base := make([]Value, len(cols))
+		for r := 0; r < rel.Len(); r++ {
+			copy(base, rel.Row(r))
+			emit(0, base, rel.Prob(r))
+		}
+	}
+	return out, dq
+}

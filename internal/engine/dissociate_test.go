@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lapushdb/internal/core"
+	"lapushdb/internal/cq"
+	"lapushdb/internal/exact"
+	"lapushdb/internal/plan"
+)
+
+// TestMaterializedDissociationExample11 reproduces Example 11: for
+// q :- R(x), S(x, y) and ∆ = ({y}, ∅), R^y contains each R tuple copied
+// once per y in the active domain.
+func TestMaterializedDissociationExample11(t *testing.T) {
+	db := example7DB(0.5, 0.4, 0.7)
+	q := cq.MustParse("q() :- R(x), S(x, y)")
+	d := plan.NewDissociation()
+	d.Add("R", "y")
+	ddb, dq := MaterializeDissociation(db, q, d)
+	// ADom(y) = {4, 5}: R^y = {(1,4), (1,5), (2,4), (2,5)}.
+	ry := ddb.Relation("R")
+	if ry.Len() != 4 {
+		t.Fatalf("R^y has %d tuples, want 4", ry.Len())
+	}
+	if ry.Arity() != 2 {
+		t.Errorf("R^y arity = %d, want 2", ry.Arity())
+	}
+	// Copies keep the original probability but are independent events.
+	if ry.Prob(0) != 0.5 || ry.Prob(1) != 0.5 {
+		t.Errorf("copy probabilities = %v, %v", ry.Prob(0), ry.Prob(1))
+	}
+	if ry.VarID(0) == ry.VarID(1) {
+		t.Error("copies must be independent lineage variables")
+	}
+	// The dissociated query is hierarchical and its exact probability on
+	// D∆ equals Example 9's dissociated value pq + pr − p²qr.
+	if !dq.IsHierarchical() {
+		t.Error("q∆ should be hierarchical")
+	}
+	lin := EvalLineage(ddb, dq, nil)
+	got := exact.Prob(lin.Clauses(0), ddb.VarProbs())
+	want := 0.5*0.4 + 0.5*0.7 - 0.25*0.4*0.7
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("P(q∆) on D∆ = %v, want %v", got, want)
+	}
+}
+
+// TestTheorem18ScoreEqualsMaterialized is Theorem 18(2) end to end: for
+// every safe dissociation ∆ of a query, score(P∆) computed on the
+// ORIGINAL database equals the exact probability of q∆ on the
+// MATERIALIZED dissociated database.
+func TestTheorem18ScoreEqualsMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	queries := []string{
+		"q() :- R(x), S(x, y), T(y)",
+		"q() :- R(x), S(x), T(x, y), U(y)",
+	}
+	for _, qs := range queries {
+		q := cq.MustParse(qs)
+		var safe []plan.Dissociation
+		for _, d := range core.Dissociations(q) {
+			if d.IsSafeFor(q) {
+				safe = append(safe, d)
+			}
+		}
+		for iter := 0; iter < 5; iter++ {
+			db := randomDB(q, 3, 5, 1.0, rng)
+			for _, d := range safe {
+				p, err := plan.PlanOf(q, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				score := NewEvaluator(db, q, Options{}).Eval(p).BooleanScore()
+				ddb, dq := MaterializeDissociation(db, q, d)
+				lin := EvalLineage(ddb, dq, nil)
+				var exactP float64
+				if lin.Len() > 0 {
+					exactP = exact.Prob(lin.Clauses(0), ddb.VarProbs())
+				}
+				if math.Abs(score-exactP) > 1e-9 {
+					t.Errorf("%s ∆=%s: score(P∆)=%v on D, P(q∆)=%v on D∆", qs, d, score, exactP)
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem12UpperBoundMaterialized is Theorem 12 on the materialized
+// side: P(q∆) on D∆ upper-bounds P(q) on D for every dissociation
+// (safe or not — here checked on safe ones where exactness is cheap).
+func TestTheorem12UpperBoundMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	q := cq.MustParse("q() :- R(x), S(x, y), T(y)")
+	for iter := 0; iter < 5; iter++ {
+		db := randomDB(q, 3, 5, 1.0, rng)
+		truth := exactProbs(db, q)[""]
+		for _, d := range core.Dissociations(q) {
+			ddb, dq := MaterializeDissociation(db, q, d)
+			lin := EvalLineage(ddb, dq, nil)
+			var p float64
+			if lin.Len() > 0 {
+				p = exact.Prob(lin.Clauses(0), ddb.VarProbs())
+			}
+			if p < truth-1e-9 {
+				t.Errorf("∆=%s: P(q∆)=%v < P(q)=%v", d, p, truth)
+			}
+		}
+	}
+}
+
+// TestMaterializeDeterministicPreserved: dissociating a deterministic
+// relation produces a deterministic relation, and the probability stays
+// exactly P(q) (Lemma 22).
+func TestMaterializeDeterministicPreserved(t *testing.T) {
+	db := NewDB()
+	R := db.CreateRelation("R", []string{"x"})
+	S := db.CreateDeterministicRelation("S", []string{"x", "y"})
+	T := db.CreateDeterministicRelation("T", []string{"y"})
+	R.Insert([]Value{1}, 0.4)
+	S.Insert([]Value{1, 1}, 1)
+	S.Insert([]Value{1, 2}, 1)
+	T.Insert([]Value{1}, 1)
+	T.Insert([]Value{2}, 1)
+	q := cq.MustParse("q() :- R(x), S(x, y), T(y)")
+	d := plan.NewDissociation()
+	d.Add("T", "x")
+	ddb, dq := MaterializeDissociation(db, q, d)
+	if !ddb.Relation("T").Deterministic {
+		t.Error("dissociated deterministic relation lost its flag")
+	}
+	lin := EvalLineage(ddb, dq, nil)
+	got := exact.Prob(lin.Clauses(0), ddb.VarProbs())
+	if math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("P(q∆) = %v, want 0.4 (Lemma 22)", got)
+	}
+}

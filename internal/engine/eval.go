@@ -1,0 +1,680 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lapushdb/internal/cq"
+	"lapushdb/internal/plan"
+)
+
+// Result is a relation-shaped evaluation result: one row of values per
+// output tuple over Cols, with a probability score each. Row order is
+// unspecified; use Sorted or Score for stable access.
+type Result struct {
+	Cols   []cq.Var
+	rows   []Value // flattened, len = len(Cols) * n
+	scores []float64
+}
+
+// Len returns the number of result tuples.
+func (r *Result) Len() int { return len(r.scores) }
+
+// Row returns the i-th tuple (a view; do not modify).
+func (r *Result) Row(i int) []Value {
+	a := len(r.Cols)
+	if a == 0 {
+		return nil
+	}
+	return r.rows[i*a : (i+1)*a]
+}
+
+// Score returns the probability score of the i-th tuple.
+func (r *Result) Score(i int) float64 { return r.scores[i] }
+
+// BooleanScore returns the score of a Boolean query's result: the single
+// tuple's score, or 0 when the query has no satisfying assignment.
+func (r *Result) BooleanScore() float64 {
+	if r.Len() == 0 {
+		return 0
+	}
+	return r.scores[0]
+}
+
+// ScoreOf returns the score of the tuple with the given values, and
+// whether it exists.
+func (r *Result) ScoreOf(key []Value) (float64, bool) {
+	a := len(r.Cols)
+	if len(key) != a {
+		return 0, false
+	}
+outer:
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		for j := range key {
+			if row[j] != key[j] {
+				continue outer
+			}
+		}
+		return r.scores[i], true
+	}
+	return 0, false
+}
+
+// Sorted returns the row indices ordered by descending score, breaking
+// ties by row values ascending — the ranking order of the paper's
+// experiments.
+func (r *Result) Sorted() []int {
+	idx := make([]int, r.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		sa, sb := r.scores[idx[a]], r.scores[idx[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		ra, rb := r.Row(idx[a]), r.Row(idx[b])
+		for j := range ra {
+			if ra[j] != rb[j] {
+				return ra[j] < rb[j]
+			}
+		}
+		return false
+	})
+	return idx
+}
+
+// Options configures plan evaluation.
+type Options struct {
+	// ReuseSubplans memoizes subplan results by canonical key within one
+	// evaluation — the run-time counterpart of Optimization 2 (views for
+	// common subplans).
+	ReuseSubplans bool
+	// SemiJoin applies the full deterministic semi-join reduction of
+	// Optimization 3 to the scanned relations before evaluation.
+	SemiJoin bool
+	// CostBasedJoins orders k-ary joins with a Selinger-style dynamic
+	// program over System R cardinality estimates instead of the default
+	// greedy smallest-connected-input heuristic.
+	CostBasedJoins bool
+}
+
+// Evaluator evaluates plans over a database under the extensional score
+// semantics of Section 2: joins multiply scores, duplicate-eliminating
+// projections combine scores as independent events, min nodes keep the
+// per-tuple minimum.
+type Evaluator struct {
+	db      *DB
+	opts    Options
+	cache   map[string]*Result
+	reduced map[string][]int32 // atom relation -> surviving row indices
+}
+
+// NewEvaluator prepares an evaluator for one query evaluation. If
+// opts.SemiJoin is set, q is used to compute the semi-join reduction; q
+// may be nil otherwise.
+func NewEvaluator(db *DB, q *cq.Query, opts Options) *Evaluator {
+	e := &Evaluator{db: db, opts: opts}
+	if opts.ReuseSubplans {
+		e.cache = map[string]*Result{}
+	}
+	if opts.SemiJoin && q != nil {
+		e.reduced = SemiJoinReduce(db, q)
+	}
+	return e
+}
+
+// Eval evaluates a plan and returns its result. The result's columns are
+// the plan's head variables in sorted order.
+func (e *Evaluator) Eval(p plan.Node) *Result {
+	if e.cache != nil {
+		if r, ok := e.cache[p.Key()]; ok {
+			return r
+		}
+	}
+	var out *Result
+	switch t := p.(type) {
+	case *plan.Scan:
+		out = e.scan(t)
+	case *plan.Project:
+		out = project(e.Eval(t.Child), t.OnTo)
+	case *plan.Join:
+		results := make([]*Result, len(t.Subs))
+		for i, c := range t.Subs {
+			results[i] = e.Eval(c)
+		}
+		if e.opts.CostBasedJoins {
+			out = foldJoinCostBased(results)
+		} else {
+			out = foldJoin(results)
+		}
+	case *plan.Min:
+		out = e.Eval(t.Subs[0])
+		for _, c := range t.Subs[1:] {
+			out = combineMin(out, e.Eval(c))
+		}
+	default:
+		panic("engine: unknown plan node")
+	}
+	if e.cache != nil {
+		e.cache[p.Key()] = out
+	}
+	return out
+}
+
+// EvalPlans evaluates several plans independently (no sharing between
+// them, mirroring separate SQL statements) and combines them with the
+// per-answer minimum — the unoptimized "all minimal plans" strategy.
+func EvalPlans(db *DB, q *cq.Query, plans []plan.Node, opts Options) *Result {
+	var out *Result
+	for _, p := range plans {
+		e := NewEvaluator(db, q, opts)
+		r := e.Eval(p)
+		if out == nil {
+			out = r
+		} else {
+			out = combineMin(out, r)
+		}
+	}
+	return out
+}
+
+// scan reads an atom's relation, applying constant selections, repeated-
+// variable equality, pushed-down predicates, and — when the evaluator has
+// a semi-join reduction — the reduced row set.
+func (e *Evaluator) scan(s *plan.Scan) *Result {
+	rel := e.db.Relation(s.Atom.Rel)
+	if rel == nil {
+		panic(fmt.Sprintf("engine: unknown relation %s", s.Atom.Rel))
+	}
+	if len(s.Atom.Args) != rel.Arity() {
+		panic(fmt.Sprintf("engine: atom %s has arity %d, relation has %d", s.Atom, len(s.Atom.Args), rel.Arity()))
+	}
+	// Column layout of the output: the atom's distinct variables, sorted.
+	cols := append([]cq.Var(nil), s.Head()...)
+	// For each output column, the first argument position holding it.
+	pos := make([]int, len(cols))
+	for i, v := range cols {
+		for j, t := range s.Atom.Args {
+			if t.Var == v {
+				pos[i] = j
+				break
+			}
+		}
+	}
+	filter := newRowFilter(e.db, rel, s)
+	out := &Result{Cols: cols}
+	emit := func(i int) {
+		row := rel.Row(i)
+		if !filter.ok(row) {
+			return
+		}
+		for _, j := range pos {
+			out.rows = append(out.rows, row[j])
+		}
+		out.scores = append(out.scores, rel.Prob(i))
+	}
+	if e.reduced != nil {
+		if idxs, ok := e.reduced[rel.Name]; ok {
+			for _, i := range idxs {
+				emit(int(i))
+			}
+			return out
+		}
+	}
+	if cand, ok := rel.indexCandidates(e.db, s); ok {
+		for _, i := range cand {
+			emit(int(i))
+		}
+		return out
+	}
+	for i := 0; i < rel.Len(); i++ {
+		emit(i)
+	}
+	return out
+}
+
+// rowFilter checks constants, repeated variables, and predicates on one
+// atom's tuples.
+type rowFilter struct {
+	consts []struct {
+		pos int
+		val Value
+	}
+	equals [][2]int
+	preds  []compiledPred
+}
+
+func newRowFilter(db *DB, rel *Relation, s *plan.Scan) *rowFilter {
+	f := &rowFilter{}
+	seen := map[cq.Var]int{}
+	for j, t := range s.Atom.Args {
+		if !t.IsVar() {
+			f.consts = append(f.consts, struct {
+				pos int
+				val Value
+			}{j, db.EncodeConst(t.Const)})
+			continue
+		}
+		if prev, ok := seen[t.Var]; ok {
+			f.equals = append(f.equals, [2]int{prev, j})
+		} else {
+			seen[t.Var] = j
+		}
+	}
+	for _, p := range s.Preds {
+		if j, ok := seen[p.Var]; ok {
+			f.preds = append(f.preds, compilePred(db, p, j))
+		}
+	}
+	return f
+}
+
+func (f *rowFilter) ok(row []Value) bool {
+	for _, c := range f.consts {
+		if row[c.pos] != c.val {
+			return false
+		}
+	}
+	for _, eq := range f.equals {
+		if row[eq[0]] != row[eq[1]] {
+			return false
+		}
+	}
+	for _, p := range f.preds {
+		if !p.ok(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// compiledPred is one pushed-down comparison bound to an argument
+// position.
+type compiledPred struct {
+	pos int
+	op  cq.CompareOp
+	num Value  // for numeric comparisons
+	pat string // for LIKE
+	db  *DB
+}
+
+func compilePred(db *DB, p cq.Predicate, pos int) compiledPred {
+	c := compiledPred{pos: pos, op: p.Op, db: db}
+	if p.Op == cq.OpLike {
+		c.pat = p.Const
+	} else {
+		c.num = db.EncodeConst(p.Const)
+	}
+	return c
+}
+
+func (c compiledPred) ok(row []Value) bool {
+	v := row[c.pos]
+	switch c.op {
+	case cq.OpLE:
+		return v >= 0 && c.num >= 0 && v <= c.num
+	case cq.OpLT:
+		return v >= 0 && c.num >= 0 && v < c.num
+	case cq.OpGE:
+		return v >= 0 && c.num >= 0 && v >= c.num
+	case cq.OpGT:
+		return v >= 0 && c.num >= 0 && v > c.num
+	case cq.OpEQ:
+		return v == c.num
+	case cq.OpNE:
+		return v != c.num
+	case cq.OpLike:
+		return LikeMatch(c.pat, c.db.Decode(v))
+	default:
+		panic("engine: unknown predicate op")
+	}
+}
+
+// LikeMatch implements SQL LIKE with % (any run) and _ (any one
+// character) wildcards.
+func LikeMatch(pattern, s string) bool {
+	// Iterative two-pointer matcher with backtracking on the last %.
+	pi, si := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			pi++
+			si++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// project groups the child's rows by the kept columns and combines the
+// scores of each group as independent events: 1 − ∏(1 − s). This is the
+// probabilistic duplicate-eliminating projection π^p.
+func project(in *Result, onto []cq.Var) *Result {
+	keep := make([]int, len(onto))
+	for i, v := range onto {
+		keep[i] = colIndex(in.Cols, v)
+	}
+	out := &Result{Cols: append([]cq.Var(nil), onto...)}
+	groups := map[string]int{}
+	key := make([]byte, 0, len(onto)*8)
+	for i := 0; i < in.Len(); i++ {
+		row := in.Row(i)
+		key = key[:0]
+		for _, j := range keep {
+			key = appendValue(key, row[j])
+		}
+		g, ok := groups[string(key)]
+		if !ok {
+			g = out.Len()
+			groups[string(key)] = g
+			for _, j := range keep {
+				out.rows = append(out.rows, row[j])
+			}
+			// Store the complement ∏(1 − s); flip at the end.
+			out.scores = append(out.scores, 1)
+		}
+		out.scores[g] *= 1 - in.scores[i]
+	}
+	for i := range out.scores {
+		out.scores[i] = 1 - out.scores[i]
+	}
+	return out
+}
+
+// foldJoin joins several results, ordering the folds to avoid cross
+// products: it starts from the smallest input and greedily joins the
+// smallest remaining input that shares a column with the accumulated
+// result, falling back to a cross product only when no input connects.
+func foldJoin(results []*Result) *Result {
+	if len(results) == 1 {
+		return results[0]
+	}
+	remaining := append([]*Result(nil), results...)
+	// Start with the smallest input.
+	sort.Slice(remaining, func(i, j int) bool { return remaining[i].Len() < remaining[j].Len() })
+	cur := remaining[0]
+	remaining = remaining[1:]
+	for len(remaining) > 0 {
+		have := cq.NewVarSet(cur.Cols...)
+		pick := -1
+		for i, r := range remaining {
+			connected := false
+			for _, c := range r.Cols {
+				if have.Has(c) {
+					connected = true
+					break
+				}
+			}
+			if connected && (pick < 0 || r.Len() < remaining[pick].Len()) {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			pick = 0 // genuine cross product (disconnected plan)
+		}
+		cur = join(cur, remaining[pick])
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	return cur
+}
+
+// join computes the natural join of two results on their shared columns,
+// multiplying scores.
+func join(l, r *Result) *Result {
+	shared, lPos, rPos := sharedCols(l.Cols, r.Cols)
+	_ = shared
+	// Output columns: union, sorted.
+	colSet := cq.NewVarSet(l.Cols...)
+	for _, c := range r.Cols {
+		colSet.Add(c)
+	}
+	outCols := colSet.Sorted()
+	// For each output column, where to read it from (left first).
+	type src struct {
+		left bool
+		pos  int
+	}
+	srcs := make([]src, len(outCols))
+	for i, c := range outCols {
+		if j := colIndex(l.Cols, c); j >= 0 {
+			srcs[i] = src{true, j}
+		} else {
+			srcs[i] = src{false, colIndex(r.Cols, c)}
+		}
+	}
+	out := &Result{Cols: outCols}
+	// Build a hash table on the smaller input.
+	build, probe := r, l
+	buildPos, probePos := rPos, lPos
+	buildLeft := false
+	if l.Len() < r.Len() {
+		build, probe = l, r
+		buildPos, probePos = lPos, rPos
+		buildLeft = true
+	}
+	table := map[string][]int32{}
+	key := make([]byte, 0, 16)
+	for i := 0; i < build.Len(); i++ {
+		row := build.Row(i)
+		key = key[:0]
+		for _, j := range buildPos {
+			key = appendValue(key, row[j])
+		}
+		table[string(key)] = append(table[string(key)], int32(i))
+	}
+	for i := 0; i < probe.Len(); i++ {
+		prow := probe.Row(i)
+		key = key[:0]
+		for _, j := range probePos {
+			key = appendValue(key, prow[j])
+		}
+		for _, bi := range table[string(key)] {
+			brow := build.Row(int(bi))
+			var lrow, rrow []Value
+			var ls, rs float64
+			if buildLeft {
+				lrow, rrow = brow, prow
+				ls, rs = build.scores[bi], probe.scores[i]
+			} else {
+				lrow, rrow = prow, brow
+				ls, rs = probe.scores[i], build.scores[bi]
+			}
+			for _, s := range srcs {
+				if s.left {
+					out.rows = append(out.rows, lrow[s.pos])
+				} else {
+					out.rows = append(out.rows, rrow[s.pos])
+				}
+			}
+			out.scores = append(out.scores, ls*rs)
+		}
+	}
+	return out
+}
+
+// combineMin merges two results with identical columns, keeping the
+// per-tuple minimum score. Plans of the same query always produce the
+// same answer support, so every key is expected on both sides; a tuple
+// seen on only one side keeps its score (defensive, and correct for the
+// upper-bound semantics).
+func combineMin(a, b *Result) *Result {
+	if !varsSliceEqual(a.Cols, b.Cols) {
+		panic(fmt.Sprintf("engine: min over different columns %v vs %v", a.Cols, b.Cols))
+	}
+	idx := map[string]int{}
+	key := make([]byte, 0, 16)
+	out := &Result{Cols: a.Cols, rows: append([]Value(nil), a.rows...), scores: append([]float64(nil), a.scores...)}
+	for i := 0; i < a.Len(); i++ {
+		key = key[:0]
+		for _, v := range a.Row(i) {
+			key = appendValue(key, v)
+		}
+		idx[string(key)] = i
+	}
+	for i := 0; i < b.Len(); i++ {
+		key = key[:0]
+		for _, v := range b.Row(i) {
+			key = appendValue(key, v)
+		}
+		if j, ok := idx[string(key)]; ok {
+			out.scores[j] = math.Min(out.scores[j], b.scores[i])
+		} else {
+			out.rows = append(out.rows, b.Row(i)...)
+			out.scores = append(out.scores, b.scores[i])
+		}
+	}
+	return out
+}
+
+// SemiJoinReduce performs the full deterministic semi-join reduction of
+// Optimization 3: every atom's relation is repeatedly reduced by
+// semi-joins with the other atoms it shares variables with, until
+// fixpoint. It returns the surviving row indices per relation (only
+// entries for the query's atoms are present). Constant selections and
+// predicates are applied first, so the reduction starts from the
+// selected subsets.
+func SemiJoinReduce(db *DB, q *cq.Query) map[string][]int32 {
+	type atomInfo struct {
+		atom cq.Atom
+		rel  *Relation
+		live []int32
+		// varPos maps each variable to one argument position.
+		varPos map[cq.Var]int
+	}
+	head := q.HeadSet()
+	infos := make([]*atomInfo, len(q.Atoms))
+	for i, a := range q.Atoms {
+		rel := db.Relation(a.Rel)
+		if rel == nil {
+			panic(fmt.Sprintf("engine: unknown relation %s", a.Rel))
+		}
+		info := &atomInfo{atom: a, rel: rel, varPos: map[cq.Var]int{}}
+		for j, t := range a.Args {
+			if t.IsVar() {
+				if _, ok := info.varPos[t.Var]; !ok {
+					info.varPos[t.Var] = j
+				}
+			}
+		}
+		filter := newRowFilter(db, rel, plan.NewScan(a, q.PredsOnAtom(a)))
+		for r := 0; r < rel.Len(); r++ {
+			if filter.ok(rel.Row(r)) {
+				info.live = append(info.live, int32(r))
+			}
+		}
+		infos[i] = info
+	}
+	// Shared existential variables between atom pairs drive the reduction.
+	shared := func(a, b *atomInfo) []cq.Var {
+		var out []cq.Var
+		for v := range a.varPos {
+			if head.Has(v) {
+				continue
+			}
+			if _, ok := b.varPos[v]; ok {
+				out = append(out, v)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, a := range infos {
+			for j, b := range infos {
+				if i == j {
+					continue
+				}
+				vars := shared(a, b)
+				if len(vars) == 0 {
+					continue
+				}
+				// Keys present in b on the shared vars.
+				keys := map[string]bool{}
+				key := make([]byte, 0, 16)
+				for _, r := range b.live {
+					row := b.rel.Row(int(r))
+					key = key[:0]
+					for _, v := range vars {
+						key = appendValue(key, row[b.varPos[v]])
+					}
+					keys[string(key)] = true
+				}
+				// Keep only a's rows whose shared-key exists in b.
+				kept := a.live[:0]
+				for _, r := range a.live {
+					row := a.rel.Row(int(r))
+					key = key[:0]
+					for _, v := range vars {
+						key = appendValue(key, row[a.varPos[v]])
+					}
+					if keys[string(key)] {
+						kept = append(kept, r)
+					}
+				}
+				if len(kept) != len(a.live) {
+					a.live = kept
+					changed = true
+				}
+			}
+		}
+	}
+	out := map[string][]int32{}
+	for _, info := range infos {
+		out[info.atom.Rel] = info.live
+	}
+	return out
+}
+
+func colIndex(cols []cq.Var, v cq.Var) int {
+	for i, c := range cols {
+		if c == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func sharedCols(l, r []cq.Var) (vars []cq.Var, lPos, rPos []int) {
+	for i, c := range l {
+		if j := colIndex(r, c); j >= 0 {
+			vars = append(vars, c)
+			lPos = append(lPos, i)
+			rPos = append(rPos, j)
+		}
+	}
+	return
+}
+
+func appendValue(b []byte, v Value) []byte {
+	u := uint64(v)
+	return append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24), byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+func varsSliceEqual(a, b []cq.Var) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"testing"
+)
+
+// likeOracle is a naive byte-wise recursive LIKE matcher — exponential
+// but obviously correct, the reference implementation for the fuzzer.
+func likeOracle(pattern, s string) bool {
+	if pattern == "" {
+		return s == ""
+	}
+	switch pattern[0] {
+	case '%':
+		return likeOracle(pattern[1:], s) || (s != "" && likeOracle(pattern, s[1:]))
+	case '_':
+		return s != "" && likeOracle(pattern[1:], s[1:])
+	default:
+		return s != "" && s[0] == pattern[0] && likeOracle(pattern[1:], s[1:])
+	}
+}
+
+// FuzzLikeMatch compares the hand-rolled matcher against the regexp
+// oracle on arbitrary pattern/string pairs.
+func FuzzLikeMatch(f *testing.F) {
+	seeds := [][2]string{
+		{"%red%", "dark red metallic"},
+		{"%red%green%", "red green"},
+		{"a_c", "abc"},
+		{"%", ""},
+		{"", ""},
+		{"%%a%%", "bab"},
+		{"_%_", "xy"},
+		{"%aa%", "aXa"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, pattern, s string) {
+		if len(pattern) > 64 || len(s) > 256 {
+			return // keep the backtracking oracle cheap
+		}
+		got := LikeMatch(pattern, s)
+		want := likeOracle(pattern, s)
+		if got != want {
+			t.Fatalf("LikeMatch(%q, %q) = %v, oracle = %v", pattern, s, got, want)
+		}
+	})
+}

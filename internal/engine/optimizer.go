@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"math"
+	"sync"
+
+	"lapushdb/internal/cq"
+	"lapushdb/internal/plan"
+)
+
+// EvalPlansParallel is EvalPlans with one goroutine per plan — the
+// "multi-core query processing" benefit the paper names for running
+// probabilistic inference inside a relational engine. The semi-join
+// reduction (when enabled) is computed once and shared read-only; each
+// plan gets its own evaluator and subplan cache. Results are combined
+// with the per-answer minimum, exactly as in the sequential path.
+func EvalPlansParallel(db *DB, q *cq.Query, plans []plan.Node, opts Options, workers int) *Result {
+	if len(plans) == 0 {
+		return &Result{}
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	var reduced map[string][]int32
+	if opts.SemiJoin && q != nil {
+		reduced = SemiJoinReduce(db, q)
+	}
+	results := make([]*Result, len(plans))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, p := range plans {
+		wg.Add(1)
+		go func(i int, p plan.Node) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			e := &Evaluator{db: db, opts: opts, reduced: reduced}
+			if opts.ReuseSubplans {
+				e.cache = map[string]*Result{}
+			}
+			results[i] = e.Eval(p)
+		}(i, p)
+	}
+	wg.Wait()
+	out := results[0]
+	for _, r := range results[1:] {
+		out = combineMin(out, r)
+	}
+	return out
+}
+
+// columnStats summarizes one join input for cardinality estimation.
+type columnStats struct {
+	rows     int
+	distinct map[cq.Var]int
+}
+
+func statsOf(r *Result) columnStats {
+	s := columnStats{rows: r.Len(), distinct: map[cq.Var]int{}}
+	for ci, col := range r.Cols {
+		seen := map[Value]bool{}
+		for i := 0; i < r.Len(); i++ {
+			seen[r.Row(i)[ci]] = true
+		}
+		s.distinct[col] = len(seen)
+	}
+	return s
+}
+
+// estimateJoin is the classic System R estimate: |A ⋈ B| =
+// |A|·|B| / ∏ over shared columns of max(V(A,c), V(B,c)).
+func estimateJoin(a, b columnStats, aCols, bCols []cq.Var) (float64, columnStats) {
+	est := float64(a.rows) * float64(b.rows)
+	shared := map[cq.Var]bool{}
+	for _, c := range aCols {
+		if colIndex(bCols, c) >= 0 {
+			shared[c] = true
+		}
+	}
+	for c := range shared {
+		va, vb := a.distinct[c], b.distinct[c]
+		if va < 1 {
+			va = 1
+		}
+		if vb < 1 {
+			vb = 1
+		}
+		est /= math.Max(float64(va), float64(vb))
+	}
+	// Output stats: distinct counts capped by the estimated row count.
+	out := columnStats{rows: int(est) + 1, distinct: map[cq.Var]int{}}
+	for c, v := range a.distinct {
+		out.distinct[c] = min(v, out.rows)
+	}
+	for c, v := range b.distinct {
+		if prev, ok := out.distinct[c]; !ok || v < prev {
+			out.distinct[c] = min(v, out.rows)
+		}
+	}
+	return est, out
+}
+
+// foldJoinCostBased orders a k-ary join with a Selinger-style dynamic
+// program over input subsets (the paper cites System R's access-path
+// selection as the model for its plan enumeration): dp[mask] holds the
+// cheapest left-deep order of the inputs in mask, with cost = sum of
+// estimated intermediate sizes. Falls back to the greedy fold beyond 12
+// inputs (the DP is 2^k).
+func foldJoinCostBased(results []*Result) *Result {
+	k := len(results)
+	if k == 1 {
+		return results[0]
+	}
+	if k > 12 {
+		return foldJoin(results)
+	}
+	stats := make([]columnStats, k)
+	cols := make([][]cq.Var, k)
+	for i, r := range results {
+		stats[i] = statsOf(r)
+		cols[i] = r.Cols
+	}
+	type entry struct {
+		cost  float64
+		stats columnStats
+		cols  []cq.Var
+		order []int
+	}
+	dp := make(map[uint32]*entry, 1<<uint(k))
+	for i := 0; i < k; i++ {
+		dp[1<<uint(i)] = &entry{cost: 0, stats: stats[i], cols: cols[i], order: []int{i}}
+	}
+	for mask := uint32(1); mask < 1<<uint(k); mask++ {
+		if dp[mask] != nil {
+			continue // singleton already seeded
+		}
+		var best *entry
+		for i := 0; i < k; i++ {
+			bit := uint32(1) << uint(i)
+			if mask&bit == 0 {
+				continue
+			}
+			rest := mask &^ bit
+			sub := dp[rest]
+			if sub == nil {
+				continue
+			}
+			est, outStats := estimateJoin(sub.stats, stats[i], sub.cols, cols[i])
+			cost := sub.cost + est
+			if best == nil || cost < best.cost {
+				outCols := cq.NewVarSet(sub.cols...)
+				for _, c := range cols[i] {
+					outCols.Add(c)
+				}
+				order := make([]int, len(sub.order)+1)
+				copy(order, sub.order)
+				order[len(sub.order)] = i
+				best = &entry{cost: cost, stats: outStats, cols: outCols.Sorted(), order: order}
+			}
+		}
+		dp[mask] = best
+	}
+	full := dp[(1<<uint(k))-1]
+	cur := results[full.order[0]]
+	for _, i := range full.order[1:] {
+		cur = join(cur, results[i])
+	}
+	return cur
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

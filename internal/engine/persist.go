@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the serialized form of a database. All fields are exported
+// for encoding/gob; the format is versioned so later releases can evolve
+// it.
+type snapshot struct {
+	Version   int
+	Strings   []string
+	VarProb   []float64
+	Order     []string
+	Relations []relationSnapshot
+}
+
+type relationSnapshot struct {
+	Name          string
+	Cols          []string
+	Deterministic bool
+	Key           []int
+	Rows          []Value
+	Prob          []float64
+	Vars          []int32
+}
+
+const snapshotVersion = 1
+
+// Save writes the database to w in a binary snapshot format readable by
+// Load.
+func (db *DB) Save(w io.Writer) error {
+	s := snapshot{
+		Version: snapshotVersion,
+		Strings: db.strs,
+		VarProb: db.varProb,
+		Order:   db.order,
+	}
+	for _, name := range db.order {
+		r := db.rels[name]
+		s.Relations = append(s.Relations, relationSnapshot{
+			Name:          r.Name,
+			Cols:          r.Cols,
+			Deterministic: r.Deterministic,
+			Key:           r.Key,
+			Rows:          r.rows,
+			Prob:          r.prob,
+			Vars:          r.vars,
+		})
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// Load reads a database snapshot written by Save.
+func Load(r io.Reader) (*DB, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("engine: load snapshot: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("engine: unsupported snapshot version %d", s.Version)
+	}
+	db := NewDB()
+	db.strs = s.Strings
+	db.varProb = s.VarProb
+	db.order = s.Order
+	for i, str := range s.Strings {
+		db.strIDs[str] = Value(-int64(i) - 1)
+	}
+	for _, rs := range s.Relations {
+		if _, ok := db.rels[rs.Name]; ok {
+			return nil, fmt.Errorf("engine: duplicate relation %s in snapshot", rs.Name)
+		}
+		arity := len(rs.Cols)
+		if arity > 0 && len(rs.Rows)%arity != 0 {
+			return nil, fmt.Errorf("engine: relation %s has %d values for arity %d", rs.Name, len(rs.Rows), arity)
+		}
+		n := len(rs.Prob)
+		if arity > 0 && len(rs.Rows)/arity != n {
+			return nil, fmt.Errorf("engine: relation %s has %d rows but %d probabilities", rs.Name, len(rs.Rows)/arity, n)
+		}
+		if !rs.Deterministic && len(rs.Vars) != n {
+			return nil, fmt.Errorf("engine: relation %s has %d tuples but %d lineage variables", rs.Name, n, len(rs.Vars))
+		}
+		for _, id := range rs.Vars {
+			if int(id) >= len(s.VarProb) || id < 0 {
+				return nil, fmt.Errorf("engine: relation %s references unknown lineage variable %d", rs.Name, id)
+			}
+		}
+		db.rels[rs.Name] = &Relation{
+			Name:          rs.Name,
+			Cols:          rs.Cols,
+			Deterministic: rs.Deterministic,
+			Key:           rs.Key,
+			db:            db,
+			rows:          rs.Rows,
+			prob:          rs.Prob,
+			vars:          rs.Vars,
+		}
+	}
+	for _, name := range s.Order {
+		if _, ok := db.rels[name]; !ok {
+			return nil, fmt.Errorf("engine: snapshot order references missing relation %s", name)
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lapushdb/internal/core"
+	"lapushdb/internal/cq"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	q := cq.MustParse("q(z) :- R(z, x), S(x, y), T(y)")
+	db := randomDB(q, 4, 10, 1.0, rng)
+	db.Relation("S").SetKey("c", "d") // column names are c, d in randomDB
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same relations, sizes, keys, determinism.
+	for _, r := range db.Relations() {
+		lr := loaded.Relation(r.Name)
+		if lr == nil {
+			t.Fatalf("relation %s missing after load", r.Name)
+		}
+		if lr.Len() != r.Len() || lr.Deterministic != r.Deterministic || len(lr.Key) != len(r.Key) {
+			t.Errorf("relation %s metadata mismatch", r.Name)
+		}
+	}
+	// Same query results, bit for bit.
+	plans := core.MinimalPlans(q, nil)
+	a := EvalPlans(db, q, plans, Options{})
+	b := EvalPlans(loaded, q, plans, Options{})
+	if a.Len() != b.Len() {
+		t.Fatalf("answers %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		got, ok := b.ScoreOf(a.Row(i))
+		if !ok || math.Abs(got-a.Score(i)) != 0 {
+			t.Errorf("answer %d: %v vs %v", i, a.Score(i), got)
+		}
+	}
+}
+
+func TestSaveLoadStringDictionary(t *testing.T) {
+	db := NewDB()
+	r := db.CreateRelation("Names", []string{"id", "name"})
+	r.Insert([]Value{1, db.Intern("alice")}, 0.5)
+	r.Insert([]Value{2, db.Intern("bob")}, 0.7)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := loaded.Relation("Names")
+	if got := loaded.Decode(lr.Row(0)[1]); got != "alice" {
+		t.Errorf("decoded %q, want alice", got)
+	}
+	// Interning the same string must return the same id.
+	if loaded.Intern("bob") != db.Intern("bob") {
+		t.Error("dictionary ids diverged after load")
+	}
+	// New strings get fresh ids past the loaded ones.
+	if loaded.Intern("carol") == loaded.Intern("alice") {
+		t.Error("fresh intern collided")
+	}
+}
+
+func TestSaveLoadDeterministicRelations(t *testing.T) {
+	db := NewDB()
+	d := db.CreateDeterministicRelation("D", []string{"x"})
+	p := db.CreateRelation("P", []string{"x"})
+	d.Insert([]Value{1}, 1)
+	p.Insert([]Value{1}, 0.5)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Relation("D").Deterministic {
+		t.Error("determinism lost")
+	}
+	if loaded.NumVars() != 1 {
+		t.Errorf("lineage vars = %d, want 1", loaded.NumVars())
+	}
+	if loaded.Relation("P").VarID(0) != 0 || loaded.Relation("D").VarID(0) != -1 {
+		t.Error("lineage variable ids wrong after load")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage input should fail")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lapushdb/internal/cq"
+	"lapushdb/internal/plan"
+)
+
+// NodeStat is one profiled plan-node execution: the operator, its output
+// cardinality, and its inclusive wall-clock time. CacheHit marks subplan
+// results served from the Opt2 cache.
+type NodeStat struct {
+	Node      plan.Node
+	Rows      int
+	Inclusive time.Duration
+	CacheHit  bool
+	Depth     int
+}
+
+// EvalProfiled evaluates a plan like Eval while recording one NodeStat
+// per plan node, in execution (post-order) order — the engine's EXPLAIN
+// ANALYZE.
+func (e *Evaluator) EvalProfiled(p plan.Node) (*Result, []NodeStat) {
+	var stats []NodeStat
+	var eval func(n plan.Node, depth int) *Result
+	eval = func(n plan.Node, depth int) *Result {
+		if e.cache != nil {
+			if r, ok := e.cache[n.Key()]; ok {
+				stats = append(stats, NodeStat{Node: n, Rows: r.Len(), CacheHit: true, Depth: depth})
+				return r
+			}
+		}
+		start := time.Now()
+		var out *Result
+		switch t := n.(type) {
+		case *plan.Scan:
+			out = e.scan(t)
+		case *plan.Project:
+			out = project(eval(t.Child, depth+1), t.OnTo)
+		case *plan.Join:
+			results := make([]*Result, len(t.Subs))
+			for i, c := range t.Subs {
+				results[i] = eval(c, depth+1)
+			}
+			if e.opts.CostBasedJoins {
+				out = foldJoinCostBased(results)
+			} else {
+				out = foldJoin(results)
+			}
+		case *plan.Min:
+			out = eval(t.Subs[0], depth+1)
+			for _, c := range t.Subs[1:] {
+				out = combineMin(out, eval(c, depth+1))
+			}
+		default:
+			panic("engine: unknown plan node")
+		}
+		if e.cache != nil {
+			e.cache[n.Key()] = out
+		}
+		stats = append(stats, NodeStat{Node: n, Rows: out.Len(), Inclusive: time.Since(start), Depth: depth})
+		return out
+	}
+	res := eval(p, 0)
+	return res, stats
+}
+
+// FormatProfile renders the stats as an indented operator tree, root
+// first, with output cardinalities and inclusive times.
+func FormatProfile(stats []NodeStat) string {
+	var b strings.Builder
+	// Stats are post-order; print in reverse for a root-first tree.
+	for i := len(stats) - 1; i >= 0; i-- {
+		s := stats[i]
+		indent := strings.Repeat("  ", s.Depth)
+		var op string
+		switch t := s.Node.(type) {
+		case *plan.Scan:
+			op = "scan " + t.Atom.String()
+		case *plan.Project:
+			op = "project π-" + varList(t.Away())
+		case *plan.Join:
+			op = fmt.Sprintf("join (%d-way)", len(t.Subs))
+		case *plan.Min:
+			op = fmt.Sprintf("min (%d alternatives)", len(t.Subs))
+		}
+		if s.CacheHit {
+			fmt.Fprintf(&b, "%s%-40s rows=%-8d (cached)\n", indent, op, s.Rows)
+		} else {
+			fmt.Fprintf(&b, "%s%-40s rows=%-8d %.3fms\n", indent, op, s.Rows,
+				float64(s.Inclusive.Microseconds())/1000)
+		}
+	}
+	return b.String()
+}
+
+func varList(vs []cq.Var) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = string(v)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"lapushdb/internal/core"
+	"lapushdb/internal/cq"
+)
+
+func TestEvalProfiled(t *testing.T) {
+	db := NewDB()
+	R := db.CreateRelation("R", []string{"x"})
+	S := db.CreateRelation("S", []string{"x", "y"})
+	T := db.CreateRelation("T", []string{"y"})
+	R.Insert([]Value{1}, 0.5)
+	S.Insert([]Value{1, 2}, 0.5)
+	T.Insert([]Value{2}, 0.5)
+	q := cq.MustParse("q() :- R(x), S(x, y), T(y)")
+	sp := core.SinglePlan(q, nil)
+	e := NewEvaluator(db, q, Options{ReuseSubplans: true})
+	res, stats := e.EvalProfiled(sp)
+	// Result identical to plain Eval.
+	plain := NewEvaluator(db, q, Options{ReuseSubplans: true}).Eval(sp)
+	if res.BooleanScore() != plain.BooleanScore() {
+		t.Errorf("profiled %v vs plain %v", res.BooleanScore(), plain.BooleanScore())
+	}
+	if len(stats) == 0 {
+		t.Fatal("no stats recorded")
+	}
+	// Root is last (post-order) and has depth 0.
+	if stats[len(stats)-1].Depth != 0 {
+		t.Errorf("root depth = %d", stats[len(stats)-1].Depth)
+	}
+	// With the cache on, shared scans appear as cache hits.
+	hits := 0
+	for _, s := range stats {
+		if s.CacheHit {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("expected cache hits for shared subplans in the min plan")
+	}
+	out := FormatProfile(stats)
+	for _, want := range []string{"min (", "join (", "scan R(x)", "rows=", "(cached)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q:\n%s", want, out)
+		}
+	}
+}

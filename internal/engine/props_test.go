@@ -1,0 +1,409 @@
+package engine
+
+// End-to-end property tests of the paper's theorems: random small
+// databases, real plan evaluation, exact inference as the oracle.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lapushdb/internal/core"
+	"lapushdb/internal/cq"
+	"lapushdb/internal/exact"
+	"lapushdb/internal/plan"
+)
+
+// propQueries is a pool of queries covering safe, unsafe, Boolean,
+// non-Boolean, and multi-component shapes.
+var propQueries = []string{
+	"q() :- R(x), S(x, y), T(y)",
+	"q() :- R(x), S(x), T(x, y), U(y)",
+	"q(z) :- R(z, x), S(x, y), T(y)",
+	"q() :- R(x), S(x, y)",
+	"q() :- R1(x0, x1), R2(x1, x2), R3(x2, x3)",
+	"q() :- R(x), S(y), T(x, y)",
+	"q() :- A(x), B(y), M(x, y)",
+	"q(w) :- R(w, x), S(x), T(x, y), U(y)",
+}
+
+// randomDB fills every relation of q with random tuples over a small
+// domain, with probabilities in (0, pimax].
+func randomDB(q *cq.Query, domain, maxRows int, pimax float64, rng *rand.Rand) *DB {
+	db := NewDB()
+	for _, a := range q.Atoms {
+		cols := make([]string, len(a.Args))
+		for i := range cols {
+			cols[i] = string(rune('c' + i))
+		}
+		r := db.CreateRelation(a.Rel, cols)
+		n := 1 + rng.Intn(maxRows)
+		seen := map[string]bool{}
+		tuple := make([]Value, len(cols))
+		key := make([]byte, 0, 8*len(cols))
+		for t := 0; t < n; t++ {
+			key = key[:0]
+			for j := range tuple {
+				tuple[j] = Value(rng.Intn(domain))
+				key = appendValue(key, tuple[j])
+			}
+			if seen[string(key)] {
+				continue
+			}
+			seen[string(key)] = true
+			r.Insert(tuple, math.Nextafter(0, 1)+rng.Float64()*pimax)
+		}
+	}
+	return db
+}
+
+// exactProbs computes the exact probability of every answer via lineage +
+// WMC, keyed by the answer tuple.
+func exactProbs(db *DB, q *cq.Query) map[string]float64 {
+	lin := EvalLineage(db, q, nil)
+	out := map[string]float64{}
+	key := make([]byte, 0, 16)
+	for i := 0; i < lin.Len(); i++ {
+		key = key[:0]
+		for _, v := range lin.Key(i) {
+			key = appendValue(key, v)
+		}
+		out[string(key)] = exact.Prob(lin.Clauses(i), db.VarProbs())
+	}
+	return out
+}
+
+func resultKey(r *Result, i int) string {
+	key := make([]byte, 0, 16)
+	for _, v := range r.Row(i) {
+		key = appendValue(key, v)
+	}
+	return string(key)
+}
+
+// TestPropUpperBounds is Corollary 19: every plan's score is an upper
+// bound on the exact probability, for every answer.
+func TestPropUpperBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 40; iter++ {
+		qs := propQueries[iter%len(propQueries)]
+		q := cq.MustParse(qs)
+		db := randomDB(q, 4, 8, 1.0, rng)
+		truth := exactProbs(db, q)
+		for _, p := range core.SafeDissociationPlans(q) {
+			res := NewEvaluator(db, q, Options{}).Eval(p)
+			for i := 0; i < res.Len(); i++ {
+				want, ok := truth[resultKey(res, i)]
+				if !ok {
+					t.Fatalf("%s: plan answer missing from lineage", qs)
+				}
+				if res.Score(i) < want-1e-9 {
+					t.Errorf("%s: plan %s scores %v < exact %v", qs, plan.String(p), res.Score(i), want)
+				}
+			}
+		}
+	}
+}
+
+// TestPropSafeExact is Proposition 6 via conservativity: for safe queries
+// the single minimal plan computes the exact probability.
+func TestPropSafeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	safeQs := []string{
+		"q() :- R(x), S(x, y)",
+		"q() :- R(x), S(y), T(x, y)", // unsafe actually? at(x)={R,T}, at(y)={S,T}: overlap at T
+		"q(z) :- R(z, x), S(x, y), K(x, y)",
+		"q() :- A(x), B(x)",
+	}
+	for _, qs := range safeQs {
+		q := cq.MustParse(qs)
+		plans := core.MinimalPlans(q, nil)
+		if len(plans) != 1 {
+			continue // not safe; skip (one entry above is deliberately unsafe)
+		}
+		for iter := 0; iter < 10; iter++ {
+			db := randomDB(q, 4, 8, 1.0, rng)
+			truth := exactProbs(db, q)
+			res := NewEvaluator(db, q, Options{}).Eval(plans[0])
+			for i := 0; i < res.Len(); i++ {
+				want := truth[resultKey(res, i)]
+				if math.Abs(res.Score(i)-want) > 1e-9 {
+					t.Errorf("%s: safe plan score %v != exact %v", qs, res.Score(i), want)
+				}
+			}
+		}
+	}
+}
+
+// TestPropLatticeMonotonicity is Corollary 16: along the dissociation
+// lattice, ∆ ⪯ ∆′ implies score(P∆) ≤ score(P∆′) for every answer,
+// whenever both dissociations are safe.
+func TestPropLatticeMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, qs := range []string{
+		"q() :- R(x), S(x, y), T(y)",
+		"q() :- R(x), S(x), T(x, y), U(y)",
+	} {
+		q := cq.MustParse(qs)
+		var safe []plan.Dissociation
+		for _, d := range core.Dissociations(q) {
+			if d.IsSafeFor(q) {
+				safe = append(safe, d)
+			}
+		}
+		for iter := 0; iter < 10; iter++ {
+			db := randomDB(q, 3, 6, 1.0, rng)
+			scores := make([]float64, len(safe))
+			for i, d := range safe {
+				p, err := plan.PlanOf(q, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scores[i] = NewEvaluator(db, q, Options{}).Eval(p).BooleanScore()
+			}
+			for i := range safe {
+				for j := range safe {
+					if i != j && safe[i].LE(safe[j]) && scores[i] > scores[j]+1e-9 {
+						t.Errorf("%s: %s ⪯ %s but %v > %v", qs, safe[i], safe[j], scores[i], scores[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropMinimalPlansSuffice is Theorem 20: the minimum score over the
+// minimal plans equals the minimum over the whole plan space.
+func TestPropMinimalPlansSuffice(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, qs := range []string{
+		"q() :- R(x), S(x, y), T(y)",
+		"q() :- R(x), S(x), T(x, y), U(y)",
+		"q(z) :- R(z, x), S(x, y), T(y)",
+	} {
+		q := cq.MustParse(qs)
+		minimal := core.MinimalPlans(q, nil)
+		all := core.SafeDissociationPlans(q)
+		for iter := 0; iter < 10; iter++ {
+			db := randomDB(q, 3, 6, 1.0, rng)
+			rhoMin := EvalPlans(db, q, minimal, Options{})
+			rhoAll := EvalPlans(db, q, all, Options{})
+			if rhoMin.Len() != rhoAll.Len() {
+				t.Fatalf("%s: answer sets differ", qs)
+			}
+			for i := 0; i < rhoMin.Len(); i++ {
+				want, _ := rhoAll.ScoreOf(rhoMin.Row(i))
+				if math.Abs(rhoMin.Score(i)-want) > 1e-9 {
+					t.Errorf("%s: min over minimal plans %v != min over all plans %v",
+						qs, rhoMin.Score(i), want)
+				}
+			}
+		}
+	}
+}
+
+// TestPropDRInvariance is Lemma 22: with deterministic relations, the
+// DR-aware single plan computes the exact probability even though the
+// query is structurally unsafe.
+func TestPropDRInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	q := cq.MustParse("q() :- R(x), S(x, y), T(y)")
+	for iter := 0; iter < 20; iter++ {
+		db := NewDB()
+		R := db.CreateRelation("R", []string{"x"})
+		S := db.CreateRelation("S", []string{"x", "y"})
+		T := db.CreateDeterministicRelation("T", []string{"y"})
+		for v := 0; v < 3; v++ {
+			if rng.Float64() < 0.8 {
+				R.Insert([]Value{Value(v)}, rng.Float64())
+			}
+			if rng.Float64() < 0.8 {
+				T.Insert([]Value{Value(v)}, 1)
+			}
+			for w := 0; w < 3; w++ {
+				if rng.Float64() < 0.6 {
+					S.Insert([]Value{Value(v), Value(w)}, rng.Float64())
+				}
+			}
+		}
+		sch := SchemaFor(db, q)
+		plans := core.MinimalPlans(q, sch)
+		if len(plans) != 1 {
+			t.Fatalf("DR-aware plans = %d, want 1", len(plans))
+		}
+		truth := exactProbs(db, q)
+		res := NewEvaluator(db, q, Options{}).Eval(plans[0])
+		for i := 0; i < res.Len(); i++ {
+			want := truth[resultKey(res, i)]
+			if math.Abs(res.Score(i)-want) > 1e-9 {
+				t.Errorf("iter %d: DR plan score %v != exact %v", iter, res.Score(i), want)
+			}
+		}
+	}
+}
+
+// TestPropFDInvariance is Lemma 25: when the data satisfies the FD x→y on
+// S, the FD-aware single plan computes the exact probability.
+func TestPropFDInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	q := cq.MustParse("q() :- R(x), S(x, y), T(y)")
+	for iter := 0; iter < 20; iter++ {
+		db := NewDB()
+		R := db.CreateRelation("R", []string{"x"})
+		S := db.CreateRelation("S", []string{"x", "y"})
+		S.SetKey("x") // enforces FD x → y
+		T := db.CreateRelation("T", []string{"y"})
+		for v := 0; v < 4; v++ {
+			if rng.Float64() < 0.8 {
+				R.Insert([]Value{Value(v)}, rng.Float64())
+			}
+			if rng.Float64() < 0.8 {
+				T.Insert([]Value{Value(v)}, rng.Float64())
+			}
+			// One y per x: the FD holds in the data.
+			if rng.Float64() < 0.8 {
+				S.Insert([]Value{Value(v), Value(rng.Intn(4))}, rng.Float64())
+			}
+		}
+		sch := SchemaFor(db, q)
+		plans := core.MinimalPlans(q, sch)
+		if len(plans) != 1 {
+			t.Fatalf("FD-aware plans = %d, want 1", len(plans))
+		}
+		truth := exactProbs(db, q)
+		res := NewEvaluator(db, q, Options{}).Eval(plans[0])
+		for i := 0; i < res.Len(); i++ {
+			want := truth[resultKey(res, i)]
+			if math.Abs(res.Score(i)-want) > 1e-9 {
+				t.Errorf("iter %d: FD plan score %v != exact %v", iter, res.Score(i), want)
+			}
+		}
+	}
+}
+
+// TestPropScaling is Proposition 21: the relative error of ρ(q) vs P(q)
+// shrinks as all probabilities are scaled down.
+func TestPropScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	q := cq.MustParse("q() :- R(x), S(x, y), T(y)")
+	plans := core.MinimalPlans(q, nil)
+	for iter := 0; iter < 10; iter++ {
+		db := randomDB(q, 3, 8, 1.0, rng)
+		relErr := func(f float64) float64 {
+			d := db.Clone()
+			d.ScaleProbs(f)
+			rho := EvalPlans(d, q, plans, Options{}).BooleanScore()
+			p := exactProbs(d, q)[""]
+			if p == 0 {
+				return 0
+			}
+			return (rho - p) / p
+		}
+		e1 := relErr(1.0)
+		e01 := relErr(0.1)
+		e001 := relErr(0.01)
+		// Below ~1e-8 the "error" is floating-point noise (e.g. when the
+		// instance happens to be safe); only meaningful errors must shrink.
+		const floor = 1e-8
+		if (e01 > floor && e01 > e1+floor) || (e001 > floor && e001 > e01+floor) {
+			t.Errorf("iter %d: relative error not decreasing: %v, %v, %v", iter, e1, e01, e001)
+		}
+		if e001 > 0.05 {
+			t.Errorf("iter %d: relative error at f=0.01 still large: %v", iter, e001)
+		}
+	}
+}
+
+// TestPropOptimizationsPreserveScores: Opt1, Opt2, Opt3 and their
+// combinations never change any answer's score, only the evaluation
+// strategy.
+func TestPropOptimizationsPreserveScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for iter := 0; iter < 20; iter++ {
+		qs := propQueries[iter%len(propQueries)]
+		q := cq.MustParse(qs)
+		db := randomDB(q, 4, 10, 1.0, rng)
+		plans := core.MinimalPlans(q, nil)
+		base := EvalPlans(db, q, plans, Options{})
+		sp := core.SinglePlan(q, nil)
+		variants := map[string]*Result{
+			"opt1":   NewEvaluator(db, q, Options{}).Eval(sp),
+			"opt12":  NewEvaluator(db, q, Options{ReuseSubplans: true}).Eval(sp),
+			"opt123": NewEvaluator(db, q, Options{ReuseSubplans: true, SemiJoin: true}).Eval(sp),
+			"plans3": EvalPlans(db, q, plans, Options{SemiJoin: true}),
+		}
+		for name, res := range variants {
+			if res.Len() != base.Len() {
+				t.Fatalf("%s/%s: answers %d vs %d", qs, name, res.Len(), base.Len())
+			}
+			for i := 0; i < base.Len(); i++ {
+				got, ok := res.ScoreOf(base.Row(i))
+				if !ok || math.Abs(got-base.Score(i)) > 1e-9 {
+					t.Errorf("%s/%s: score mismatch %v vs %v", qs, name, got, base.Score(i))
+				}
+			}
+		}
+	}
+}
+
+// TestPropSinglePlanWithSchema: the merged plan under schema knowledge
+// (DRs + FDs) computes the same score as the min over the schema-aware
+// minimal plans, and both are exact when the schema makes the query
+// safe.
+func TestPropSinglePlanWithSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	q := cq.MustParse("q() :- R(x), S(x, y), T(y)")
+	for iter := 0; iter < 15; iter++ {
+		db := NewDB()
+		R := db.CreateRelation("R", []string{"x"})
+		S := db.CreateRelation("S", []string{"x", "y"})
+		var T *Relation
+		detT := iter%2 == 0
+		if detT {
+			T = db.CreateDeterministicRelation("T", []string{"y"})
+		} else {
+			T = db.CreateRelation("T", []string{"y"})
+		}
+		keyed := iter%3 == 0
+		if keyed {
+			S.SetKey("x")
+		}
+		for v := 0; v < 4; v++ {
+			if rng.Float64() < 0.8 {
+				R.Insert([]Value{Value(v)}, rng.Float64())
+			}
+			p := rng.Float64()
+			if detT {
+				p = 1
+			}
+			if rng.Float64() < 0.8 {
+				T.Insert([]Value{Value(v)}, p)
+			}
+			if keyed {
+				if rng.Float64() < 0.8 {
+					S.Insert([]Value{Value(v), Value(rng.Intn(4))}, rng.Float64())
+				}
+			} else {
+				for w := 0; w < 3; w++ {
+					if rng.Float64() < 0.5 {
+						S.Insert([]Value{Value(v), Value(w)}, rng.Float64())
+					}
+				}
+			}
+		}
+		sch := SchemaFor(db, q)
+		plans := core.MinimalPlans(q, sch)
+		all := EvalPlans(db, q, plans, Options{}).BooleanScore()
+		sp := core.SinglePlan(q, sch)
+		merged := NewEvaluator(db, q, Options{ReuseSubplans: true}).Eval(sp).BooleanScore()
+		if math.Abs(all-merged) > 1e-9 {
+			t.Errorf("iter %d: min-over-plans %v != merged %v", iter, all, merged)
+		}
+		if detT || keyed {
+			truth := exactProbs(db, q)[""]
+			if math.Abs(merged-truth) > 1e-9 {
+				t.Errorf("iter %d (det=%v key=%v): schema-safe score %v != exact %v", iter, detT, keyed, merged, truth)
+			}
+		}
+	}
+}

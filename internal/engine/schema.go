@@ -1,0 +1,27 @@
+package engine
+
+import (
+	"lapushdb/internal/core"
+	"lapushdb/internal/cq"
+)
+
+// SchemaFor derives the plan-enumeration schema knowledge for a query
+// from the database's relation declarations: deterministic relations map
+// directly, and every relation key is instantiated over the query's atom
+// arguments as functional dependencies (Section 3.3).
+func SchemaFor(db *DB, q *cq.Query) *core.Schema {
+	sch := &core.Schema{Det: map[string]bool{}}
+	for _, a := range q.Atoms {
+		rel := db.Relation(a.Rel)
+		if rel == nil {
+			continue
+		}
+		if rel.Deterministic {
+			sch.Det[a.Rel] = true
+		}
+		if len(rel.Key) > 0 {
+			sch.FDs = append(sch.FDs, cq.KeyFDs(a, rel.Key)...)
+		}
+	}
+	return sch
+}

@@ -1,0 +1,188 @@
+package exact
+
+import (
+	"fmt"
+
+	"lapushdb/internal/lineage"
+)
+
+// Circuit is an arithmetic circuit compiled from a monotone DNF by the
+// solver's trace — the knowledge-compilation view of exact inference
+// (the FO-d-DNNF circuits of Van den Broeck et al. that the paper's
+// related work connects to safe plans). Compiling once and re-evaluating
+// under different probability vectors is linear in the circuit size,
+// which pays off when the same lineage is scored repeatedly (e.g. the
+// probability-scaling experiments of Figures 5n–5p).
+//
+// Node kinds mirror the solver's decomposition steps: independent-OR
+// for component splits, products for clauses, and Shannon gates for
+// variable conditioning. Memoized subformulas become shared nodes, so
+// the circuit is a DAG.
+type Circuit struct {
+	nodes []cnode
+	// root is the index of the output node.
+	root int32
+}
+
+type ckind uint8
+
+const (
+	cConst ckind = iota
+	cVar
+	cProduct // ∏ children (independent AND)
+	cIndepOr // 1 − ∏ (1 − child) (independent OR)
+	cShannon // p(v)·hi + (1 − p(v))·lo
+)
+
+type cnode struct {
+	kind     ckind
+	v        int32 // cVar / cShannon variable
+	val      float64
+	children []int32 // cProduct / cIndepOr; for cShannon: [hi, lo]
+}
+
+// Size returns the number of circuit nodes.
+func (c *Circuit) Size() int { return len(c.nodes) }
+
+// Eval computes the circuit's probability under the given variable
+// probabilities, in one bottom-up pass.
+func (c *Circuit) Eval(probs []float64) float64 {
+	vals := make([]float64, len(c.nodes))
+	for i, n := range c.nodes {
+		switch n.kind {
+		case cConst:
+			vals[i] = n.val
+		case cVar:
+			vals[i] = probs[n.v]
+		case cProduct:
+			p := 1.0
+			for _, ch := range n.children {
+				p *= vals[ch]
+			}
+			vals[i] = p
+		case cIndepOr:
+			miss := 1.0
+			for _, ch := range n.children {
+				miss *= 1 - vals[ch]
+			}
+			vals[i] = 1 - miss
+		case cShannon:
+			pv := probs[n.v]
+			vals[i] = pv*vals[n.children[0]] + (1-pv)*vals[n.children[1]]
+		}
+	}
+	return vals[c.root]
+}
+
+// Compile builds a circuit for the monotone DNF within the given node
+// budget; ErrBudget when exceeded. The circuit's Eval agrees exactly
+// with ProbBudget for every probability vector.
+func Compile(clauses [][]int32, budget int) (*Circuit, error) {
+	f := normalize(clauses)
+	c := &Circuit{}
+	b := &circuitBuilder{c: c, memo: map[string]int32{}, budget: budget}
+	// Read-once fast path: the factorization tree maps directly onto
+	// circuit gates.
+	if nv := countVars(f); nv <= readOnceVarLimit {
+		if tree, ok := lineage.Factor(lineage.DNF(f)); ok {
+			c.root = b.fromTree(tree)
+			return c, nil
+		}
+	}
+	root, ok := b.build(f)
+	if !ok {
+		return nil, ErrBudget
+	}
+	c.root = root
+	return c, nil
+}
+
+type circuitBuilder struct {
+	c      *Circuit
+	memo   map[string]int32
+	budget int
+}
+
+func (b *circuitBuilder) add(n cnode) int32 {
+	b.c.nodes = append(b.c.nodes, n)
+	return int32(len(b.c.nodes) - 1)
+}
+
+func (b *circuitBuilder) constNode(v float64) int32 { return b.add(cnode{kind: cConst, val: v}) }
+
+func (b *circuitBuilder) fromTree(t *lineage.Tree) int32 {
+	switch t.Kind {
+	case lineage.TreeVar:
+		return b.add(cnode{kind: cVar, v: t.Var})
+	case lineage.TreeTrue:
+		return b.constNode(1)
+	case lineage.TreeFalse:
+		return b.constNode(0)
+	case lineage.TreeAnd, lineage.TreeOr:
+		children := make([]int32, len(t.Children))
+		for i, ch := range t.Children {
+			children[i] = b.fromTree(ch)
+		}
+		kind := cProduct
+		if t.Kind == lineage.TreeOr {
+			kind = cIndepOr
+		}
+		return b.add(cnode{kind: kind, children: children})
+	default:
+		panic(fmt.Sprintf("exact: unknown tree kind %d", t.Kind))
+	}
+}
+
+// build mirrors solver.prob but emits circuit nodes instead of numbers.
+func (b *circuitBuilder) build(clauses [][]int32) (int32, bool) {
+	if b.budget <= 0 {
+		return 0, false
+	}
+	b.budget--
+	if len(clauses) == 0 {
+		return b.constNode(0), true
+	}
+	if len(clauses[0]) == 0 {
+		return b.constNode(1), true
+	}
+	if len(clauses) == 1 {
+		children := make([]int32, len(clauses[0]))
+		for i, v := range clauses[0] {
+			children[i] = b.add(cnode{kind: cVar, v: v})
+		}
+		if len(children) == 1 {
+			return children[0], true
+		}
+		return b.add(cnode{kind: cProduct, children: children}), true
+	}
+	key := encode(clauses)
+	if id, ok := b.memo[key]; ok {
+		return id, true
+	}
+	comps := components(clauses)
+	if len(comps) > 1 {
+		children := make([]int32, len(comps))
+		for i, comp := range comps {
+			id, ok := b.build(comp)
+			if !ok {
+				return 0, false
+			}
+			children[i] = id
+		}
+		id := b.add(cnode{kind: cIndepOr, children: children})
+		b.memo[key] = id
+		return id, true
+	}
+	v := mostFrequent(clauses)
+	hi, ok := b.build(condition(clauses, v, true))
+	if !ok {
+		return 0, false
+	}
+	lo, ok := b.build(condition(clauses, v, false))
+	if !ok {
+		return 0, false
+	}
+	id := b.add(cnode{kind: cShannon, v: v, children: []int32{hi, lo}})
+	b.memo[key] = id
+	return id, true
+}

@@ -1,0 +1,181 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCircuitMatchesProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 100; iter++ {
+		nvars := 2 + rng.Intn(10)
+		probs := make([]float64, nvars)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		var clauses [][]int32
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			c := make([]int32, 1+rng.Intn(4))
+			for j := range c {
+				c[j] = int32(rng.Intn(nvars))
+			}
+			clauses = append(clauses, c)
+		}
+		circ, err := Compile(clauses, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := circ.Eval(probs)
+		want := Prob(clauses, probs)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("iter %d: circuit %v, prob %v", iter, got, want)
+		}
+	}
+}
+
+// TestCircuitReuseAcrossProbabilities is the point of compilation: one
+// circuit evaluated under many probability vectors (the scaling
+// experiments' workload) always agrees with from-scratch inference.
+func TestCircuitReuseAcrossProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	nvars := 12
+	var clauses [][]int32
+	for i := 0; i < 10; i++ {
+		c := []int32{int32(rng.Intn(nvars)), int32(rng.Intn(nvars)), int32(rng.Intn(nvars))}
+		clauses = append(clauses, c)
+	}
+	circ, err := Compile(clauses, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, nvars)
+	for i := range probs {
+		probs[i] = rng.Float64()
+	}
+	for _, f := range []float64{1, 0.5, 0.1, 0.01} {
+		scaled := make([]float64, nvars)
+		for i := range scaled {
+			scaled[i] = probs[i] * f
+		}
+		got := circ.Eval(scaled)
+		want := Prob(clauses, scaled)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("f=%v: circuit %v, prob %v", f, got, want)
+		}
+	}
+}
+
+func TestCircuitQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nvars := 1 + rng.Intn(8)
+		probs := make([]float64, nvars)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		var clauses [][]int32
+		for i := 0; i < rng.Intn(6); i++ {
+			c := make([]int32, 1+rng.Intn(3))
+			for j := range c {
+				c[j] = int32(rng.Intn(nvars))
+			}
+			clauses = append(clauses, c)
+		}
+		circ, err := Compile(clauses, 10_000_000)
+		if err != nil {
+			return false
+		}
+		return math.Abs(circ.Eval(probs)-Prob(clauses, probs)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCircuitTrivial(t *testing.T) {
+	circ, err := Compile(nil, 1000)
+	if err != nil || circ.Eval(nil) != 0 {
+		t.Error("empty formula should compile to constant 0")
+	}
+	circ, err = Compile([][]int32{{}}, 1000)
+	if err != nil || circ.Eval(nil) != 1 {
+		t.Error("true formula should compile to constant 1")
+	}
+	circ, err = Compile([][]int32{{3}}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := circ.Eval([]float64{0, 0, 0, 0.7}); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("single var = %v", got)
+	}
+}
+
+func TestCircuitBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	nvars := 40
+	var clauses [][]int32
+	for i := 0; i < 60; i++ {
+		c := []int32{int32(rng.Intn(nvars)), int32(rng.Intn(nvars)), int32(rng.Intn(nvars))}
+		clauses = append(clauses, c)
+	}
+	if _, err := Compile(clauses, 2); err != ErrBudget {
+		t.Errorf("expected ErrBudget, got %v", err)
+	}
+}
+
+// TestCircuitSharing: memoized subformulas appear once, so the circuit
+// is smaller than the raw Shannon tree.
+func TestCircuitSharing(t *testing.T) {
+	// A chain lineage has exponentially many Shannon paths but a
+	// linear-ish shared circuit.
+	n := 12
+	var clauses [][]int32
+	for i := 0; i < n; i++ {
+		clauses = append(clauses, []int32{int32(2 * i), int32(2*i + 1), int32(2*i + 2)})
+	}
+	circ, err := Compile(clauses, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if circ.Size() > 4000 {
+		t.Errorf("circuit size %d suggests no sharing", circ.Size())
+	}
+	probs := make([]float64, 2*n+2)
+	for i := range probs {
+		probs[i] = 0.3
+	}
+	if math.Abs(circ.Eval(probs)-Prob(clauses, probs)) > 1e-9 {
+		t.Error("shared circuit disagrees with solver")
+	}
+}
+
+func BenchmarkCircuitReuse(b *testing.B) {
+	rng := rand.New(rand.NewSource(64))
+	nvars := 24
+	var clauses [][]int32
+	for i := 0; i < 20; i++ {
+		c := []int32{int32(rng.Intn(nvars)), int32(rng.Intn(nvars)), int32(rng.Intn(nvars))}
+		clauses = append(clauses, c)
+	}
+	probs := make([]float64, nvars)
+	for i := range probs {
+		probs[i] = rng.Float64()
+	}
+	b.Run("compile-once-eval", func(b *testing.B) {
+		circ, err := Compile(clauses, 50_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			circ.Eval(probs)
+		}
+	})
+	b.Run("solve-from-scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Prob(clauses, probs)
+		}
+	})
+}

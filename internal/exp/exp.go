@@ -1,0 +1,103 @@
+// Package exp is the experiment harness: one driver per table/figure of
+// the paper's evaluation (Section 5), each producing the same rows or
+// series the paper reports. The drivers are shared by cmd/experiments
+// (which prints them) and the repository's benchmarks.
+//
+// Experiments run at a configurable scale. The paper's absolute numbers
+// came from PostgreSQL / SQL Server on a 1 GB TPC-H instance; this
+// harness reproduces the *shape* of every result — which method wins, by
+// roughly what factor, and where the crossovers are — on the in-memory
+// engine.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// Seed makes runs reproducible.
+	Seed int64
+	// Scale is the TPC-H scale factor for Setup 1 experiments (the paper
+	// uses 1.0 ≈ 1 GB; 0.05 runs everything, including exact inference,
+	// in seconds).
+	Scale float64
+	// Reps is the number of repetitions for ranking experiments.
+	Reps int
+	// MaxN caps the tuples-per-table axis of the Setup 2 run-time
+	// experiments.
+	MaxN int
+}
+
+// DefaultConfig returns a configuration that runs every experiment in
+// minutes on a laptop.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Scale: 0.05, Reps: 10, MaxN: 100_000}
+}
+
+// QuickConfig is small enough for unit tests and -short benchmarks.
+func QuickConfig() Config {
+	return Config{Seed: 1, Scale: 0.01, Reps: 3, MaxN: 1000}
+}
+
+// Table is one reproduced table or figure: a header and rows of
+// formatted cells.
+type Table struct {
+	ID     string // e.g. "Figure 2"
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,27 @@
+package exp
+
+import (
+	"lapushdb/internal/core"
+	"lapushdb/internal/workload"
+)
+
+// Fig2 reproduces the table of Figure 2: the number of minimal plans,
+// total plans, and total dissociations for k-star (k = 1..maxStar) and
+// k-chain (k = 2..maxChain) queries. The paper reports stars up to k = 7
+// and chains up to k = 8; pass smaller maxima for quick runs.
+func Fig2(maxStar, maxChain int) *Table {
+	t := &Table{
+		ID:     "Figure 2",
+		Title:  "number of minimal plans (#MP), total plans (#P), and dissociations (#∆)",
+		Header: []string{"query", "k", "#MP", "#P", "#∆"},
+	}
+	for k := 1; k <= maxStar; k++ {
+		q := workload.StarQuery(k)
+		t.Add("star", k, len(core.MinimalPlans(q, nil)), len(core.AllPlans(q)), core.CountDissociations(q).String())
+	}
+	for k := 2; k <= maxChain; k++ {
+		q := workload.ChainQuery(k)
+		t.Add("chain", k, len(core.MinimalPlans(q, nil)), len(core.AllPlans(q)), core.CountDissociations(q).String())
+	}
+	return t
+}

@@ -1,0 +1,372 @@
+package lineage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tree is a read-once factorization of a monotone DNF: a formula tree in
+// which every variable occurs exactly once, so the probability is
+// computable bottom-up in linear time (independent AND/OR).
+type Tree struct {
+	// Kind is one of TreeVar, TreeAnd, TreeOr, TreeTrue, TreeFalse.
+	Kind TreeKind
+	// Var is the variable id for TreeVar leaves.
+	Var int32
+	// Children are the subtrees of TreeAnd / TreeOr nodes.
+	Children []*Tree
+}
+
+// TreeKind enumerates read-once tree node kinds.
+type TreeKind int
+
+// Tree node kinds.
+const (
+	TreeVar TreeKind = iota
+	TreeAnd
+	TreeOr
+	TreeTrue
+	TreeFalse
+)
+
+// Prob evaluates the tree's probability: AND multiplies (children are
+// variable-disjoint, hence independent), OR combines as independent
+// events.
+func (t *Tree) Prob(probs []float64) float64 {
+	switch t.Kind {
+	case TreeVar:
+		return probs[t.Var]
+	case TreeTrue:
+		return 1
+	case TreeFalse:
+		return 0
+	case TreeAnd:
+		p := 1.0
+		for _, c := range t.Children {
+			p *= c.Prob(probs)
+		}
+		return p
+	case TreeOr:
+		miss := 1.0
+		for _, c := range t.Children {
+			miss *= 1 - c.Prob(probs)
+		}
+		return 1 - miss
+	default:
+		panic("lineage: unknown tree kind")
+	}
+}
+
+// String renders the factorization, e.g. "x0·(x1 + x2)".
+func (t *Tree) String() string {
+	switch t.Kind {
+	case TreeVar:
+		return fmt.Sprintf("x%d", t.Var)
+	case TreeTrue:
+		return "true"
+	case TreeFalse:
+		return "false"
+	case TreeAnd:
+		parts := make([]string, len(t.Children))
+		for i, c := range t.Children {
+			s := c.String()
+			if c.Kind == TreeOr {
+				s = "(" + s + ")"
+			}
+			parts[i] = s
+		}
+		return strings.Join(parts, "·")
+	case TreeOr:
+		parts := make([]string, len(t.Children))
+		for i, c := range t.Children {
+			parts[i] = c.String()
+		}
+		return strings.Join(parts, " + ")
+	default:
+		panic("lineage: unknown tree kind")
+	}
+}
+
+// VarCount returns the number of variable leaves (each variable occurs
+// exactly once in a read-once tree).
+func (t *Tree) VarCount() int {
+	switch t.Kind {
+	case TreeVar:
+		return 1
+	case TreeAnd, TreeOr:
+		n := 0
+		for _, c := range t.Children {
+			n += c.VarCount()
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// Factor attempts a read-once factorization of the formula. It returns
+// (tree, true) iff the normalized formula is read-once. The recursion
+// alternates two decompositions:
+//
+//   - OR: clauses sharing no variables split into independent
+//     subformulas (connected components of the clause graph);
+//   - AND: within one component, the variable set may split into groups
+//     V1, ..., Vk such that the clause set is exactly the cartesian
+//     product of its projections onto the groups — then
+//     F = F|V1 ∧ ... ∧ F|Vk. The candidate groups are the connected
+//     components of the complement of the variable co-occurrence graph.
+//
+// If a connected component admits no AND split and is not a single
+// variable, the formula is not read-once.
+func Factor(f DNF) (*Tree, bool) {
+	n := f.Normalize()
+	if len(n) == 0 {
+		return &Tree{Kind: TreeFalse}, true
+	}
+	if n.IsTrue() {
+		return &Tree{Kind: TreeTrue}, true
+	}
+	return factor(n)
+}
+
+func factor(f DNF) (*Tree, bool) {
+	if len(f) == 1 {
+		// Single clause: AND of its variables.
+		c := f[0]
+		if len(c) == 1 {
+			return &Tree{Kind: TreeVar, Var: c[0]}, true
+		}
+		t := &Tree{Kind: TreeAnd}
+		for _, v := range c {
+			t.Children = append(t.Children, &Tree{Kind: TreeVar, Var: v})
+		}
+		return t, true
+	}
+	// OR decomposition: split clauses into variable-disjoint groups.
+	comps := orComponents(f)
+	if len(comps) > 1 {
+		t := &Tree{Kind: TreeOr}
+		for _, comp := range comps {
+			sub, ok := factor(comp)
+			if !ok {
+				return nil, false
+			}
+			t.Children = append(t.Children, sub)
+		}
+		return t, true
+	}
+	// AND decomposition within one connected component.
+	groups := complementComponents(f)
+	if len(groups) <= 1 {
+		return nil, false // connected co-occurrence complement: not read-once here
+	}
+	// Project the clauses onto each variable group and verify the
+	// cartesian-product structure.
+	var projs []DNF
+	product := 1
+	for _, g := range groups {
+		proj := project(f, g)
+		projs = append(projs, proj)
+		product *= len(proj)
+		if product > len(f) {
+			return nil, false
+		}
+	}
+	if product != len(f) {
+		return nil, false
+	}
+	if !cartesianEqual(f, projs) {
+		return nil, false
+	}
+	t := &Tree{Kind: TreeAnd}
+	for _, proj := range projs {
+		sub, ok := factor(proj)
+		if !ok {
+			return nil, false
+		}
+		t.Children = append(t.Children, sub)
+	}
+	return t, true
+}
+
+// orComponents groups clauses into connected components by shared
+// variables.
+func orComponents(f DNF) []DNF {
+	parent := make([]int, len(f))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	owner := map[int32]int{}
+	for i, c := range f {
+		for _, v := range c {
+			if j, ok := owner[v]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				owner[v] = i
+			}
+		}
+	}
+	groups := map[int]DNF{}
+	var order []int
+	for i, c := range f {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], c)
+	}
+	out := make([]DNF, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// complementComponents returns the connected components of the
+// complement of the variable co-occurrence graph: two variables are
+// joined when they do NOT share any clause. For read-once AND
+// decompositions these components are exactly the candidate variable
+// groups.
+func complementComponents(f DNF) [][]int32 {
+	vars := f.Vars()
+	idx := map[int32]int{}
+	for i, v := range vars {
+		idx[v] = i
+	}
+	n := len(vars)
+	co := make([]map[int]bool, n)
+	for i := range co {
+		co[i] = map[int]bool{}
+	}
+	for _, c := range f {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				a, b := idx[c[i]], idx[c[j]]
+				co[a][b] = true
+				co[b][a] = true
+			}
+		}
+	}
+	// Union-find over the complement: connect every pair NOT
+	// co-occurring. Quadratic in the variable count, which is bounded by
+	// the formula size.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !co[i][j] {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := map[int][]int32{}
+	var order []int
+	for i, v := range vars {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], v)
+	}
+	out := make([][]int32, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// project restricts every clause to the variable group, deduplicating.
+func project(f DNF, group []int32) DNF {
+	in := map[int32]bool{}
+	for _, v := range group {
+		in[v] = true
+	}
+	seen := map[string]bool{}
+	var out DNF
+	for _, c := range f {
+		var p []int32
+		for _, v := range c {
+			if in[v] {
+				p = append(p, v)
+			}
+		}
+		key := clauseKey(p)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// cartesianEqual verifies that the clause set equals the cartesian
+// product of the projections (each clause decomposes into one projected
+// clause per group, and all combinations occur — guaranteed by the
+// count check plus membership of every original clause).
+func cartesianEqual(f DNF, projs []DNF) bool {
+	// Index each projection's clauses.
+	sets := make([]map[string]bool, len(projs))
+	for i, p := range projs {
+		sets[i] = map[string]bool{}
+		for _, c := range p {
+			sets[i][clauseKey(c)] = true
+		}
+	}
+	groups := make([]map[int32]int, len(projs))
+	for i, p := range projs {
+		groups[i] = map[int32]int{}
+		for _, c := range p {
+			for _, v := range c {
+				groups[i][v] = 1
+			}
+		}
+	}
+	for _, c := range f {
+		parts := make([][]int32, len(projs))
+		for _, v := range c {
+			placed := false
+			for i := range groups {
+				if _, ok := groups[i][v]; ok {
+					parts[i] = append(parts[i], v)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return false
+			}
+		}
+		for i := range parts {
+			if !sets[i][clauseKey(parts[i])] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func clauseKey(c []int32) string {
+	b := make([]byte, 0, len(c)*4)
+	for _, v := range c {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}

@@ -1,0 +1,209 @@
+// Package obdd builds reduced ordered binary decision diagrams for
+// monotone DNF lineage — the exact-inference representation of Olteanu
+// and Huang ("Using OBDDs for efficient query evaluation on
+// probabilistic databases", reference [38] of the paper) underlying the
+// SPROUT system the paper compares against.
+//
+// An OBDD fixes a variable order and merges isomorphic subgraphs; its
+// probability is one bottom-up pass. Lineages of safe (hierarchical)
+// queries admit linear-size OBDDs under the right order, while hard
+// lineages blow up — the same dichotomy the paper's dissociation
+// side-steps by never computing exactly.
+package obdd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BDD is a reduced ordered binary decision diagram over the variables
+// in Order. Node ids 0 and 1 are the terminals false and true.
+type BDD struct {
+	// Order maps level -> variable id.
+	Order []int32
+	nodes []node
+	root  int32
+	// unique is the reduction table: (level, lo, hi) -> node id.
+	unique map[[3]int32]int32
+}
+
+type node struct {
+	level  int32 // index into Order; terminals use level = maxLevel
+	lo, hi int32
+}
+
+const (
+	termFalse int32 = 0
+	termTrue  int32 = 1
+)
+
+// ErrTooLarge is returned when construction exceeds the node budget.
+var ErrTooLarge = fmt.Errorf("obdd: node budget exhausted")
+
+// Size returns the number of nodes including the two terminals.
+func (b *BDD) Size() int { return len(b.nodes) }
+
+// Build constructs the reduced OBDD of the monotone DNF under the given
+// variable order (every variable of the formula must appear in order).
+// Construction applies OR over per-clause AND chains with memoization;
+// it fails with ErrTooLarge when the node count exceeds maxNodes.
+func Build(clauses [][]int32, order []int32, maxNodes int) (*BDD, error) {
+	level := map[int32]int32{}
+	for i, v := range order {
+		level[v] = int32(i)
+	}
+	b := &BDD{Order: append([]int32(nil), order...), unique: map[[3]int32]int32{}}
+	sentinel := int32(len(order))
+	b.nodes = []node{{level: sentinel}, {level: sentinel}} // terminals
+	b.root = termFalse
+	maxN := maxNodes
+	for _, c := range clauses {
+		if len(c) == 0 {
+			b.root = termTrue
+			return b, nil
+		}
+		// Clause = AND chain, built bottom-up in descending level order.
+		sorted := append([]int32(nil), c...)
+		sort.Slice(sorted, func(i, j int) bool { return level[sorted[i]] > level[sorted[j]] })
+		cur := termTrue
+		prev := int32(-1)
+		for _, v := range sorted {
+			lv, ok := level[v]
+			if !ok {
+				return nil, fmt.Errorf("obdd: variable %d missing from order", v)
+			}
+			if lv == prev {
+				continue // duplicate variable in clause
+			}
+			prev = lv
+			cur = b.mk(lv, termFalse, cur)
+		}
+		var err error
+		memo := map[[2]int32]int32{}
+		b.root, err = b.or(b.root, cur, memo, maxN)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// mk returns the (reduced, deduplicated) node (level, lo, hi).
+func (b *BDD) mk(level, lo, hi int32) int32 {
+	if lo == hi {
+		return lo
+	}
+	key := [3]int32{level, lo, hi}
+	if id, ok := b.unique[key]; ok {
+		return id
+	}
+	id := int32(len(b.nodes))
+	b.nodes = append(b.nodes, node{level: level, lo: lo, hi: hi})
+	b.unique[key] = id
+	return id
+}
+
+// or applies the OR operation with memoization.
+func (b *BDD) or(u, v int32, memo map[[2]int32]int32, maxNodes int) (int32, error) {
+	if len(b.nodes) > maxNodes {
+		return 0, ErrTooLarge
+	}
+	if u == termTrue || v == termTrue {
+		return termTrue, nil
+	}
+	if u == termFalse {
+		return v, nil
+	}
+	if v == termFalse {
+		return u, nil
+	}
+	if u == v {
+		return u, nil
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]int32{u, v}
+	if r, ok := memo[key]; ok {
+		return r, nil
+	}
+	nu, nv := b.nodes[u], b.nodes[v]
+	var lvl int32
+	var ulo, uhi, vlo, vhi int32
+	switch {
+	case nu.level == nv.level:
+		lvl = nu.level
+		ulo, uhi = nu.lo, nu.hi
+		vlo, vhi = nv.lo, nv.hi
+	case nu.level < nv.level:
+		lvl = nu.level
+		ulo, uhi = nu.lo, nu.hi
+		vlo, vhi = v, v
+	default:
+		lvl = nv.level
+		ulo, uhi = u, u
+		vlo, vhi = nv.lo, nv.hi
+	}
+	lo, err := b.or(ulo, vlo, memo, maxNodes)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := b.or(uhi, vhi, memo, maxNodes)
+	if err != nil {
+		return 0, err
+	}
+	r := b.mk(lvl, lo, hi)
+	memo[key] = r
+	return r, nil
+}
+
+// Prob computes the probability of the BDD being true under the given
+// variable probabilities, in one bottom-up pass.
+func (b *BDD) Prob(probs []float64) float64 {
+	vals := make([]float64, len(b.nodes))
+	vals[termFalse] = 0
+	vals[termTrue] = 1
+	// Nodes were appended after their children, so index order is a
+	// valid evaluation order.
+	for i := 2; i < len(b.nodes); i++ {
+		n := b.nodes[i]
+		p := probs[b.Order[n.level]]
+		vals[i] = (1-p)*vals[n.lo] + p*vals[n.hi]
+	}
+	return vals[b.root]
+}
+
+// FrequencyOrder returns the formula's variables ordered by decreasing
+// clause frequency — a simple but effective heuristic order.
+func FrequencyOrder(clauses [][]int32) []int32 {
+	count := map[int32]int{}
+	var vars []int32
+	for _, c := range clauses {
+		seen := map[int32]bool{}
+		for _, v := range c {
+			if !seen[v] {
+				seen[v] = true
+				count[v]++
+			}
+			if count[v] == 1 && !containsVar(vars, v) {
+				vars = append(vars, v)
+			}
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		if count[vars[i]] != count[vars[j]] {
+			return count[vars[i]] > count[vars[j]]
+		}
+		return vars[i] < vars[j]
+	})
+	return vars
+}
+
+func containsVar(vs []int32, v int32) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

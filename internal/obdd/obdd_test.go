@@ -1,0 +1,205 @@
+package obdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lapushdb/internal/exact"
+)
+
+func TestBuildBasics(t *testing.T) {
+	probs := []float64{0.5, 0.4, 0.7}
+	// F = X0·X1 ∨ X0·X2 (Example 7): P = 0.41.
+	clauses := [][]int32{{0, 1}, {0, 2}}
+	b, err := Build(clauses, FrequencyOrder(clauses), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Prob(probs); math.Abs(got-0.41) > 1e-12 {
+		t.Errorf("P = %v, want 0.41", got)
+	}
+	// Reduced: a handful of nodes only.
+	if b.Size() > 8 {
+		t.Errorf("size = %d, expected a tiny reduced OBDD", b.Size())
+	}
+}
+
+func TestBuildTrivial(t *testing.T) {
+	b, err := Build(nil, nil, 100)
+	if err != nil || b.Prob(nil) != 0 {
+		t.Error("empty formula should be false")
+	}
+	b, err = Build([][]int32{{}}, nil, 100)
+	if err != nil || b.Prob(nil) != 1 {
+		t.Error("empty clause should be true")
+	}
+	// Duplicate variable inside a clause.
+	b, err = Build([][]int32{{0, 0}}, []int32{0}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Prob([]float64{0.3}); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("X·X = %v, want 0.3", got)
+	}
+}
+
+func TestBuildMissingVariableInOrder(t *testing.T) {
+	if _, err := Build([][]int32{{0, 1}}, []int32{0}, 100); err == nil {
+		t.Error("missing variable in order should fail")
+	}
+}
+
+func TestProbMatchesExactRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for iter := 0; iter < 200; iter++ {
+		nvars := 1 + rng.Intn(10)
+		probs := make([]float64, nvars)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		var clauses [][]int32
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			c := make([]int32, 1+rng.Intn(4))
+			for j := range c {
+				c[j] = int32(rng.Intn(nvars))
+			}
+			clauses = append(clauses, c)
+		}
+		b, err := Build(clauses, FrequencyOrder(clauses), 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exact.Prob(clauses, probs)
+		if got := b.Prob(probs); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("iter %d: OBDD %v, exact %v", iter, got, want)
+		}
+	}
+}
+
+func TestQuickAgainstExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nvars := 1 + rng.Intn(8)
+		probs := make([]float64, nvars)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		var clauses [][]int32
+		for i := 0; i < rng.Intn(6); i++ {
+			c := make([]int32, 1+rng.Intn(3))
+			for j := range c {
+				c[j] = int32(rng.Intn(nvars))
+			}
+			clauses = append(clauses, c)
+		}
+		b, err := Build(clauses, FrequencyOrder(clauses), 10_000_000)
+		if err != nil {
+			return false
+		}
+		return math.Abs(b.Prob(probs)-exact.Prob(clauses, probs)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderSensitivity demonstrates the classic OBDD phenomenon the
+// paper's related work hinges on: the formula
+// x1·y1 ∨ x2·y2 ∨ ... has a linear OBDD when each pair is adjacent in
+// the order, but an exponential one when all x's precede all y's.
+func TestOrderSensitivity(t *testing.T) {
+	n := 10
+	var clauses [][]int32
+	var interleaved, separated []int32
+	for i := 0; i < n; i++ {
+		x, y := int32(2*i), int32(2*i+1)
+		clauses = append(clauses, []int32{x, y})
+		interleaved = append(interleaved, x, y)
+	}
+	for i := 0; i < n; i++ {
+		separated = append(separated, int32(2*i))
+	}
+	for i := 0; i < n; i++ {
+		separated = append(separated, int32(2*i+1))
+	}
+	good, err := Build(clauses, interleaved, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Build(clauses, separated, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Size() >= bad.Size() {
+		t.Errorf("interleaved order (%d nodes) should beat separated order (%d nodes)", good.Size(), bad.Size())
+	}
+	if bad.Size() < 1<<(n/2) {
+		t.Errorf("separated order should blow up: %d nodes", bad.Size())
+	}
+	// Both compute the same probability.
+	probs := make([]float64, 2*n)
+	for i := range probs {
+		probs[i] = 0.5
+	}
+	if math.Abs(good.Prob(probs)-bad.Prob(probs)) > 1e-9 {
+		t.Error("orders disagree on the probability")
+	}
+}
+
+func TestBudget(t *testing.T) {
+	n := 14
+	var clauses [][]int32
+	var separated []int32
+	for i := 0; i < n; i++ {
+		clauses = append(clauses, []int32{int32(2 * i), int32(2*i + 1)})
+	}
+	for i := 0; i < n; i++ {
+		separated = append(separated, int32(2*i))
+	}
+	for i := 0; i < n; i++ {
+		separated = append(separated, int32(2*i+1))
+	}
+	if _, err := Build(clauses, separated, 100); err != ErrTooLarge {
+		t.Errorf("expected ErrTooLarge, got %v", err)
+	}
+}
+
+func TestFrequencyOrder(t *testing.T) {
+	clauses := [][]int32{{5, 1}, {5, 2}, {5, 3}, {1, 2}}
+	order := FrequencyOrder(clauses)
+	if order[0] != 5 {
+		t.Errorf("most frequent variable should come first: %v", order)
+	}
+	if len(order) != 4 {
+		t.Errorf("order = %v, want 4 distinct vars", order)
+	}
+}
+
+func BenchmarkOBDDvsExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(82))
+	nvars := 30
+	var clauses [][]int32
+	for i := 0; i < 25; i++ {
+		clauses = append(clauses, []int32{int32(rng.Intn(nvars)), int32(rng.Intn(nvars)), int32(rng.Intn(nvars))})
+	}
+	probs := make([]float64, nvars)
+	for i := range probs {
+		probs[i] = rng.Float64()
+	}
+	b.Run("obdd-build+prob", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bdd, err := Build(clauses, FrequencyOrder(clauses), 50_000_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bdd.Prob(probs)
+		}
+	})
+	b.Run("dpll", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			exact.Prob(clauses, probs)
+		}
+	})
+}

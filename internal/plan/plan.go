@@ -1,0 +1,411 @@
+// Package plan defines probabilistic query plans (Definition 4 of the
+// paper) and their connection to query dissociations (Section 3.2).
+//
+// A plan is a tree of scans, duplicate-eliminating projections, natural
+// joins, and — for the Opt1 merged plan — per-tuple min nodes. Plans carry
+// a canonical string key: join and min children are kept sorted by key, so
+// two plans that differ only in join order compare equal, mirroring the
+// paper's convention that ⋈[P1, P2] = ⋈[P2, P1].
+//
+// Under the extensional score semantics (implemented by internal/engine)
+// every plan for a query q computes an upper bound of P(q); the plan is
+// exact iff it is safe (every join's children share the same head
+// variables).
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lapushdb/internal/cq"
+)
+
+// Node is a query plan node.
+type Node interface {
+	// Head returns the node's head variables in sorted order.
+	Head() []cq.Var
+	// HeadSet returns the node's head variables as a set.
+	HeadSet() cq.VarSet
+	// Key returns the canonical string form of the subplan. Two subplans
+	// are structurally identical (up to join order) iff their keys match.
+	Key() string
+	// Children returns the direct subplans.
+	Children() []Node
+}
+
+// Scan reads one relational atom, applying any pushed-down predicates and
+// constant selections. Its head variables are the variables of the atom.
+type Scan struct {
+	Atom  cq.Atom
+	Preds []cq.Predicate
+	head  []cq.Var
+	key   string
+}
+
+// NewScan builds a scan of the given atom with pushed-down predicates.
+func NewScan(atom cq.Atom, preds []cq.Predicate) *Scan {
+	s := &Scan{Atom: atom, Preds: preds}
+	s.head = append([]cq.Var(nil), atom.Vars()...)
+	sortVars(s.head)
+	var b strings.Builder
+	b.WriteString(atom.String())
+	if len(preds) > 0 {
+		ps := make([]string, len(preds))
+		for i, p := range preds {
+			ps[i] = p.String()
+		}
+		sort.Strings(ps)
+		b.WriteString("[" + strings.Join(ps, " and ") + "]")
+	}
+	s.key = b.String()
+	return s
+}
+
+// Head implements Node.
+func (s *Scan) Head() []cq.Var { return s.head }
+
+// HeadSet implements Node.
+func (s *Scan) HeadSet() cq.VarSet { return cq.NewVarSet(s.head...) }
+
+// Key implements Node.
+func (s *Scan) Key() string { return s.key }
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// Project is the probabilistic duplicate-eliminating projection π^p onto
+// the variables OnTo. Duplicates are combined as independent events:
+// score(t) = 1 − ∏(1 − score(ti)).
+type Project struct {
+	OnTo  []cq.Var
+	Child Node
+	key   string
+}
+
+// NewProject builds a projection of child onto the variables onto. If the
+// projection is trivial (onto equals the child's head) the child itself is
+// returned, which keeps plans in the alternating join/projection normal
+// form of Definition 4.
+func NewProject(onto []cq.Var, child Node) Node {
+	hs := append([]cq.Var(nil), onto...)
+	sortVars(hs)
+	hs = dedupVars(hs)
+	if varsEqual(hs, child.Head()) {
+		return child
+	}
+	p := &Project{OnTo: hs, Child: child}
+	p.key = "π{" + joinVars(hs) + "}(" + child.Key() + ")"
+	return p
+}
+
+// Head implements Node.
+func (p *Project) Head() []cq.Var { return p.OnTo }
+
+// HeadSet implements Node.
+func (p *Project) HeadSet() cq.VarSet { return cq.NewVarSet(p.OnTo...) }
+
+// Key implements Node.
+func (p *Project) Key() string { return p.key }
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Child} }
+
+// Away returns the variables the projection removes, i.e. the child's head
+// variables that are not kept. Used for the paper's project-away notation.
+func (p *Project) Away() []cq.Var {
+	keep := p.HeadSet()
+	var out []cq.Var
+	for _, v := range p.Child.Head() {
+		if !keep.Has(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Join is the k-ary natural join ⋈^p[P1, ..., Pk]; the score of a joined
+// tuple is the product of the children's scores. Children are stored
+// sorted by canonical key.
+type Join struct {
+	Subs []Node
+	head []cq.Var
+	key  string
+}
+
+// NewJoin builds a join. Nested joins are flattened and children sorted by
+// key, producing the canonical form. A single-child join collapses to the
+// child.
+func NewJoin(children ...Node) Node {
+	var flat []Node
+	for _, c := range children {
+		if j, ok := c.(*Join); ok {
+			flat = append(flat, j.Subs...)
+		} else {
+			flat = append(flat, c)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].Key() < flat[j].Key() })
+	j := &Join{Subs: flat}
+	hs := cq.VarSet{}
+	for _, c := range flat {
+		for _, v := range c.Head() {
+			hs.Add(v)
+		}
+	}
+	j.head = hs.Sorted()
+	keys := make([]string, len(flat))
+	for i, c := range flat {
+		keys[i] = c.Key()
+	}
+	j.key = "⋈[" + strings.Join(keys, ", ") + "]"
+	return j
+}
+
+// Head implements Node.
+func (j *Join) Head() []cq.Var { return j.head }
+
+// HeadSet implements Node.
+func (j *Join) HeadSet() cq.VarSet { return cq.NewVarSet(j.head...) }
+
+// Key implements Node.
+func (j *Join) Key() string { return j.key }
+
+// Children implements Node.
+func (j *Join) Children() []Node { return j.Subs }
+
+// Min combines alternative subplans with identical heads by keeping, for
+// every output tuple, the minimum score over the alternatives. It is the
+// operator Opt1 (Algorithm 2) pushes into the plan to merge all minimal
+// plans into a single one.
+type Min struct {
+	Subs []Node
+	key  string
+}
+
+// NewMin builds a min node over alternatives that must all have the same
+// head variables. Duplicate alternatives (same canonical key) are removed;
+// a single remaining alternative collapses to itself.
+func NewMin(children ...Node) Node {
+	seen := map[string]bool{}
+	var uniq []Node
+	for _, c := range children {
+		if m, ok := c.(*Min); ok {
+			for _, cc := range m.Subs {
+				if !seen[cc.Key()] {
+					seen[cc.Key()] = true
+					uniq = append(uniq, cc)
+				}
+			}
+			continue
+		}
+		if !seen[c.Key()] {
+			seen[c.Key()] = true
+			uniq = append(uniq, c)
+		}
+	}
+	if len(uniq) == 1 {
+		return uniq[0]
+	}
+	for _, c := range uniq[1:] {
+		if !varsEqual(c.Head(), uniq[0].Head()) {
+			panic(fmt.Sprintf("plan: min over different heads %v vs %v", uniq[0].Head(), c.Head()))
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].Key() < uniq[j].Key() })
+	m := &Min{Subs: uniq}
+	keys := make([]string, len(uniq))
+	for i, c := range uniq {
+		keys[i] = c.Key()
+	}
+	m.key = "min[" + strings.Join(keys, ", ") + "]"
+	return m
+}
+
+// Head implements Node.
+func (m *Min) Head() []cq.Var { return m.Subs[0].Head() }
+
+// HeadSet implements Node.
+func (m *Min) HeadSet() cq.VarSet { return m.Subs[0].HeadSet() }
+
+// Key implements Node.
+func (m *Min) Key() string { return m.key }
+
+// Children implements Node.
+func (m *Min) Children() []Node { return m.Subs }
+
+// IsSafe reports whether the plan is safe (Definition 5): every join's
+// children have pairwise equal head variables. Safe plans compute the
+// exact query probability (Proposition 6). The query's head variables act
+// as per-answer constants, so children may differ on them; pass the
+// query's head set (or nil for a Boolean query's plan).
+func IsSafe(n Node, head cq.VarSet) bool {
+	switch t := n.(type) {
+	case *Scan:
+		return true
+	case *Project:
+		return IsSafe(t.Child, head)
+	case *Join:
+		first := t.Subs[0].HeadSet().Minus(head)
+		for _, c := range t.Subs[1:] {
+			if !c.HeadSet().Minus(head).Equal(first) {
+				return false
+			}
+		}
+		for _, c := range t.Subs {
+			if !IsSafe(c, head) {
+				return false
+			}
+		}
+		return true
+	case *Min:
+		for _, c := range t.Subs {
+			if !IsSafe(c, head) {
+				return false
+			}
+		}
+		return true
+	default:
+		panic("plan: unknown node type")
+	}
+}
+
+// Relations returns the relation symbols of all atoms beneath the node, in
+// sorted order.
+func Relations(n Node) []string {
+	set := map[string]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		if s, ok := n.(*Scan); ok {
+			set[s.Atom.Rel] = true
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Atoms returns the scan atoms beneath the node.
+func Atoms(n Node) []cq.Atom {
+	var out []cq.Atom
+	var walk func(Node)
+	walk = func(n Node) {
+		if s, ok := n.(*Scan); ok {
+			out = append(out, s.Atom)
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Size returns the number of nodes in the plan.
+func Size(n Node) int {
+	total := 1
+	for _, c := range n.Children() {
+		total += Size(c)
+	}
+	return total
+}
+
+// String renders the plan in the paper's project-away notation, e.g.
+// "π-x ⋈[R(x), S(x), π-y ⋈[T(x, y), U(y)]]".
+func String(n Node) string {
+	switch t := n.(type) {
+	case *Scan:
+		return t.key
+	case *Project:
+		return "π-" + joinVars(t.Away()) + " " + String(t.Child)
+	case *Join:
+		parts := make([]string, len(t.Subs))
+		for i, c := range t.Subs {
+			parts[i] = String(c)
+		}
+		return "⋈[" + strings.Join(parts, ", ") + "]"
+	case *Min:
+		parts := make([]string, len(t.Subs))
+		for i, c := range t.Subs {
+			parts[i] = String(c)
+		}
+		return "min[" + strings.Join(parts, ", ") + "]"
+	default:
+		panic("plan: unknown node type")
+	}
+}
+
+// CommonSubplans returns, for every subplan key that occurs more than once
+// in the plan, the number of occurrences and one representative node. This
+// is the paper's Opt2 view detection (Algorithm 3): each such subplan is
+// worth materializing once and reusing.
+func CommonSubplans(n Node) map[string]Node {
+	count := map[string]int{}
+	repr := map[string]Node{}
+	var walk func(Node)
+	walk = func(n Node) {
+		if _, ok := n.(*Scan); ok {
+			return // scans are base tables, not views
+		}
+		count[n.Key()]++
+		repr[n.Key()] = n
+		if count[n.Key()] > 1 {
+			return // children already counted on first visit
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	out := map[string]Node{}
+	for k, c := range count {
+		if c > 1 {
+			out[k] = repr[k]
+		}
+	}
+	return out
+}
+
+func sortVars(vs []cq.Var) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+}
+
+func dedupVars(vs []cq.Var) []cq.Var {
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || vs[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func varsEqual(a, b []cq.Var) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func joinVars(vs []cq.Var) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = string(v)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,354 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"lapushdb/internal/cq"
+)
+
+func scanOf(q *cq.Query, rel string) *Scan {
+	a := q.Atom(rel)
+	return NewScan(*a, q.PredsOnAtom(*a))
+}
+
+func TestJoinCanonicalOrder(t *testing.T) {
+	q := cq.MustParse("q() :- R(x), S(x)")
+	r, s := scanOf(q, "R"), scanOf(q, "S")
+	j1 := NewJoin(r, s)
+	j2 := NewJoin(s, r)
+	if j1.Key() != j2.Key() {
+		t.Errorf("join order changed key: %q vs %q", j1.Key(), j2.Key())
+	}
+}
+
+func TestJoinFlattens(t *testing.T) {
+	q := cq.MustParse("q() :- R(x), S(x), T(x)")
+	j := NewJoin(NewJoin(scanOf(q, "R"), scanOf(q, "S")), scanOf(q, "T"))
+	if jj, ok := j.(*Join); !ok || len(jj.Subs) != 3 {
+		t.Errorf("nested join did not flatten: %v", String(j))
+	}
+}
+
+func TestProjectTrivialCollapses(t *testing.T) {
+	q := cq.MustParse("q() :- R(x, y)")
+	s := scanOf(q, "R")
+	p := NewProject([]cq.Var{"x", "y"}, s)
+	if p != Node(s) {
+		t.Error("trivial projection should collapse to the child")
+	}
+	p = NewProject([]cq.Var{"x"}, s)
+	if _, ok := p.(*Project); !ok {
+		t.Error("nontrivial projection should stay")
+	}
+	if got := p.(*Project).Away(); len(got) != 1 || got[0] != "y" {
+		t.Errorf("away = %v, want [y]", got)
+	}
+}
+
+func TestMinDedup(t *testing.T) {
+	q := cq.MustParse("q() :- R(x, y)")
+	a := NewProject([]cq.Var{"x"}, scanOf(q, "R"))
+	b := NewProject([]cq.Var{"x"}, scanOf(q, "R"))
+	m := NewMin(a, b)
+	if m.Key() != a.Key() {
+		t.Errorf("min of identical plans should collapse, got %q", m.Key())
+	}
+}
+
+func TestMinRequiresEqualHeads(t *testing.T) {
+	q := cq.MustParse("q() :- R(x, y)")
+	a := NewProject([]cq.Var{"x"}, scanOf(q, "R"))
+	b := NewProject([]cq.Var{"y"}, scanOf(q, "R"))
+	defer func() {
+		if recover() == nil {
+			t.Error("min over different heads should panic")
+		}
+	}()
+	NewMin(a, b)
+}
+
+func TestIsSafe(t *testing.T) {
+	// Safe plan for q1(z) :- R(z, x), S(x, y), K(x, y) from the intro:
+	// P1 = πz(R ⋈x (πx(S ⋈xy K))).
+	q := cq.MustParse("q(z) :- R(z, x), S(x, y), K(x, y)")
+	inner := NewProject([]cq.Var{"x"}, NewJoin(scanOf(q, "S"), scanOf(q, "K")))
+	p := NewProject([]cq.Var{"z"}, NewJoin(scanOf(q, "R"), inner))
+	// R has head {x, z}, inner has head {x}: the heads differ only on the
+	// query's head variable z, which acts as a per-answer constant, so the
+	// plan is safe for head {z}...
+	if !IsSafe(p, cq.NewVarSet("z")) {
+		t.Error("safe plan of q1 not recognized as safe modulo head vars")
+	}
+	// ...but read as a Boolean plan (no head variables) the same tree has
+	// genuinely unequal join heads and is unsafe.
+	if IsSafe(p, nil) {
+		t.Error("plan should be unsafe without head-variable knowledge")
+	}
+	// The Boolean version with z dropped is the safe plan shape.
+	qb := cq.MustParse("q() :- R(x), S(x, y), K(x, y)")
+	innerB := NewProject([]cq.Var{"x"}, NewJoin(scanOf(qb, "S"), scanOf(qb, "K")))
+	pb := NewProject([]cq.Var{}, NewJoin(scanOf(qb, "R"), innerB))
+	if !IsSafe(pb, nil) {
+		t.Errorf("plan %s should be safe", String(pb))
+	}
+}
+
+func TestRelationsAndAtoms(t *testing.T) {
+	q := cq.MustParse("q() :- R(x), S(x, y), T(y)")
+	p := NewProject(nil, NewJoin(scanOf(q, "R"), NewProject([]cq.Var{"x"}, NewJoin(scanOf(q, "S"), scanOf(q, "T")))))
+	rels := Relations(p)
+	if len(rels) != 3 || rels[0] != "R" || rels[1] != "S" || rels[2] != "T" {
+		t.Errorf("relations = %v", rels)
+	}
+	if got := len(Atoms(p)); got != 3 {
+		t.Errorf("atoms = %d, want 3", got)
+	}
+	if Size(p) < 5 {
+		t.Errorf("size = %d, want >= 5", Size(p))
+	}
+}
+
+func TestDissociationOrder(t *testing.T) {
+	d1 := NewDissociation()
+	d1.Add("R", "y")
+	d2 := NewDissociation()
+	d2.Add("R", "y")
+	d2.Add("T", "x")
+	if !d1.LE(d2) || d2.LE(d1) {
+		t.Error("partial order wrong")
+	}
+	if !d1.LE(d1) || !d1.Equal(d1) {
+		t.Error("reflexivity failed")
+	}
+	if d1.Equal(d2) {
+		t.Error("distinct dissociations equal")
+	}
+	if d1.IsEmpty() || !NewDissociation().IsEmpty() {
+		t.Error("IsEmpty wrong")
+	}
+}
+
+func TestDissociationPreorderDRs(t *testing.T) {
+	// Example 23: with T deterministic, ∆2 = {T^x} is ≡p to ∆0 = ∅.
+	isProb := func(rel string) bool { return rel != "T" }
+	d0 := NewDissociation()
+	d2 := NewDissociation()
+	d2.Add("T", "x")
+	if !d0.LEProb(d2, isProb) || !d2.LEProb(d0, isProb) {
+		t.Error("∆0 and ∆2 should be ≡p when T is deterministic")
+	}
+	d1 := NewDissociation()
+	d1.Add("R", "y")
+	if d1.LEProb(d0, isProb) {
+		t.Error("∆1 dissociates probabilistic R, not ⪯p ∆0")
+	}
+}
+
+func TestDissociationPreorderFDs(t *testing.T) {
+	// With FD x→y, dissociating R(x) on y does not change the probability.
+	closure := func(rel string) cq.VarSet {
+		if rel == "R" {
+			return cq.NewVarSet("x", "y")
+		}
+		return cq.NewVarSet()
+	}
+	isProb := func(string) bool { return true }
+	d0 := NewDissociation()
+	d1 := NewDissociation()
+	d1.Add("R", "y")
+	if !d1.LEProbFD(d0, isProb, closure) {
+		t.Error("R^y should be ≡p' ∅ under FD x→y")
+	}
+}
+
+func TestApplyDissociation(t *testing.T) {
+	q := cq.MustParse("q() :- R(x), S(x, y)")
+	d := NewDissociation()
+	d.Add("R", "y")
+	dq := d.Apply(q)
+	if len(dq.Atoms[0].Args) != 2 {
+		t.Errorf("dissociated R should have 2 args, got %v", dq.Atoms[0])
+	}
+	if !dq.IsHierarchical() {
+		t.Error("R^y(x,y), S(x,y) should be hierarchical")
+	}
+	if !d.IsSafeFor(q) {
+		t.Error("dissociation should be safe")
+	}
+}
+
+func TestDeltaOfPaperExample(t *testing.T) {
+	// Section 3.2: P''2 = πz((πzy(R ⋈x S)) ⋈y T) for
+	// q2(z) :- R(z,x), S(x,y), T(y) corresponds to ∆ = {R^{y}}
+	// (the contribution JVar−HVar = {z} to T is a head variable and is
+	// dropped).
+	q := cq.MustParse("q(z) :- R(z, x), S(x, y), T(y)")
+	inner := NewProject([]cq.Var{"y", "z"}, NewJoin(scanOf(q, "R"), scanOf(q, "S")))
+	p := NewProject([]cq.Var{"z"}, NewJoin(inner, scanOf(q, "T")))
+	d := DeltaOf(q, p)
+	want := NewDissociation()
+	want.Add("R", "y")
+	if !d.Equal(want) {
+		t.Errorf("∆P = %s, want %s", d, want)
+	}
+
+	// P'2 = πz(R ⋈x (πx(S ⋈xy T))) corresponds to ∆ = {T^{x}}.
+	inner2 := NewProject([]cq.Var{"x"}, NewJoin(scanOf(q, "S"), scanOf(q, "T")))
+	p2 := NewProject([]cq.Var{"z"}, NewJoin(scanOf(q, "R"), inner2))
+	d2 := DeltaOf(q, p2)
+	want2 := NewDissociation()
+	want2.Add("T", "x")
+	if !d2.Equal(want2) {
+		t.Errorf("∆P' = %s, want %s", d2, want2)
+	}
+}
+
+func TestPlanOfInvertsDeltaOf(t *testing.T) {
+	// Theorem 18(1): ∆ -> P∆ and P -> ∆P are inverses.
+	q := cq.MustParse("q(z) :- R(z, x), S(x, y), T(y)")
+	for _, mk := range []func() Dissociation{
+		func() Dissociation { d := NewDissociation(); d.Add("R", "y"); return d },
+		func() Dissociation { d := NewDissociation(); d.Add("T", "x"); return d },
+	} {
+		d := mk()
+		p, err := PlanOf(q, d)
+		if err != nil {
+			t.Fatalf("PlanOf(%s): %v", d, err)
+		}
+		back := DeltaOf(q, p)
+		if !back.Equal(d) {
+			t.Errorf("DeltaOf(PlanOf(%s)) = %s", d, back)
+		}
+	}
+}
+
+func TestPlanOfUnsafeFails(t *testing.T) {
+	q := cq.MustParse("q() :- R(x), S(x, y), T(y)")
+	if _, err := PlanOf(q, NewDissociation()); err == nil {
+		t.Error("empty dissociation of an unsafe query should fail")
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	q := cq.MustParse("q() :- R(x), S(x, y), T(y)")
+	inner := NewProject([]cq.Var{"x"}, NewJoin(scanOf(q, "S"), scanOf(q, "T")))
+	p := NewProject([]cq.Var{}, NewJoin(scanOf(q, "R"), inner))
+	s := String(p)
+	if !strings.Contains(s, "π-x") || !strings.Contains(s, "⋈[") {
+		t.Errorf("rendering = %q", s)
+	}
+}
+
+func TestCommonSubplans(t *testing.T) {
+	q := cq.MustParse("q() :- R(x), S(x, y), T(y)")
+	shared := NewProject([]cq.Var{"x"}, NewJoin(scanOf(q, "S"), scanOf(q, "T")))
+	p := NewMin(
+		NewProject([]cq.Var{}, NewJoin(scanOf(q, "R"), shared)),
+		NewProject([]cq.Var{}, NewJoin(scanOf(q, "R"), NewProject(nil, shared))),
+	)
+	common := CommonSubplans(p)
+	if _, ok := common[shared.Key()]; !ok {
+		t.Errorf("shared subplan not detected; common = %v", keysOf(common))
+	}
+}
+
+func keysOf(m map[string]Node) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestMinNodeAccessors(t *testing.T) {
+	q := cq.MustParse("q() :- R(x, y), S(x, y)")
+	a := NewProject([]cq.Var{"x"}, scanOf(q, "R"))
+	b := NewProject([]cq.Var{"x"}, scanOf(q, "S"))
+	m := NewMin(a, b)
+	mm, ok := m.(*Min)
+	if !ok {
+		t.Fatalf("expected *Min, got %T", m)
+	}
+	if got := mm.Head(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("min head = %v", got)
+	}
+	if !mm.HeadSet().Equal(cq.NewVarSet("x")) {
+		t.Errorf("min head set = %v", mm.HeadSet())
+	}
+	if len(mm.Children()) != 2 {
+		t.Errorf("children = %d", len(mm.Children()))
+	}
+	// String and IsSafe walk min nodes.
+	if s := String(m); !strings.Contains(s, "min[") {
+		t.Errorf("string = %q", s)
+	}
+	if !IsSafe(m, nil) {
+		t.Error("min of safe subplans is safe")
+	}
+}
+
+func TestScanWithPredicatesKey(t *testing.T) {
+	q := cq.MustParse("q(a) :- S(s, a), s <= 10, a like '%x%'")
+	s1 := scanOf(q, "S")
+	s2 := scanOf(q, "S")
+	if s1.Key() != s2.Key() {
+		t.Error("identical scans must share a key")
+	}
+	if !strings.Contains(s1.Key(), "s <= 10") {
+		t.Errorf("predicates missing from key: %q", s1.Key())
+	}
+	// Scans with different predicates differ.
+	q2 := cq.MustParse("q(a) :- S(s, a), s <= 11")
+	if scanOf(q2, "S").Key() == s1.Key() {
+		t.Error("different predicates must change the key")
+	}
+}
+
+func TestDissociationKeyOrdering(t *testing.T) {
+	d := NewDissociation()
+	d.Add("B", "y")
+	d.Add("A", "x")
+	d.Add("A", "z")
+	if got := d.Key(); got != "{A^{x, z}, B^{y}}" {
+		t.Errorf("key = %q", got)
+	}
+}
+
+func TestLEProbFDBothDirections(t *testing.T) {
+	closure := func(rel string) cq.VarSet {
+		if rel == "R" {
+			return cq.NewVarSet("x", "y")
+		}
+		return cq.NewVarSet()
+	}
+	isProb := func(string) bool { return true }
+	// R^z is NOT in R's closure: order must be strict.
+	dz := NewDissociation()
+	dz.Add("R", "z")
+	d0 := NewDissociation()
+	if dz.LEProbFD(d0, isProb, closure) {
+		t.Error("R^z should not be ⪯p' the empty dissociation")
+	}
+	if !d0.LEProbFD(dz, isProb, closure) {
+		t.Error("∅ should be ⪯p' every dissociation")
+	}
+	// Deterministic relation extras are ignored entirely.
+	det := NewDissociation()
+	det.Add("D", "w")
+	if !det.LEProbFD(d0, func(rel string) bool { return rel != "D" }, closure) {
+		t.Error("deterministic extras should not affect ⪯p'")
+	}
+}
+
+func TestStripMinNode(t *testing.T) {
+	// Strip over a Min plan of a chased query: heads stay aligned.
+	q := cq.MustParse("q() :- R(x), S(x, y), T(y)")
+	a := NewProject(nil, NewJoin(scanOf(q, "R"), NewProject([]cq.Var{"x"}, NewJoin(scanOf(q, "S"), scanOf(q, "T")))))
+	b := NewProject(nil, NewJoin(scanOf(q, "T"), NewProject([]cq.Var{"y"}, NewJoin(scanOf(q, "S"), scanOf(q, "R")))))
+	m := NewMin(a, b)
+	stripped := Strip(q, m)
+	if stripped.Key() != m.Key() {
+		t.Errorf("strip of an unchased plan should be identity:\n%s\n%s", m.Key(), stripped.Key())
+	}
+}

@@ -1,0 +1,102 @@
+package rank
+
+import (
+	"math"
+	"sort"
+)
+
+// KendallTau returns Kendall's τ-b rank correlation between two score
+// vectors over the same answers (aligned by index), with the standard
+// tie correction: τ-b = (C − D) / sqrt((n0 − n1)(n0 − n2)) where C/D
+// count concordant/discordant pairs, n0 = n(n−1)/2, and n1, n2 the tie
+// corrections of each ranking. Returns 0 when either ranking is
+// constant. Complements MAP@10: MAP looks at the top of the ranking,
+// τ-b at the whole permutation.
+func KendallTau(a, b []float64) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 0
+	}
+	var concordant, discordant, tiesA, tiesB float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			switch {
+			case da == 0 && db == 0:
+				// Tied in both: contributes to neither.
+			case da == 0:
+				tiesA++
+			case db == 0:
+				tiesB++
+			case (da > 0) == (db > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	n0 := float64(n*(n-1)) / 2
+	denom := math.Sqrt((n0 - tiesA) * (n0 - tiesB))
+	if denom == 0 {
+		return 0
+	}
+	return (concordant - discordant) / denom
+}
+
+// SpearmanRho returns Spearman's rank correlation between two score
+// vectors, using average ranks for ties (the Pearson correlation of the
+// rank vectors). Returns 0 when either ranking is constant.
+func SpearmanRho(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ra := averageRanks(a)
+	rb := averageRanks(b)
+	return pearson(ra, rb)
+}
+
+// averageRanks assigns ranks 1..n by descending score, giving tied
+// scores the mean of their positions.
+func averageRanks(scores []float64) []float64 {
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return scores[idx[i]] > scores[idx[j]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // mean of positions i+1..j
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j
+	}
+	return ranks
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

@@ -1,0 +1,90 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKendallTauBasics(t *testing.T) {
+	a := []float64{4, 3, 2, 1}
+	if got := KendallTau(a, a); math.Abs(got-1) > eps {
+		t.Errorf("identical = %v, want 1", got)
+	}
+	rev := []float64{1, 2, 3, 4}
+	if got := KendallTau(a, rev); math.Abs(got+1) > eps {
+		t.Errorf("reversed = %v, want -1", got)
+	}
+	if got := KendallTau(a, []float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("constant = %v, want 0", got)
+	}
+	if got := KendallTau(nil, nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := KendallTau(a, a[:2]); got != 0 {
+		t.Errorf("mismatched lengths = %v", got)
+	}
+}
+
+func TestKendallTauKnownValue(t *testing.T) {
+	// One discordant pair among 6: τ = (5 − 1)/6 = 2/3.
+	a := []float64{4, 3, 2, 1}
+	b := []float64{4, 3, 1, 2}
+	if got := KendallTau(a, b); math.Abs(got-2.0/3.0) > eps {
+		t.Errorf("τ = %v, want 2/3", got)
+	}
+}
+
+func TestSpearmanBasics(t *testing.T) {
+	a := []float64{4, 3, 2, 1}
+	if got := SpearmanRho(a, a); math.Abs(got-1) > eps {
+		t.Errorf("identical = %v", got)
+	}
+	rev := []float64{1, 2, 3, 4}
+	if got := SpearmanRho(a, rev); math.Abs(got+1) > eps {
+		t.Errorf("reversed = %v", got)
+	}
+	if got := SpearmanRho(a, []float64{7, 7, 7, 7}); got != 0 {
+		t.Errorf("constant = %v", got)
+	}
+}
+
+func TestAverageRanksTies(t *testing.T) {
+	r := averageRanks([]float64{0.9, 0.5, 0.5, 0.1})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if math.Abs(r[i]-want[i]) > eps {
+			t.Errorf("rank[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+}
+
+// TestCorrelationBounds: both coefficients live in [-1, 1] and are
+// invariant under strictly monotone transforms of either ranking.
+func TestCorrelationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = float64(rng.Intn(5))
+			b[i] = rng.Float64()
+		}
+		tau := KendallTau(a, b)
+		rho := SpearmanRho(a, b)
+		if tau < -1-eps || tau > 1+eps || rho < -1-eps || rho > 1+eps {
+			return false
+		}
+		// Monotone transform of a: same coefficients.
+		a2 := make([]float64, n)
+		for i := range a {
+			a2[i] = a[i]*3 + 7
+		}
+		return math.Abs(KendallTau(a2, b)-tau) < 1e-9 && math.Abs(SpearmanRho(a2, b)-rho) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package rank implements the ranking-quality metrics of the paper's
+// experiments (Section 5): average precision at 10 with analytic handling
+// of tied scores (the method of McSherry & Najork), MAP over repeated
+// experiments, and the random-ranking baseline.
+//
+// AP@10 is defined as (Σ_{k=1..10} P@k) / 10 where P@k is the fraction of
+// the top-k answers according to the ground truth that also appear in the
+// top k of the evaluated ranking. Ties — in either ranking — are treated
+// as randomly ordered, and the metric computed in expectation: each
+// answer receives an inclusion probability for the top k, and the
+// expected overlap is the sum of products of inclusion probabilities.
+package rank
+
+import "math"
+
+// InclusionWeights returns, for every answer, the probability that it
+// lands in the top k when answers are ordered by descending score and
+// ties are broken uniformly at random. Answers in tie groups entirely
+// above the cut get weight 1, the group straddling the cut shares the
+// remaining slots uniformly, everything below gets 0.
+func InclusionWeights(scores []float64, k int) []float64 {
+	n := len(scores)
+	w := make([]float64, n)
+	if k <= 0 {
+		return w
+	}
+	if k >= n {
+		for i := range w {
+			w[i] = 1
+		}
+		return w
+	}
+	// Group by score value.
+	type group struct {
+		score float64
+		idx   []int
+	}
+	byScore := map[float64][]int{}
+	for i, s := range scores {
+		byScore[s] = append(byScore[s], i)
+	}
+	groups := make([]group, 0, len(byScore))
+	for s, idx := range byScore {
+		groups = append(groups, group{s, idx})
+	}
+	// Sort groups by descending score.
+	for i := 1; i < len(groups); i++ {
+		for j := i; j > 0 && groups[j].score > groups[j-1].score; j-- {
+			groups[j], groups[j-1] = groups[j-1], groups[j]
+		}
+	}
+	remaining := k
+	for _, g := range groups {
+		if remaining <= 0 {
+			break
+		}
+		if len(g.idx) <= remaining {
+			for _, i := range g.idx {
+				w[i] = 1
+			}
+			remaining -= len(g.idx)
+			continue
+		}
+		share := float64(remaining) / float64(len(g.idx))
+		for _, i := range g.idx {
+			w[i] = share
+		}
+		remaining = 0
+	}
+	return w
+}
+
+// PrecisionAtK returns the expected P@k of the ranking `ret` against the
+// ground truth `gt` (two score slices over the same answers, aligned by
+// index), with ties in both rankings randomized independently.
+func PrecisionAtK(gt, ret []float64, k int) float64 {
+	if k <= 0 || len(gt) == 0 {
+		return 0
+	}
+	wg := InclusionWeights(gt, k)
+	wr := InclusionWeights(ret, k)
+	overlap := 0.0
+	for i := range wg {
+		overlap += wg[i] * wr[i]
+	}
+	return overlap / float64(k)
+}
+
+// AveragePrecision returns AP@K = (Σ_{k=1..K} P@k) / K.
+func AveragePrecision(gt, ret []float64, K int) float64 {
+	if K <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for k := 1; k <= K; k++ {
+		sum += PrecisionAtK(gt, ret, k)
+	}
+	return sum / float64(K)
+}
+
+// RandomAP returns the expected AP@K of a ranking in which all n answers
+// are tied — the paper's "random average precision" baseline (≈ 0.220
+// for n = 25, K = 10).
+func RandomAP(n, K int) float64 {
+	if n == 0 || K <= 0 {
+		return 0
+	}
+	ret := make([]float64, n)
+	gt := make([]float64, n)
+	for i := range gt {
+		gt[i] = float64(n - i)
+	}
+	return AveragePrecision(gt, ret, K)
+}
+
+// MAP returns the mean of the given AP values.
+func MAP(aps []float64) float64 {
+	if len(aps) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, a := range aps {
+		sum += a
+	}
+	return sum / float64(len(aps))
+}
+
+// Stddev returns the sample standard deviation of the values (0 for
+// fewer than two values).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mean := MAP(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}

@@ -1,0 +1,145 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func TestInclusionWeightsNoTies(t *testing.T) {
+	scores := []float64{0.9, 0.5, 0.7, 0.1}
+	w := InclusionWeights(scores, 2)
+	want := []float64{1, 0, 1, 0}
+	for i := range w {
+		if math.Abs(w[i]-want[i]) > eps {
+			t.Errorf("w[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+}
+
+func TestInclusionWeightsTies(t *testing.T) {
+	// Three answers tied at 0.5 competing for one remaining slot.
+	scores := []float64{0.9, 0.5, 0.5, 0.5}
+	w := InclusionWeights(scores, 2)
+	if w[0] != 1 {
+		t.Errorf("w[0] = %v", w[0])
+	}
+	for i := 1; i < 4; i++ {
+		if math.Abs(w[i]-1.0/3.0) > eps {
+			t.Errorf("w[%d] = %v, want 1/3", i, w[i])
+		}
+	}
+}
+
+func TestInclusionWeightsSumToK(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		scores := make([]float64, n)
+		for i := range scores {
+			// Few distinct values force ties.
+			scores[i] = float64(rng.Intn(4))
+		}
+		k := 1 + rng.Intn(n)
+		w := InclusionWeights(scores, k)
+		sum := 0.0
+		for _, x := range w {
+			sum += x
+		}
+		return math.Abs(sum-float64(min(k, n))) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerfectRankingAP(t *testing.T) {
+	gt := []float64{0.9, 0.8, 0.7, 0.6, 0.5}
+	if got := AveragePrecision(gt, gt, 3); math.Abs(got-1) > eps {
+		t.Errorf("AP of identical ranking = %v, want 1", got)
+	}
+	// Any strictly monotone transform of the scores keeps AP = 1.
+	ret := []float64{90, 80, 70, 60, 50}
+	if got := AveragePrecision(gt, ret, 3); math.Abs(got-1) > eps {
+		t.Errorf("AP of order-equal ranking = %v, want 1", got)
+	}
+}
+
+func TestReversedRankingLow(t *testing.T) {
+	n := 20
+	gt := make([]float64, n)
+	ret := make([]float64, n)
+	for i := range gt {
+		gt[i] = float64(n - i)
+		ret[i] = float64(i)
+	}
+	ap := AveragePrecision(gt, ret, 10)
+	if ap > 0.5 {
+		t.Errorf("AP of reversed ranking = %v, want low", ap)
+	}
+}
+
+func TestRandomAPBaseline(t *testing.T) {
+	// The paper: random average precision for 25 answers ≈ 0.220.
+	got := RandomAP(25, 10)
+	if math.Abs(got-0.22) > 1e-9 {
+		t.Errorf("RandomAP(25, 10) = %v, want 0.22", got)
+	}
+}
+
+func TestAPBetweenRandomAndPerfect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 11 + rng.Intn(20)
+		gt := make([]float64, n)
+		ret := make([]float64, n)
+		for i := range gt {
+			gt[i] = rng.Float64()
+			ret[i] = rng.Float64()
+		}
+		ap := AveragePrecision(gt, ret, 10)
+		return ap >= 0 && ap <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMAPAndStddev(t *testing.T) {
+	if got := MAP([]float64{0.2, 0.4, 0.6}); math.Abs(got-0.4) > eps {
+		t.Errorf("MAP = %v", got)
+	}
+	if got := MAP(nil); got != 0 {
+		t.Errorf("MAP(nil) = %v", got)
+	}
+	if got := Stddev([]float64{1, 1, 1}); got != 0 {
+		t.Errorf("Stddev const = %v", got)
+	}
+	if got := Stddev([]float64{0, 2}); math.Abs(got-math.Sqrt(2)) > eps {
+		t.Errorf("Stddev = %v", got)
+	}
+}
+
+func TestPrecisionEdgeCases(t *testing.T) {
+	if got := PrecisionAtK(nil, nil, 3); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := PrecisionAtK([]float64{1}, []float64{1}, 0); got != 0 {
+		t.Errorf("k=0 = %v", got)
+	}
+	// k larger than n: everything is in both top-k sets.
+	gt := []float64{0.5, 0.2}
+	if got := PrecisionAtK(gt, gt, 5); math.Abs(got-2.0/5.0) > eps {
+		t.Errorf("k>n = %v, want 0.4", got)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

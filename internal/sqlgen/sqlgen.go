@@ -1,0 +1,342 @@
+// Package sqlgen renders probabilistic query plans to SQL — the artifact
+// the paper's implementation generates (in Java) and ships to PostgreSQL
+// or SQL Server. Each plan node becomes a SELECT:
+//
+//   - a scan reads the base table with its probability column and any
+//     pushed-down predicates;
+//   - a join multiplies the children's probabilities;
+//   - a probabilistic projection groups by the kept variables and
+//     combines duplicates as independent events with the standard
+//     1 − EXP(SUM(LN(1 − p))) aggregate;
+//   - a min node joins its alternatives on the head variables and takes
+//     LEAST of their probabilities (Optimization 1);
+//   - common subplans are emitted once as CTEs and referenced by name
+//     (Optimization 2, Algorithm 3).
+//
+// The generated SQL is not executed by this repository (the in-memory
+// engine plays the database's role) but is tested for structure and kept
+// byte-stable so it can be diffed against a real DBMS setup.
+package sqlgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lapushdb/internal/cq"
+	"lapushdb/internal/plan"
+)
+
+// Schema supplies the physical column names of a relation, in atom
+// argument order. The probability column is assumed to be named "p".
+type Schema func(rel string) []string
+
+// DefaultSchema names columns c0, c1, ... for every relation.
+func DefaultSchema(q *cq.Query) Schema {
+	arity := map[string]int{}
+	for _, a := range q.Atoms {
+		arity[a.Rel] = len(a.Args)
+	}
+	return func(rel string) []string {
+		cols := make([]string, arity[rel])
+		for i := range cols {
+			cols[i] = fmt.Sprintf("c%d", i)
+		}
+		return cols
+	}
+}
+
+// Generate renders the plan as a single SQL statement. Common subplans
+// that occur more than once become CTEs in dependency order.
+func Generate(q *cq.Query, p plan.Node, schema Schema) string {
+	if schema == nil {
+		schema = DefaultSchema(q)
+	}
+	g := &gen{q: q, schema: schema, views: map[string]string{}}
+	// Detect shared subplans (Opt2): assign view names in inside-out
+	// order so later views can reference earlier ones.
+	common := plan.CommonSubplans(p)
+	type sized struct {
+		key  string
+		node plan.Node
+	}
+	var order []sized
+	for k, n := range common {
+		order = append(order, sized{k, n})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		si, sj := plan.Size(order[i].node), plan.Size(order[j].node)
+		if si != sj {
+			return si < sj
+		}
+		return order[i].key < order[j].key
+	})
+	var ctes []string
+	for i, s := range order {
+		name := fmt.Sprintf("v%d", i+1)
+		body := g.sql(s.node) // views may reference previously named views
+		g.views[s.key] = name
+		ctes = append(ctes, fmt.Sprintf("%s AS (\n%s\n)", name, indent(body, 2)))
+	}
+	body := g.sql(p)
+	if len(ctes) == 0 {
+		return body
+	}
+	return "WITH " + strings.Join(ctes, ",\n") + "\n" + body
+}
+
+type gen struct {
+	q      *cq.Query
+	schema Schema
+	views  map[string]string
+	alias  int
+}
+
+func (g *gen) nextAlias() string {
+	g.alias++
+	return fmt.Sprintf("t%d", g.alias)
+}
+
+// sql renders a node as a full SELECT statement.
+func (g *gen) sql(n plan.Node) string {
+	if name, ok := g.views[n.Key()]; ok {
+		return "SELECT * FROM " + name
+	}
+	switch t := n.(type) {
+	case *plan.Scan:
+		return g.scanSQL(t)
+	case *plan.Project:
+		return g.projectSQL(t)
+	case *plan.Join:
+		return g.joinSQL(t.Subs)
+	case *plan.Min:
+		return g.minSQL(t)
+	default:
+		panic("sqlgen: unknown node")
+	}
+}
+
+// fromClause renders a node as a FROM-able term plus its exported
+// columns.
+func (g *gen) fromClause(n plan.Node) (term, alias string) {
+	alias = g.nextAlias()
+	if name, ok := g.views[n.Key()]; ok {
+		return name + " AS " + alias, alias
+	}
+	return "(\n" + indent(g.sql(n), 2) + "\n) AS " + alias, alias
+}
+
+func (g *gen) scanSQL(s *plan.Scan) string {
+	cols := g.schema(s.Atom.Rel)
+	var selects, wheres []string
+	seen := map[cq.Var]string{}
+	for i, a := range s.Atom.Args {
+		switch {
+		case a.IsVar():
+			if prev, ok := seen[a.Var]; ok {
+				wheres = append(wheres, fmt.Sprintf("%s = %s", prev, cols[i]))
+			} else {
+				seen[a.Var] = cols[i]
+				selects = append(selects, fmt.Sprintf("%s AS %s", cols[i], a.Var))
+			}
+		default:
+			wheres = append(wheres, fmt.Sprintf("%s = %s", cols[i], sqlLit(a.Const)))
+		}
+	}
+	for _, p := range s.Preds {
+		col, ok := seen[p.Var]
+		if !ok {
+			continue
+		}
+		if p.Op == cq.OpLike {
+			wheres = append(wheres, fmt.Sprintf("%s LIKE %s", col, sqlLit(p.Const)))
+		} else {
+			op := string(p.Op)
+			if p.Op == cq.OpNE {
+				op = "<>"
+			}
+			wheres = append(wheres, fmt.Sprintf("%s %s %s", col, op, sqlLit(p.Const)))
+		}
+	}
+	selects = append(selects, "p AS pr")
+	out := "SELECT " + strings.Join(selects, ", ") + "\nFROM " + s.Atom.Rel
+	if len(wheres) > 0 {
+		out += "\nWHERE " + strings.Join(wheres, " AND ")
+	}
+	return out
+}
+
+func (g *gen) joinSQL(subs []plan.Node) string {
+	type child struct {
+		alias string
+		head  []cq.Var
+	}
+	var froms []string
+	var children []child
+	for _, s := range subs {
+		term, alias := g.fromClause(s)
+		froms = append(froms, term)
+		children = append(children, child{alias, s.Head()})
+	}
+	// Column sources: first child exporting each variable wins.
+	src := map[cq.Var]string{}
+	var outVars []cq.Var
+	var conds []string
+	for _, c := range children {
+		for _, v := range c.head {
+			if prev, ok := src[v]; ok {
+				conds = append(conds, fmt.Sprintf("%s.%s = %s.%s", prev, v, c.alias, v))
+			} else {
+				src[v] = c.alias
+				outVars = append(outVars, v)
+			}
+		}
+	}
+	sort.Slice(outVars, func(i, j int) bool { return outVars[i] < outVars[j] })
+	var selects []string
+	for _, v := range outVars {
+		selects = append(selects, fmt.Sprintf("%s.%s AS %s", src[v], v, v))
+	}
+	var prs []string
+	for _, c := range children {
+		prs = append(prs, c.alias+".pr")
+	}
+	selects = append(selects, strings.Join(prs, " * ")+" AS pr")
+	out := "SELECT " + strings.Join(selects, ", ") + "\nFROM " + strings.Join(froms, "\n  CROSS JOIN ")
+	if len(conds) > 0 {
+		out += "\nWHERE " + strings.Join(conds, " AND ")
+	}
+	return out
+}
+
+func (g *gen) projectSQL(p *plan.Project) string {
+	term, alias := g.fromClause(p.Child)
+	var selects, groups []string
+	for _, v := range p.OnTo {
+		selects = append(selects, fmt.Sprintf("%s.%s AS %s", alias, v, v))
+		groups = append(groups, fmt.Sprintf("%s.%s", alias, v))
+	}
+	// Independent-OR aggregate: 1 − ∏(1 − pr), computed as
+	// 1 − EXP(SUM(LN(1 − pr))) with a clamp for pr = 1.
+	agg := fmt.Sprintf("1 - EXP(SUM(LN(CASE WHEN %s.pr > 0.999999999999 THEN 1e-12 ELSE 1 - %s.pr END))) AS pr", alias, alias)
+	selects = append(selects, agg)
+	out := "SELECT " + strings.Join(selects, ", ") + "\nFROM " + term
+	if len(groups) > 0 {
+		out += "\nGROUP BY " + strings.Join(groups, ", ")
+	}
+	return out
+}
+
+func (g *gen) minSQL(m *plan.Min) string {
+	head := m.Head()
+	var froms []string
+	var aliases []string
+	for _, s := range m.Subs {
+		term, alias := g.fromClause(s)
+		froms = append(froms, term)
+		aliases = append(aliases, alias)
+	}
+	var selects []string
+	for _, v := range head {
+		selects = append(selects, fmt.Sprintf("%s.%s AS %s", aliases[0], v, v))
+	}
+	var prs []string
+	for _, a := range aliases {
+		prs = append(prs, a+".pr")
+	}
+	selects = append(selects, "LEAST("+strings.Join(prs, ", ")+") AS pr")
+	var conds []string
+	for _, a := range aliases[1:] {
+		for _, v := range head {
+			conds = append(conds, fmt.Sprintf("%s.%s = %s.%s", aliases[0], v, a, v))
+		}
+	}
+	out := "SELECT " + strings.Join(selects, ", ") + "\nFROM " + strings.Join(froms, "\n  CROSS JOIN ")
+	if len(conds) > 0 {
+		out += "\nWHERE " + strings.Join(conds, " AND ")
+	}
+	return out
+}
+
+// SemiJoinReductionSQL renders Optimization 3 as SQL: one reducing
+// statement per relation of the query, semi-joining it with every
+// neighbor it shares variables with.
+func SemiJoinReductionSQL(q *cq.Query, schema Schema) []string {
+	if schema == nil {
+		schema = DefaultSchema(q)
+	}
+	varCols := func(a cq.Atom) map[cq.Var]string {
+		cols := schema(a.Rel)
+		m := map[cq.Var]string{}
+		for i, t := range a.Args {
+			if t.IsVar() {
+				if _, ok := m[t.Var]; !ok {
+					m[t.Var] = cols[i]
+				}
+			}
+		}
+		return m
+	}
+	head := q.HeadSet()
+	var out []string
+	for _, a := range q.Atoms {
+		av := varCols(a)
+		var exists []string
+		for _, b := range q.Atoms {
+			if b.Rel == a.Rel {
+				continue
+			}
+			bv := varCols(b)
+			var conds []string
+			for v, ac := range av {
+				if head.Has(v) {
+					continue
+				}
+				if bc, ok := bv[v]; ok {
+					conds = append(conds, fmt.Sprintf("%s.%s = %s.%s", b.Rel, bc, a.Rel, ac))
+				}
+			}
+			if len(conds) > 0 {
+				sort.Strings(conds)
+				exists = append(exists, fmt.Sprintf("EXISTS (SELECT 1 FROM %s WHERE %s)", b.Rel, strings.Join(conds, " AND ")))
+			}
+		}
+		if len(exists) == 0 {
+			continue
+		}
+		out = append(out, fmt.Sprintf("CREATE TEMP TABLE %s_reduced AS\nSELECT * FROM %s\nWHERE %s;",
+			a.Rel, a.Rel, strings.Join(exists, "\n  AND ")))
+	}
+	return out
+}
+
+func sqlLit(s string) string {
+	if isNumeric(s) {
+		return s
+	}
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		if c == '-' && i == 0 && len(s) > 1 {
+			continue
+		}
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func indent(s string, n int) string {
+	pad := strings.Repeat(" ", n)
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

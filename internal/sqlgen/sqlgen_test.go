@@ -1,0 +1,124 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"lapushdb/internal/core"
+	"lapushdb/internal/cq"
+	"lapushdb/internal/plan"
+)
+
+func TestGenerateSafePlan(t *testing.T) {
+	q := cq.MustParse("q() :- R(x), S(x, y)")
+	plans := core.MinimalPlans(q, nil)
+	if len(plans) != 1 {
+		t.Fatal("expected one plan")
+	}
+	sql := Generate(q, plans[0], nil)
+	for _, want := range []string{"SELECT", "FROM R", "FROM S", "GROUP BY", "1 - EXP(SUM(LN("} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("missing %q in:\n%s", want, sql)
+		}
+	}
+}
+
+func TestGenerateMinPlanUsesLeast(t *testing.T) {
+	q := cq.MustParse("q() :- R(x), S(x, y), T(y)")
+	sp := core.SinglePlan(q, nil)
+	sql := Generate(q, sp, nil)
+	if !strings.Contains(sql, "LEAST(") {
+		t.Errorf("merged plan should use LEAST:\n%s", sql)
+	}
+}
+
+func TestGenerateViewsForCommonSubplans(t *testing.T) {
+	// Example 29's query has shared subplans V1/V2/V3 (Figure 4c).
+	q := cq.MustParse("q() :- R(x, z), S(y, u), T(z), U(u), M(x, y, z, u)")
+	sp := core.SinglePlan(q, nil)
+	sql := Generate(q, sp, nil)
+	if !strings.Contains(sql, "WITH v1 AS (") {
+		t.Errorf("expected CTEs for common subplans:\n%s", sql[:min(400, len(sql))])
+	}
+	if !strings.Contains(sql, "FROM v1") && !strings.Contains(sql, "v1 AS t") {
+		t.Errorf("views are defined but never referenced")
+	}
+}
+
+func TestGenerateConstantsAndPredicates(t *testing.T) {
+	q := cq.MustParse("Q(a) :- S(s, a), PS(s, u), P(u, n), s <= 1000, n like '%red%'")
+	plans := core.MinimalPlans(q, nil)
+	sql := Generate(q, plans[0], nil)
+	if !strings.Contains(sql, "<= 1000") {
+		t.Errorf("missing numeric predicate:\n%s", sql)
+	}
+	if !strings.Contains(sql, "LIKE '%red%'") {
+		t.Errorf("missing LIKE predicate:\n%s", sql)
+	}
+	q2 := cq.MustParse("q() :- R1('a', x1), R0(x1)")
+	sql2 := Generate(q2, core.MinimalPlans(q2, nil)[0], nil)
+	if !strings.Contains(sql2, "= 'a'") {
+		t.Errorf("missing constant selection:\n%s", sql2)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	q := cq.MustParse("q() :- R(x), S(x, y), T(y)")
+	sp := core.SinglePlan(q, nil)
+	a := Generate(q, sp, nil)
+	b := Generate(q, sp, nil)
+	if a != b {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestSemiJoinReductionSQL(t *testing.T) {
+	q := cq.MustParse("q() :- R(x), S(x, y), T(y)")
+	stmts := SemiJoinReductionSQL(q, nil)
+	if len(stmts) != 3 {
+		t.Fatalf("statements = %d, want 3", len(stmts))
+	}
+	joined := strings.Join(stmts, "\n")
+	for _, want := range []string{"R_reduced", "S_reduced", "T_reduced", "EXISTS (SELECT 1 FROM"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCustomSchemaNames(t *testing.T) {
+	q := cq.MustParse("Q(a) :- Supplier(s, a), Partsupp(s, u), Part(u, n)")
+	schema := func(rel string) []string {
+		switch rel {
+		case "Supplier":
+			return []string{"s_suppkey", "s_nationkey"}
+		case "Partsupp":
+			return []string{"ps_suppkey", "ps_partkey"}
+		case "Part":
+			return []string{"p_partkey", "p_name"}
+		}
+		return nil
+	}
+	sql := Generate(q, core.MinimalPlans(q, nil)[0], schema)
+	for _, want := range []string{"s_suppkey AS s", "s_nationkey AS a", "p_name AS n"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("missing %q in:\n%s", want, sql)
+		}
+	}
+}
+
+func TestScanRepeatedVariable(t *testing.T) {
+	q := cq.MustParse("q() :- R(x, x)")
+	p := plan.NewProject(nil, plan.NewScan(q.Atoms[0], nil))
+	sql := Generate(q, p, nil)
+	if !strings.Contains(sql, "c0 = c1") {
+		t.Errorf("repeated variable should equate columns:\n%s", sql)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

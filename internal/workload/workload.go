@@ -1,0 +1,244 @@
+// Package workload generates the databases and queries of the paper's
+// experimental setups: the k-chain and k-star micro-benchmarks of Setup 2
+// and the TPC-H-shaped database of Setup 1.
+//
+// The paper uses the TPC-H DBGEN generator at scale 1 (Supplier 10k,
+// Partsupp 800k, Part 200k tuples) with an added probability column drawn
+// uniformly from [0, pimax]. We reproduce that shape synthetically at a
+// configurable scale factor, including part names assembled from the
+// TPC-H color word list so that the paper's LIKE patterns ('%red%green%',
+// '%red%', '%') hit with comparable selectivities.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"lapushdb/internal/cq"
+	"lapushdb/internal/engine"
+)
+
+// Chain generates the k-chain setup: relations R1(x0, x1), ...,
+// Rk(xk-1, xk), each with n tuples drawn uniformly from a domain of size
+// N, probabilities uniform in [0, pimax], and the query
+// q(x0, xk) :- R1(x0, x1), ..., Rk(xk-1, xk).
+func Chain(k, n, N int, pimax float64, rng *rand.Rand) (*engine.DB, *cq.Query) {
+	if k < 2 {
+		panic("workload: chain needs k >= 2")
+	}
+	db := engine.NewDB()
+	for i := 1; i <= k; i++ {
+		r := db.CreateRelation(fmt.Sprintf("R%d", i), []string{fmt.Sprintf("x%d", i-1), fmt.Sprintf("x%d", i)})
+		seen := map[[2]engine.Value]bool{}
+		for len(seen) < n {
+			t := [2]engine.Value{engine.Value(rng.Intn(N)), engine.Value(rng.Intn(N))}
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			r.Insert([]engine.Value{t[0], t[1]}, rng.Float64()*pimax)
+		}
+	}
+	return db, ChainQuery(k)
+}
+
+// ChainQuery returns the k-chain query q(x0, xk) :- R1(x0, x1), ...,
+// Rk(xk-1, xk).
+func ChainQuery(k int) *cq.Query {
+	var b strings.Builder
+	fmt.Fprintf(&b, "q(x0, x%d) :- ", k)
+	for i := 1; i <= k; i++ {
+		if i > 1 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "R%d(x%d, x%d)", i, i-1, i)
+	}
+	return cq.MustParse(b.String())
+}
+
+// Star generates the k-star setup: R1('a', x1) with n tuples, unary
+// R2(x2), ..., Rk(xk) with n tuples each, the hub R0(x1, ..., xk) with n
+// tuples, all values uniform in a domain of size N, and the Boolean query
+// q() :- R1('a', x1), R2(x2), ..., Rk(xk), R0(x1, ..., xk).
+func Star(k, n, N int, pimax float64, rng *rand.Rand) (*engine.DB, *cq.Query) {
+	if k < 1 {
+		panic("workload: star needs k >= 1")
+	}
+	db := engine.NewDB()
+	aVal := db.Intern("a")
+	r1 := db.CreateRelation("R1", []string{"c", "x1"})
+	seen1 := map[engine.Value]bool{}
+	for len(seen1) < min(n, N) {
+		v := engine.Value(rng.Intn(N))
+		if seen1[v] {
+			continue
+		}
+		seen1[v] = true
+		r1.Insert([]engine.Value{aVal, v}, rng.Float64()*pimax)
+	}
+	for i := 2; i <= k; i++ {
+		r := db.CreateRelation(fmt.Sprintf("R%d", i), []string{fmt.Sprintf("x%d", i)})
+		seen := map[engine.Value]bool{}
+		for len(seen) < min(n, N) {
+			v := engine.Value(rng.Intn(N))
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			r.Insert([]engine.Value{v}, rng.Float64()*pimax)
+		}
+	}
+	cols := make([]string, k)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("x%d", i+1)
+	}
+	r0 := db.CreateRelation("R0", cols)
+	seen := map[string]bool{}
+	tuple := make([]engine.Value, k)
+	key := make([]byte, 0, 8*k)
+	for len(seen) < n {
+		key = key[:0]
+		for j := range tuple {
+			tuple[j] = engine.Value(rng.Intn(N))
+			key = append(key, byte(tuple[j]), byte(tuple[j]>>8), byte(tuple[j]>>16), byte(tuple[j]>>24))
+		}
+		if seen[string(key)] {
+			continue
+		}
+		seen[string(key)] = true
+		r0.Insert(tuple, rng.Float64()*pimax)
+	}
+	return db, StarQuery(k)
+}
+
+// StarQuery returns the Boolean k-star query.
+func StarQuery(k int) *cq.Query {
+	var b strings.Builder
+	b.WriteString("q() :- R1('a', x1)")
+	for i := 2; i <= k; i++ {
+		fmt.Fprintf(&b, ", R%d(x%d)", i, i)
+	}
+	b.WriteString(", R0(")
+	for i := 1; i <= k; i++ {
+		if i > 1 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "x%d", i)
+	}
+	b.WriteString(")")
+	return cq.MustParse(b.String())
+}
+
+// Colors is the TPC-H color word list used to assemble part names
+// (P_NAME is the concatenation of five distinct colors).
+var Colors = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+	"blanched", "blue", "blush", "brown", "burlywood", "burnished",
+	"chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+	"cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+	"floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+	"green", "grey", "honeydew", "hot", "indian", "ivory", "khaki", "lace",
+	"lavender", "lawn", "lemon", "light", "lime", "linen", "magenta",
+	"maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+	"navajo", "navy", "olive", "orange", "orchid", "pale", "papaya",
+	"peach", "peru", "pink", "plum", "powder", "puff", "purple", "red",
+	"rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell",
+	"sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
+	"thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+}
+
+// TPCH is the Setup 1 database: Supplier(s, a), Partsupp(s, u),
+// Part(u, n) with TPC-H cardinality ratios and random probabilities.
+type TPCH struct {
+	DB *engine.DB
+	// Suppliers, Parts, PartsuppPerPart record the generated sizes.
+	Suppliers, Parts int
+}
+
+// Nations is the number of distinct nation keys (the 25 answers the
+// paper ranks).
+const Nations = 25
+
+// NewTPCH generates the TPC-H-shaped database at the given scale factor
+// (scale 1 ≈ the paper's 1 GB instance: 10k suppliers, 200k parts, 800k
+// partsupp tuples; scale 0.01 is handy for tests). Probabilities are
+// uniform in [0, pimax].
+func NewTPCH(scale float64, pimax float64, rng *rand.Rand) *TPCH {
+	nSupp := max(int(10000*scale), Nations)
+	nPart := max(int(200000*scale), 8)
+	db := engine.NewDB()
+	sup := db.CreateRelation("Supplier", []string{"s", "a"})
+	ps := db.CreateRelation("Partsupp", []string{"s", "u"})
+	part := db.CreateRelation("Part", []string{"u", "n"})
+	for s := 1; s <= nSupp; s++ {
+		sup.Insert([]engine.Value{engine.Value(s), engine.Value(rng.Intn(Nations))}, rng.Float64()*pimax)
+	}
+	var words [5]string
+	for u := 1; u <= nPart; u++ {
+		// Five distinct colors, TPC-H style.
+		seen := map[int]bool{}
+		for i := 0; i < 5; {
+			c := rng.Intn(len(Colors))
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			words[i] = Colors[c]
+			i++
+		}
+		name := db.Intern(strings.Join(words[:], " "))
+		part.Insert([]engine.Value{engine.Value(u), name}, rng.Float64()*pimax)
+		// Four suppliers per part, as in TPC-H.
+		for i := 0; i < 4; i++ {
+			s := 1 + (u+i*(nSupp/4+1))%nSupp
+			ps.Insert([]engine.Value{engine.Value(s), engine.Value(u)}, rng.Float64()*pimax)
+		}
+	}
+	return &TPCH{DB: db, Suppliers: nSupp, Parts: nPart}
+}
+
+// Query builds the paper's parameterized query
+//
+//	Q(a) :- Supplier(s, a), Partsupp(s, u), Part(u, n), s <= $1, n like $2
+//
+// which ranks the 25 nations.
+func (t *TPCH) Query(dollar1 int, dollar2 string) *cq.Query {
+	return cq.MustParse(fmt.Sprintf(
+		"Q(a) :- Supplier(s, a), Partsupp(s, u), Part(u, n), s <= %d, n like '%s'", dollar1, dollar2))
+}
+
+// AssignProbs redraws every tuple probability. mode "uniform" draws from
+// [0, pimax] (avg pimax/2); mode "const" sets every probability to
+// pimax — the pi = const condition of Result 5.
+func AssignProbs(db *engine.DB, mode string, pimax float64, rng *rand.Rand) {
+	for _, r := range db.Relations() {
+		if r.Deterministic {
+			continue
+		}
+		for i := 0; i < r.Len(); i++ {
+			switch mode {
+			case "uniform":
+				r.SetProb(i, rng.Float64()*pimax)
+			case "const":
+				r.SetProb(i, pimax)
+			default:
+				panic("workload: unknown probability mode " + mode)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,530 @@
+// Package lapushdb is an in-memory probabilistic database with
+// dissociation-based approximate query answering, implementing
+// Gatterbauer & Suciu, "Approximate Lifted Inference with Probabilistic
+// Databases" (VLDB 2015).
+//
+// A LaPushDB database stores tuple-independent probabilistic relations:
+// every tuple carries a probability and all tuples are independent
+// events. Self-join-free conjunctive queries, written in datalog style,
+//
+//	q(z) :- R(z, x), S(x, y), T(y)
+//
+// are answered with one probability score per answer tuple. Safe
+// (hierarchical) queries get their exact probability; for #P-hard queries
+// the score is the propagation score ρ — the minimum over all minimal
+// query plans, each an upper bound on the true probability — which ranks
+// answers with high precision at a small multiple of deterministic SQL
+// cost. Schema knowledge (deterministic relations, keys) shrinks the set
+// of plans and widens the class of exactly-computable queries.
+//
+// The Method field of Options also exposes the paper's baselines: exact
+// weighted model counting on the lineage (DPLL or OBDD compilation),
+// Monte Carlo sampling (naive or the Karp–Luby FPRAS), ranking by
+// lineage size, and deterministic (set-semantics) evaluation. Beyond
+// Rank, the API offers exact top-k with bound-driven early termination
+// (RankTopK), unions of conjunctive queries (RankUnion), Boolean
+// provenance with read-once factorization (Lineage), tuple-influence
+// explanations (Influence), operator profiling (Profile), plan
+// visualization (PlanDOT), and snapshot persistence (Save/Load).
+package lapushdb
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"lapushdb/internal/core"
+	"lapushdb/internal/cq"
+	"lapushdb/internal/engine"
+	"lapushdb/internal/exact"
+	"lapushdb/internal/lineage"
+	"lapushdb/internal/mc"
+	"lapushdb/internal/obdd"
+	"lapushdb/internal/plan"
+	"lapushdb/internal/viz"
+)
+
+// DB is a tuple-independent probabilistic database.
+type DB struct {
+	db *engine.DB
+}
+
+// Open creates an empty database.
+func Open() *DB { return &DB{db: engine.NewDB()} }
+
+// Relation is a handle to one relation of the database.
+type Relation struct {
+	r  *engine.Relation
+	db *engine.DB
+}
+
+// CreateRelation adds a probabilistic relation with the given columns.
+func (d *DB) CreateRelation(name string, cols ...string) (*Relation, error) {
+	if d.db.Relation(name) != nil {
+		return nil, fmt.Errorf("lapushdb: relation %s already exists", name)
+	}
+	return &Relation{r: d.db.CreateRelation(name, cols), db: d.db}, nil
+}
+
+// CreateDeterministicRelation adds a relation whose tuples are all
+// certain. Declaring determinism is schema knowledge: it reduces the
+// number of plans needed and can make otherwise #P-hard queries exact.
+func (d *DB) CreateDeterministicRelation(name string, cols ...string) (*Relation, error) {
+	if d.db.Relation(name) != nil {
+		return nil, fmt.Errorf("lapushdb: relation %s already exists", name)
+	}
+	return &Relation{r: d.db.CreateDeterministicRelation(name, cols), db: d.db}, nil
+}
+
+// Relation returns a handle to an existing relation, or nil.
+func (d *DB) Relation(name string) *Relation {
+	r := d.db.Relation(name)
+	if r == nil {
+		return nil
+	}
+	return &Relation{r: r, db: d.db}
+}
+
+// Insert adds a tuple with the given probability. Values may be string,
+// int, or int64; deterministic relations require p == 1.
+func (r *Relation) Insert(p float64, values ...any) error {
+	if len(values) != len(r.r.Cols) {
+		return fmt.Errorf("lapushdb: %s expects %d values, got %d", r.r.Name, len(r.r.Cols), len(values))
+	}
+	tuple := make([]engine.Value, len(values))
+	for i, v := range values {
+		switch t := v.(type) {
+		case string:
+			tuple[i] = r.db.EncodeConst(t)
+		case int:
+			tuple[i] = r.db.Int(int64(t))
+		case int64:
+			tuple[i] = r.db.Int(t)
+		default:
+			return fmt.Errorf("lapushdb: unsupported value type %T", v)
+		}
+	}
+	if p < 0 || p > 1 {
+		return fmt.Errorf("lapushdb: probability %v out of [0, 1]", p)
+	}
+	r.r.Insert(tuple, p)
+	return nil
+}
+
+// SetKey declares the relation's primary key. Keys contribute functional
+// dependencies that reduce the number of plans and widen the class of
+// exactly-computable queries.
+func (r *Relation) SetKey(cols ...string) { r.r.SetKey(cols...) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return r.r.Len() }
+
+// CreateIndex declares a hash index on a column, accelerating scans
+// with equality selections (constants in atoms, = predicates). Built
+// lazily; maintained automatically across inserts.
+func (r *Relation) CreateIndex(col string) error { return r.r.CreateIndex(col) }
+
+// CreateRangeIndex declares a sorted index on a numeric column,
+// accelerating <, <=, >, >= predicates (e.g. the TPC-H query's
+// "s <= $1").
+func (r *Relation) CreateRangeIndex(col string) error { return r.r.CreateRangeIndex(col) }
+
+// Method selects how answer probabilities are computed.
+type Method int
+
+const (
+	// Dissociation (default) computes the propagation score ρ: exact for
+	// safe queries, a guaranteed upper bound otherwise.
+	Dissociation Method = iota
+	// Exact computes the true probability by weighted model counting on
+	// the lineage (#P-hard; may be infeasible for large lineages).
+	Exact
+	// MonteCarlo estimates the probability by sampling the lineage.
+	MonteCarlo
+	// LineageSize ranks by the number of lineage clauses (a
+	// non-probabilistic baseline; "scores" are clause counts).
+	LineageSize
+	// Deterministic evaluates under set semantics; every answer scores 1.
+	Deterministic
+	// KarpLuby estimates the probability with the Karp–Luby–Madras
+	// coverage FPRAS: unlike naive MonteCarlo its relative error does not
+	// degrade for small probabilities (the regime the paper recommends
+	// for dissociation quality).
+	KarpLuby
+	// ExactOBDD computes the exact probability by compiling each lineage
+	// into a reduced ordered BDD (the Olteanu–Huang / SPROUT approach the
+	// paper compares against). Like Exact it is #P-hard in general.
+	ExactOBDD
+)
+
+// Options configures Rank.
+type Options struct {
+	// Method selects the scoring method (default Dissociation).
+	Method Method
+	// DisableOpt1 evaluates all minimal plans separately instead of the
+	// merged single plan (Algorithm 2).
+	DisableOpt1 bool
+	// DisableOpt2 turns off reuse of common subplan results (views).
+	DisableOpt2 bool
+	// DisableOpt3 turns off the deterministic semi-join reduction.
+	DisableOpt3 bool
+	// IgnoreSchema disregards deterministic relations and keys during
+	// plan enumeration.
+	IgnoreSchema bool
+	// Parallel evaluates the minimal plans on separate goroutines
+	// (implies DisableOpt1: the merged single plan is inherently
+	// sequential). Workers bounds the concurrency (default 4).
+	Parallel bool
+	// Workers is the goroutine bound for Parallel.
+	Workers int
+	// CostBasedJoins orders k-ary joins with a Selinger-style dynamic
+	// program over cardinality estimates instead of the greedy heuristic.
+	CostBasedJoins bool
+	// MCSamples is the sample count for MonteCarlo (default 1000).
+	MCSamples int
+	// Seed seeds the MonteCarlo sampler.
+	Seed int64
+	// ExactBudget bounds the exact solver's work (default 50M nodes).
+	ExactBudget int
+}
+
+// Answer is one query answer: its head values (decoded to strings, in
+// the order of the sorted head variables) and its probability score.
+type Answer struct {
+	Values []string
+	Score  float64
+}
+
+// Rank evaluates the query and returns its answers ordered by descending
+// score. The query must be a self-join-free conjunctive query over the
+// database's relations.
+func (d *DB) Rank(query string, opts *Options) ([]Answer, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	q, err := cq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.checkQuery(q); err != nil {
+		return nil, err
+	}
+	switch opts.Method {
+	case Dissociation:
+		return d.rankDissociation(q, opts)
+	case Exact, ExactOBDD:
+		return d.rankLineageBased(q, opts, true)
+	case MonteCarlo, KarpLuby:
+		return d.rankLineageBased(q, opts, false)
+	case LineageSize:
+		return d.rankLineageSize(q, opts)
+	case Deterministic:
+		return d.rankDeterministic(q)
+	default:
+		return nil, fmt.Errorf("lapushdb: unknown method %d", opts.Method)
+	}
+}
+
+func (d *DB) checkQuery(q *cq.Query) error {
+	for _, a := range q.Atoms {
+		r := d.db.Relation(a.Rel)
+		if r == nil {
+			return fmt.Errorf("lapushdb: unknown relation %s", a.Rel)
+		}
+		if len(a.Args) != r.Arity() {
+			return fmt.Errorf("lapushdb: atom %s has arity %d, relation has %d", a, len(a.Args), r.Arity())
+		}
+	}
+	return nil
+}
+
+func (d *DB) schema(q *cq.Query, opts *Options) *core.Schema {
+	if opts.IgnoreSchema {
+		return nil
+	}
+	return engine.SchemaFor(d.db, q)
+}
+
+func (d *DB) rankDissociation(q *cq.Query, opts *Options) ([]Answer, error) {
+	sch := d.schema(q, opts)
+	eopts := engine.Options{
+		ReuseSubplans:  !opts.DisableOpt2,
+		SemiJoin:       !opts.DisableOpt3,
+		CostBasedJoins: opts.CostBasedJoins,
+	}
+	var res *engine.Result
+	switch {
+	case opts.Parallel:
+		res = engine.EvalPlansParallel(d.db, q, core.MinimalPlans(q, sch), eopts, opts.Workers)
+	case opts.DisableOpt1:
+		res = engine.EvalPlans(d.db, q, core.MinimalPlans(q, sch), eopts)
+	default:
+		sp := core.SinglePlan(q, sch)
+		res = engine.NewEvaluator(d.db, q, eopts).Eval(sp)
+	}
+	return d.toAnswers(res), nil
+}
+
+func (d *DB) rankLineageBased(q *cq.Query, opts *Options, exactMethod bool) ([]Answer, error) {
+	var reduced map[string][]int32
+	if !opts.DisableOpt3 {
+		reduced = engine.SemiJoinReduce(d.db, q)
+	}
+	lin := engine.EvalLineage(d.db, q, reduced)
+	answers := make([]Answer, lin.Len())
+	budget := opts.ExactBudget
+	if budget <= 0 {
+		budget = 50_000_000
+	}
+	samples := opts.MCSamples
+	if samples <= 0 {
+		samples = 1000
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := 0; i < lin.Len(); i++ {
+		var p float64
+		if exactMethod {
+			var err error
+			if opts.Method == ExactOBDD {
+				p, err = obddProb(lin.Clauses(i), d.db.VarProbs(), budget)
+			} else {
+				p, err = exact.ProbBudget(lin.Clauses(i), d.db.VarProbs(), budget)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("lapushdb: exact inference infeasible for answer %v: %w", d.decode(lin.Key(i)), err)
+			}
+		} else if opts.Method == KarpLuby {
+			p = mc.KarpLuby(lin.Clauses(i), d.db.VarProbs(), samples, rng)
+		} else {
+			p = mc.Estimate(lin.Clauses(i), d.db.VarProbs(), samples, rng)
+		}
+		answers[i] = Answer{Values: d.decode(lin.Key(i)), Score: p}
+	}
+	sortAnswers(answers)
+	return answers, nil
+}
+
+func (d *DB) rankLineageSize(q *cq.Query, opts *Options) ([]Answer, error) {
+	var reduced map[string][]int32
+	if !opts.DisableOpt3 {
+		reduced = engine.SemiJoinReduce(d.db, q)
+	}
+	lin := engine.EvalLineage(d.db, q, reduced)
+	answers := make([]Answer, lin.Len())
+	for i := 0; i < lin.Len(); i++ {
+		answers[i] = Answer{Values: d.decode(lin.Key(i)), Score: float64(lin.Size(i))}
+	}
+	sortAnswers(answers)
+	return answers, nil
+}
+
+func (d *DB) rankDeterministic(q *cq.Query) ([]Answer, error) {
+	res := engine.EvalDeterministic(d.db, q)
+	return d.toAnswers(res), nil
+}
+
+func (d *DB) toAnswers(res *engine.Result) []Answer {
+	answers := make([]Answer, res.Len())
+	for i := 0; i < res.Len(); i++ {
+		row := res.Row(i)
+		vals := make([]engine.Value, len(row))
+		copy(vals, row)
+		answers[i] = Answer{Values: d.decode(vals), Score: res.Score(i)}
+	}
+	sortAnswers(answers)
+	return answers
+}
+
+func (d *DB) decode(vals []engine.Value) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = d.db.Decode(v)
+	}
+	return out
+}
+
+// obddProb computes the exact probability via a reduced ordered BDD.
+func obddProb(clauses [][]int32, probs []float64, budget int) (float64, error) {
+	b, err := obdd.Build(clauses, obdd.FrequencyOrder(clauses), budget)
+	if err != nil {
+		return 0, err
+	}
+	return b.Prob(probs), nil
+}
+
+// newSeededRand returns a rand.Rand seeded for reproducible sampling.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// mcEstimate adapts the internal Monte Carlo estimator.
+func mcEstimate(clauses [][]int32, probs []float64, samples int, rng *rand.Rand) float64 {
+	return mc.Estimate(clauses, probs, samples, rng)
+}
+
+func sortAnswers(answers []Answer) {
+	sort.Slice(answers, func(i, j int) bool {
+		if answers[i].Score != answers[j].Score {
+			return answers[i].Score > answers[j].Score
+		}
+		a, b := answers[i].Values, answers[j].Values
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// Explanation describes how a query would be evaluated.
+type Explanation struct {
+	// Safe reports whether the query is safe given the schema knowledge
+	// (its probability is computed exactly by a single plan).
+	Safe bool
+	// Plans renders every minimal plan in project-away notation.
+	Plans []string
+	// Dissociations renders the dissociation of each minimal plan.
+	Dissociations []string
+	// SinglePlan renders the Opt1 merged plan.
+	SinglePlan string
+}
+
+// Explain parses the query and reports its minimal plans, their
+// dissociations, and whether the query is safe under the database's
+// schema knowledge. An optional Options value controls schema use
+// (IgnoreSchema); evaluation-strategy fields are ignored.
+func (d *DB) Explain(query string, opts ...*Options) (*Explanation, error) {
+	q, err := cq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.checkQuery(q); err != nil {
+		return nil, err
+	}
+	o := &Options{}
+	if len(opts) > 0 && opts[0] != nil {
+		o = opts[0]
+	}
+	sch := d.schema(q, o)
+	plans := core.MinimalPlans(q, sch)
+	ex := &Explanation{Safe: core.IsSafe(q, sch)}
+	for _, p := range plans {
+		ex.Plans = append(ex.Plans, plan.String(p))
+		ex.Dissociations = append(ex.Dissociations, plan.DeltaOf(q, p).String())
+	}
+	ex.SinglePlan = plan.String(core.SinglePlan(q, sch))
+	return ex, nil
+}
+
+// ScaleProbs multiplies every tuple probability by f ∈ (0, 1]. Scaling
+// down tightens the dissociation approximation (Proposition 21 of the
+// paper) at the cost of absolute probability magnitudes.
+func (d *DB) ScaleProbs(f float64) { d.db.ScaleProbs(f) }
+
+// Clone returns a deep copy of the database.
+func (d *DB) Clone() *DB { return &DB{db: d.db.Clone()} }
+
+// Save writes the database to w in a binary snapshot format readable by
+// Load.
+func (d *DB) Save(w io.Writer) error { return d.db.Save(w) }
+
+// Load reads a database snapshot written by Save.
+func Load(r io.Reader) (*DB, error) {
+	db, err := engine.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{db: db}, nil
+}
+
+// LineageInfo describes one answer's Boolean provenance.
+type LineageInfo struct {
+	// Values are the answer's head values.
+	Values []string
+	// Size is the number of DNF clauses (satisfying assignments).
+	Size int
+	// Formula renders the lineage, e.g.
+	// "Likes(ann, heat)·Stars(heat, deniro) ∨ ...". Tuples of
+	// deterministic relations carry no variables and are omitted.
+	Formula string
+	// ReadOnce reports whether the lineage admits a read-once
+	// factorization (exact probability computable in linear time).
+	ReadOnce bool
+	// Factorization is the read-once form when ReadOnce is true.
+	Factorization string
+}
+
+// Lineage computes every answer's Boolean provenance: the DNF over the
+// database's uncertain tuples whose probability is the answer's true
+// probability.
+func (d *DB) Lineage(query string) ([]LineageInfo, error) {
+	q, err := cq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.checkQuery(q); err != nil {
+		return nil, err
+	}
+	lin := engine.EvalLineage(d.db, q, engine.SemiJoinReduce(d.db, q))
+	labels := d.db.VarLabels()
+	name := func(v int32) string {
+		if s, ok := labels[v]; ok {
+			return s
+		}
+		return fmt.Sprintf("x%d", v)
+	}
+	out := make([]LineageInfo, lin.Len())
+	for i := 0; i < lin.Len(); i++ {
+		f := lineage.DNF(lin.Clauses(i))
+		info := LineageInfo{
+			Values:  d.decode(lin.Key(i)),
+			Size:    lin.Size(i),
+			Formula: f.String(name),
+		}
+		if tree, ok := lineage.Factor(f); ok {
+			info.ReadOnce = true
+			info.Factorization = tree.String()
+		}
+		out[i] = info
+	}
+	return out, nil
+}
+
+// PlanDOT renders the query's minimal plans (kind "plans") or its full
+// dissociation lattice (kind "lattice", exponential — small queries
+// only) as Graphviz DOT, the form of the paper's Figure 1.
+func (d *DB) PlanDOT(query, kind string) (string, error) {
+	q, err := cq.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	if err := d.checkQuery(q); err != nil {
+		return "", err
+	}
+	switch kind {
+	case "plans":
+		return viz.MinimalPlansDOT(q, engine.SchemaFor(d.db, q)), nil
+	case "lattice":
+		return viz.LatticeDOT(q), nil
+	default:
+		return "", fmt.Errorf("lapushdb: unknown DOT kind %q (want plans or lattice)", kind)
+	}
+}
+
+// Profile evaluates the query's merged dissociation plan and returns an
+// indented operator tree with per-node output cardinalities and
+// inclusive times — the engine's EXPLAIN ANALYZE.
+func (d *DB) Profile(query string) (string, error) {
+	q, err := cq.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	if err := d.checkQuery(q); err != nil {
+		return "", err
+	}
+	sch := engine.SchemaFor(d.db, q)
+	sp := core.SinglePlan(q, sch)
+	e := engine.NewEvaluator(d.db, q, engine.Options{ReuseSubplans: true, SemiJoin: true})
+	_, stats := e.EvalProfiled(sp)
+	return engine.FormatProfile(stats), nil
+}

@@ -1,0 +1,438 @@
+package lapushdb
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// movieDB builds a small uncertain movie-recommendation database used
+// across the façade tests.
+func movieDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	likes, err := db.CreateRelation("Likes", "user", "movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stars, err := db.CreateRelation("Stars", "movie", "actor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan, err := db.CreateRelation("Fan", "actor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(likes.Insert(0.9, "ann", "heat"))
+	must(likes.Insert(0.5, "bob", "heat"))
+	must(likes.Insert(0.4, "bob", "ronin"))
+	must(stars.Insert(0.8, "heat", "deniro"))
+	must(stars.Insert(0.7, "ronin", "deniro"))
+	must(stars.Insert(0.3, "heat", "pacino"))
+	must(fan.Insert(0.6, "deniro"))
+	must(fan.Insert(0.9, "pacino"))
+	return db
+}
+
+func TestRankDissociationUpperBoundsExact(t *testing.T) {
+	db := movieDB(t)
+	q := "q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)"
+	diss, err := db.Rank(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := db.Rank(q, &Options{Method: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diss) != 2 || len(ex) != 2 {
+		t.Fatalf("answers: diss=%d exact=%d, want 2", len(diss), len(ex))
+	}
+	score := func(as []Answer, v string) float64 {
+		for _, a := range as {
+			if a.Values[0] == v {
+				return a.Score
+			}
+		}
+		t.Fatalf("answer %s missing", v)
+		return 0
+	}
+	for _, u := range []string{"ann", "bob"} {
+		if score(diss, u) < score(ex, u)-1e-12 {
+			t.Errorf("%s: dissociation %v below exact %v", u, score(diss, u), score(ex, u))
+		}
+	}
+	// Same ranking on this instance.
+	if diss[0].Values[0] != ex[0].Values[0] {
+		t.Errorf("rankings disagree: %v vs %v", diss[0], ex[0])
+	}
+}
+
+func TestRankAllMethodsAgreeOnSupport(t *testing.T) {
+	db := movieDB(t)
+	q := "q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)"
+	for _, m := range []Method{Dissociation, Exact, MonteCarlo, LineageSize, Deterministic} {
+		as, err := db.Rank(q, &Options{Method: m, MCSamples: 200})
+		if err != nil {
+			t.Fatalf("method %d: %v", m, err)
+		}
+		if len(as) != 2 {
+			t.Errorf("method %d: %d answers, want 2", m, len(as))
+		}
+	}
+}
+
+func TestOptimizationsGiveSameScores(t *testing.T) {
+	db := movieDB(t)
+	q := "q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)"
+	base, err := db.Rank(q, &Options{DisableOpt1: true, DisableOpt2: true, DisableOpt3: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []*Options{
+		{},
+		{DisableOpt1: true},
+		{DisableOpt2: true},
+		{DisableOpt3: true},
+		{DisableOpt1: true, DisableOpt3: true},
+	} {
+		got, err := db.Rank(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base {
+			if got[i].Values[0] != base[i].Values[0] || math.Abs(got[i].Score-base[i].Score) > 1e-12 {
+				t.Errorf("opts %+v: answer %d = %+v, want %+v", opts, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestExplainUnsafeQuery(t *testing.T) {
+	db := movieDB(t)
+	ex, err := db.Explain("q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Safe {
+		t.Error("3-chain-shaped query should be unsafe")
+	}
+	if len(ex.Plans) != 2 {
+		t.Errorf("plans = %d, want 2", len(ex.Plans))
+	}
+	if len(ex.Dissociations) != len(ex.Plans) {
+		t.Error("dissociations should parallel plans")
+	}
+	if !strings.Contains(ex.SinglePlan, "min[") {
+		t.Errorf("single plan should contain min: %s", ex.SinglePlan)
+	}
+}
+
+func TestExplainSafeQuery(t *testing.T) {
+	db := movieDB(t)
+	ex, err := db.Explain("q(movie) :- Stars(movie, actor), Fan(actor)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Safe {
+		t.Error("query should be safe")
+	}
+	if len(ex.Plans) != 1 {
+		t.Errorf("plans = %d, want 1", len(ex.Plans))
+	}
+}
+
+func TestSchemaKnowledgeChangesPlans(t *testing.T) {
+	db := Open()
+	r, _ := db.CreateRelation("R", "x")
+	s, _ := db.CreateRelation("S", "x", "y")
+	u, _ := db.CreateDeterministicRelation("T", "y")
+	_ = r.Insert(0.5, 1)
+	_ = s.Insert(0.5, 1, 2)
+	_ = u.Insert(1, 2)
+	ex, err := db.Explain("q() :- R(x), S(x, y), T(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Safe || len(ex.Plans) != 1 {
+		t.Errorf("with deterministic T the query should be safe with 1 plan; got safe=%v plans=%d", ex.Safe, len(ex.Plans))
+	}
+	// Keys widen safety too.
+	db2 := Open()
+	r2, _ := db2.CreateRelation("R", "x")
+	s2, _ := db2.CreateRelation("S", "x", "y")
+	t2, _ := db2.CreateRelation("T", "y")
+	s2.SetKey("x")
+	_ = r2.Insert(0.5, 1)
+	_ = s2.Insert(0.5, 1, 2)
+	_ = t2.Insert(0.5, 2)
+	ex2, err := db2.Explain("q() :- R(x), S(x, y), T(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex2.Safe || len(ex2.Plans) != 1 {
+		t.Errorf("with key S(x) the query should be safe; got safe=%v plans=%d", ex2.Safe, len(ex2.Plans))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := movieDB(t)
+	if _, err := db.Rank("not a query", nil); err == nil {
+		t.Error("bad syntax should fail")
+	}
+	if _, err := db.Rank("q(x) :- Missing(x)", nil); err == nil {
+		t.Error("unknown relation should fail")
+	}
+	if _, err := db.Rank("q(x) :- Likes(x)", nil); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if _, err := db.CreateRelation("Likes", "a"); err == nil {
+		t.Error("duplicate relation should fail")
+	}
+	likes := db.Relation("Likes")
+	if err := likes.Insert(1.5, "a", "b"); err == nil {
+		t.Error("probability out of range should fail")
+	}
+	if err := likes.Insert(0.5, "only-one"); err == nil {
+		t.Error("wrong value count should fail")
+	}
+	if err := likes.Insert(0.5, 3.14, "b"); err == nil {
+		t.Error("unsupported value type should fail")
+	}
+}
+
+func TestPredicatesInQuery(t *testing.T) {
+	db := Open()
+	s, _ := db.CreateRelation("S", "id", "name")
+	_ = s.Insert(0.5, 1, "red apple")
+	_ = s.Insert(0.5, 2, "green pear")
+	_ = s.Insert(0.5, 30, "red cherry")
+	as, err := db.Rank("q(name) :- S(id, name), id <= 10, name like '%red%'", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 1 || as[0].Values[0] != "red apple" {
+		t.Errorf("answers = %+v", as)
+	}
+}
+
+func TestScaleProbsAndClone(t *testing.T) {
+	db := movieDB(t)
+	q := "q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)"
+	before, _ := db.Rank(q, nil)
+	c := db.Clone()
+	c.ScaleProbs(0.5)
+	afterClone, _ := c.Rank(q, nil)
+	afterOrig, _ := db.Rank(q, nil)
+	if afterClone[0].Score >= before[0].Score {
+		t.Error("scaling down should lower scores")
+	}
+	if math.Abs(afterOrig[0].Score-before[0].Score) > 1e-12 {
+		t.Error("scaling a clone mutated the original")
+	}
+}
+
+func TestMonteCarloApproximatesExact(t *testing.T) {
+	db := movieDB(t)
+	q := "q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)"
+	ex, _ := db.Rank(q, &Options{Method: Exact})
+	mcAs, err := db.Rank(q, &Options{Method: MonteCarlo, MCSamples: 100000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ex {
+		var got float64
+		for _, a := range mcAs {
+			if a.Values[0] == ex[i].Values[0] {
+				got = a.Score
+			}
+		}
+		if math.Abs(got-ex[i].Score) > 0.01 {
+			t.Errorf("%s: MC %v vs exact %v", ex[i].Values[0], got, ex[i].Score)
+		}
+	}
+}
+
+func TestSaveLoadFacade(t *testing.T) {
+	db := movieDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := "q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)"
+	a, _ := db.Rank(q, nil)
+	b, err := loaded.Rank(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("answers %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Values[0] != b[i].Values[0] || a[i].Score != b[i].Score {
+			t.Errorf("answer %d differs after reload: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("loading junk should fail")
+	}
+}
+
+func TestLineageFacade(t *testing.T) {
+	db := movieDB(t)
+	infos, err := db.Lineage("q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("answers = %d", len(infos))
+	}
+	for _, info := range infos {
+		if info.Size < 1 {
+			t.Errorf("%v: empty lineage", info.Values)
+		}
+		if !strings.Contains(info.Formula, "Likes(") {
+			t.Errorf("%v: formula %q should name tuples", info.Values, info.Formula)
+		}
+	}
+	// bob's lineage (two movies, shared actor fan-page tuple) is NOT
+	// read-once: Fan(deniro) occurs in both clauses together with
+	// different Likes/Stars tuples... it factors as Fan·(L1·S1 + L2·S2),
+	// which IS read-once. Verify the library agrees with exactness:
+	for _, info := range infos {
+		if info.ReadOnce && info.Factorization == "" {
+			t.Errorf("%v: read-once without factorization", info.Values)
+		}
+	}
+	if _, err := db.Lineage("broken"); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestParallelAndCostBasedOptions(t *testing.T) {
+	db := movieDB(t)
+	q := "q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)"
+	base, err := db.Rank(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []*Options{
+		{Parallel: true},
+		{Parallel: true, Workers: 1},
+		{CostBasedJoins: true},
+		{Parallel: true, CostBasedJoins: true},
+	} {
+		got, err := db.Rank(q, opts)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("opts %+v: %d answers", opts, len(got))
+		}
+		for i := range base {
+			if got[i].Values[0] != base[i].Values[0] || math.Abs(got[i].Score-base[i].Score) > 1e-12 {
+				t.Errorf("opts %+v: answer %d = %+v, want %+v", opts, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestKarpLubyMethod(t *testing.T) {
+	db := movieDB(t)
+	q := "q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)"
+	ex, _ := db.Rank(q, &Options{Method: Exact})
+	kl, err := db.Rank(q, &Options{Method: KarpLuby, MCSamples: 100000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ex {
+		var got float64
+		for _, a := range kl {
+			if a.Values[0] == ex[i].Values[0] {
+				got = a.Score
+			}
+		}
+		if math.Abs(got-ex[i].Score) > 0.01 {
+			t.Errorf("%s: KL %v vs exact %v", ex[i].Values[0], got, ex[i].Score)
+		}
+	}
+}
+
+func TestProfileFacade(t *testing.T) {
+	db := movieDB(t)
+	prof, err := db.Profile("q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"min (2 alternatives)", "scan Likes(user, movie)", "rows="} {
+		if !strings.Contains(prof, want) {
+			t.Errorf("profile missing %q:\n%s", want, prof)
+		}
+	}
+	if _, err := db.Profile("nope("); err == nil {
+		t.Error("bad query should fail")
+	}
+	// PlanDOT facade.
+	dot, err := db.PlanDOT("q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)", "plans")
+	if err != nil || !strings.Contains(dot, "digraph plans") {
+		t.Errorf("PlanDOT: %v\n%s", err, dot)
+	}
+	if _, err := db.PlanDOT("q(m) :- Stars(m, a)", "lattice"); err != nil {
+		t.Errorf("lattice DOT: %v", err)
+	}
+	if _, err := db.PlanDOT("q(m) :- Stars(m, a)", "bogus"); err == nil {
+		t.Error("bad DOT kind should fail")
+	}
+}
+
+func TestFacadeIndexes(t *testing.T) {
+	db := Open()
+	s, _ := db.CreateRelation("S", "id", "name")
+	for i := 0; i < 100; i++ {
+		_ = s.Insert(0.5, i, "x")
+	}
+	if err := s.CreateRangeIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("missing"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	as, err := db.Rank("q(id) :- S(id, name), id <= 10", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 11 {
+		t.Errorf("answers = %d, want 11", len(as))
+	}
+}
+
+func TestExactOBDDMatchesExact(t *testing.T) {
+	db := movieDB(t)
+	q := "q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)"
+	a, err := db.Rank(q, &Options{Method: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.Rank(q, &Options{Method: ExactOBDD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Values[0] != b[i].Values[0] || math.Abs(a[i].Score-b[i].Score) > 1e-9 {
+			t.Errorf("answer %d: DPLL %+v vs OBDD %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package lapushdb
+
+import (
+	"fmt"
+	"sort"
+
+	"lapushdb/internal/core"
+	"lapushdb/internal/cq"
+	"lapushdb/internal/engine"
+	"lapushdb/internal/exact"
+)
+
+// RankTopK returns the top-k answers by EXACT probability, using the
+// dissociation upper bounds for early termination: answers are examined
+// in descending propagation-score order, and since every score is a
+// guaranteed upper bound (Corollary 19 of the paper), the search stops
+// as soon as the next upper bound cannot beat the k-th best exact
+// probability found — usually after exact inference on only a handful
+// of lineages. This turns the paper's one-sided guarantee into a
+// provably correct top-k operator.
+//
+// Exact inference on the examined answers must be feasible; the node
+// budget of Options.ExactBudget applies per answer.
+func (d *DB) RankTopK(query string, k int, opts *Options) ([]Answer, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("lapushdb: k must be positive")
+	}
+	q, err := cq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.checkQuery(q); err != nil {
+		return nil, err
+	}
+	budget := opts.ExactBudget
+	if budget <= 0 {
+		budget = 50_000_000
+	}
+
+	// Upper bounds from the merged dissociation plan.
+	sch := d.schema(q, opts)
+	eopts := engine.Options{ReuseSubplans: !opts.DisableOpt2, SemiJoin: !opts.DisableOpt3}
+	sp := core.SinglePlan(q, sch)
+	bounds := engine.NewEvaluator(d.db, q, eopts).Eval(sp)
+
+	// Lineages, keyed like the bound rows.
+	var reduced map[string][]int32
+	if !opts.DisableOpt3 {
+		reduced = engine.SemiJoinReduce(d.db, q)
+	}
+	lin := engine.EvalLineage(d.db, q, reduced)
+	clausesByKey := make(map[string][][]int32, lin.Len())
+	for i := 0; i < lin.Len(); i++ {
+		clausesByKey[valueKey(lin.Key(i))] = lin.Clauses(i)
+	}
+
+	type cand struct {
+		row   []engine.Value
+		bound float64
+	}
+	cands := make([]cand, bounds.Len())
+	for i := 0; i < bounds.Len(); i++ {
+		row := append([]engine.Value(nil), bounds.Row(i)...)
+		cands[i] = cand{row: row, bound: bounds.Score(i)}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].bound > cands[j].bound })
+
+	var top []Answer
+	kth := 0.0 // exact probability of the current k-th best
+	examined := 0
+	for _, c := range cands {
+		if len(top) >= k && c.bound <= kth {
+			break // no remaining answer can enter the top k
+		}
+		clauses := clausesByKey[valueKey(c.row)]
+		p, err := exact.ProbBudget(clauses, d.db.VarProbs(), budget)
+		if err != nil {
+			return nil, fmt.Errorf("lapushdb: exact inference infeasible for answer %v: %w", d.decode(c.row), err)
+		}
+		examined++
+		top = append(top, Answer{Values: d.decode(c.row), Score: p})
+		sortAnswers(top)
+		if len(top) > k {
+			top = top[:k]
+		}
+		if len(top) == k {
+			kth = top[k-1].Score
+		}
+	}
+	return top, nil
+}
+
+// RankUnion ranks the answers of a union of conjunctive queries (all
+// with the same head arity). Under the Dissociation method the combined
+// score is 1 − ∏(1 − ρi): by the FKG inequality the answers of
+// monotone queries over independent tuples are positively correlated,
+// so the independent-OR of per-query upper bounds is itself a valid
+// upper bound on the union's probability. Exact and MonteCarlo operate
+// on the union of the lineages, which is exact. Other methods are not
+// supported.
+func (d *DB) RankUnion(queries []string, opts *Options) ([]Answer, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("lapushdb: empty union")
+	}
+	parsed := make([]*cq.Query, len(queries))
+	arity := -1
+	for i, qs := range queries {
+		q, err := cq.Parse(qs)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.checkQuery(q); err != nil {
+			return nil, err
+		}
+		if arity < 0 {
+			arity = len(q.Head)
+		} else if len(q.Head) != arity {
+			return nil, fmt.Errorf("lapushdb: union arms have different head arities (%d vs %d)", arity, len(q.Head))
+		}
+		parsed[i] = q
+	}
+	switch opts.Method {
+	case Dissociation:
+		combined := map[string]float64{} // key -> ∏(1 − ρi)
+		vals := map[string][]string{}
+		for i, q := range parsed {
+			answers, err := d.rankDissociation(q, opts)
+			if err != nil {
+				return nil, err
+			}
+			_ = i
+			for _, a := range answers {
+				key := stringsKey(a.Values)
+				if _, ok := combined[key]; !ok {
+					combined[key] = 1
+					vals[key] = a.Values
+				}
+				combined[key] *= 1 - a.Score
+			}
+		}
+		out := make([]Answer, 0, len(combined))
+		for key, miss := range combined {
+			out = append(out, Answer{Values: vals[key], Score: 1 - miss})
+		}
+		sortAnswers(out)
+		return out, nil
+	case Exact, MonteCarlo:
+		// Union of lineages per answer, then exact/MC on the combined DNF.
+		type acc struct {
+			values  []string
+			clauses [][]int32
+		}
+		union := map[string]*acc{}
+		for _, q := range parsed {
+			var reduced map[string][]int32
+			if !opts.DisableOpt3 {
+				reduced = engine.SemiJoinReduce(d.db, q)
+			}
+			lin := engine.EvalLineage(d.db, q, reduced)
+			for i := 0; i < lin.Len(); i++ {
+				key := valueKey(lin.Key(i))
+				a, ok := union[key]
+				if !ok {
+					a = &acc{values: d.decode(lin.Key(i))}
+					union[key] = a
+				}
+				a.clauses = append(a.clauses, lin.Clauses(i)...)
+			}
+		}
+		budget := opts.ExactBudget
+		if budget <= 0 {
+			budget = 50_000_000
+		}
+		out := make([]Answer, 0, len(union))
+		rng := newSeededRand(opts.Seed)
+		samples := opts.MCSamples
+		if samples <= 0 {
+			samples = 1000
+		}
+		for _, a := range union {
+			var p float64
+			var err error
+			if opts.Method == Exact {
+				p, err = exact.ProbBudget(a.clauses, d.db.VarProbs(), budget)
+				if err != nil {
+					return nil, fmt.Errorf("lapushdb: exact inference infeasible for answer %v: %w", a.values, err)
+				}
+			} else {
+				p = mcEstimate(a.clauses, d.db.VarProbs(), samples, rng)
+			}
+			out = append(out, Answer{Values: a.values, Score: p})
+		}
+		sortAnswers(out)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("lapushdb: RankUnion supports Dissociation, Exact, and MonteCarlo")
+	}
+}
+
+func valueKey(vals []engine.Value) string {
+	b := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		u := uint64(v)
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24), byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	return string(b)
+}
+
+func stringsKey(vals []string) string {
+	b := make([]byte, 0, 32)
+	for _, v := range vals {
+		b = append(b, byte(len(v)), byte(len(v)>>8))
+		b = append(b, v...)
+	}
+	return string(b)
+}

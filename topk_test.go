@@ -1,0 +1,181 @@
+package lapushdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// biggerDB builds a database with many answers so top-k pruning has
+// something to prune.
+func biggerDB(t *testing.T, users int) *DB {
+	t.Helper()
+	db := Open()
+	likes, err := db.CreateRelation("Likes", "user", "movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stars, err := db.CreateRelation("Stars", "movie", "actor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan, err := db.CreateRelation("Fan", "actor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	movies := []string{"heat", "ronin", "casino", "alien", "solaris"}
+	actors := []string{"a1", "a2", "a3", "a4"}
+	for u := 0; u < users; u++ {
+		user := string(rune('a'+u%26)) + string(rune('a'+(u/26)%26))
+		for m := 0; m < 2+rng.Intn(3); m++ {
+			if err := likes.Insert(rng.Float64(), user, movies[rng.Intn(len(movies))]); err != nil {
+				// Ignore duplicate-shaped inserts: tuples may repeat, which
+				// is fine for a probabilistic DB (distinct events).
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, m := range movies {
+		for a := 0; a < 2; a++ {
+			if err := stars.Insert(rng.Float64(), m, actors[rng.Intn(len(actors))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, a := range actors {
+		if err := fan.Insert(rng.Float64(), a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+const topkQuery = "q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)"
+
+func TestRankTopKMatchesExact(t *testing.T) {
+	db := biggerDB(t, 30)
+	full, err := db.Rank(topkQuery, &Options{Method: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3, 10} {
+		top, err := db.RankTopK(topkQuery, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := k
+		if want > len(full) {
+			want = len(full)
+		}
+		if len(top) != want {
+			t.Fatalf("k=%d: got %d answers, want %d", k, len(top), want)
+		}
+		for i := 0; i < want; i++ {
+			if math.Abs(top[i].Score-full[i].Score) > 1e-12 {
+				t.Errorf("k=%d position %d: score %v, want %v (%v vs %v)",
+					k, i, top[i].Score, full[i].Score, top[i].Values, full[i].Values)
+			}
+		}
+	}
+}
+
+func TestRankTopKErrors(t *testing.T) {
+	db := movieDB(t)
+	if _, err := db.RankTopK(topkQuery, 0, nil); err == nil {
+		t.Error("k = 0 should fail")
+	}
+	if _, err := db.RankTopK("broken", 3, nil); err == nil {
+		t.Error("bad query should fail")
+	}
+	if _, err := db.RankTopK("q(x) :- Missing(x)", 3, nil); err == nil {
+		t.Error("unknown relation should fail")
+	}
+}
+
+func TestRankUnionDissociationUpperBound(t *testing.T) {
+	db := movieDB(t)
+	queries := []string{
+		"q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)",
+		"q(user) :- Likes(user, movie)",
+	}
+	diss, err := db.RankUnion(queries, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := db.RankUnion(queries, &Options{Method: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diss) != len(ex) {
+		t.Fatalf("answers %d vs %d", len(diss), len(ex))
+	}
+	score := func(as []Answer, v string) (float64, bool) {
+		for _, a := range as {
+			if a.Values[0] == v {
+				return a.Score, true
+			}
+		}
+		return 0, false
+	}
+	for _, a := range ex {
+		got, ok := score(diss, a.Values[0])
+		if !ok {
+			t.Fatalf("answer %v missing from dissociation union", a.Values)
+		}
+		if got < a.Score-1e-12 {
+			t.Errorf("%v: union upper bound %v below exact %v (FKG violated?)", a.Values, got, a.Score)
+		}
+	}
+	// Union probabilities dominate each arm's probability.
+	arm, _ := db.Rank(queries[1], &Options{Method: Exact})
+	for _, a := range arm {
+		got, ok := score(ex, a.Values[0])
+		if !ok || got < a.Score-1e-12 {
+			t.Errorf("%v: union exact %v below arm exact %v", a.Values, got, a.Score)
+		}
+	}
+}
+
+func TestRankUnionMonteCarlo(t *testing.T) {
+	db := movieDB(t)
+	queries := []string{
+		"q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)",
+		"q(user) :- Likes(user, movie)",
+	}
+	ex, err := db.RankUnion(queries, &Options{Method: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcAs, err := db.RankUnion(queries, &Options{Method: MonteCarlo, MCSamples: 100000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range ex {
+		for _, b := range mcAs {
+			if b.Values[0] == a.Values[0] && math.Abs(b.Score-a.Score) > 0.01 {
+				t.Errorf("%v: MC %v vs exact %v", a.Values, b.Score, a.Score)
+			}
+		}
+	}
+}
+
+func TestRankUnionErrors(t *testing.T) {
+	db := movieDB(t)
+	if _, err := db.RankUnion(nil, nil); err == nil {
+		t.Error("empty union should fail")
+	}
+	if _, err := db.RankUnion([]string{"bad"}, nil); err == nil {
+		t.Error("bad arm should fail")
+	}
+	if _, err := db.RankUnion([]string{
+		"q(user) :- Likes(user, movie)",
+		"q(user, movie) :- Likes(user, movie)",
+	}, nil); err == nil {
+		t.Error("mismatched arities should fail")
+	}
+	if _, err := db.RankUnion([]string{"q(user) :- Likes(user, movie)"},
+		&Options{Method: LineageSize}); err == nil {
+		t.Error("unsupported method should fail")
+	}
+}
