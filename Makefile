@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

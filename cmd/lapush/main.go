@@ -13,8 +13,9 @@
 // column's name is ignored). Pass -det Rel to declare a relation
 // deterministic and -key "Rel=col1,col2" to declare keys.
 //
-// Methods: diss (default), exact, mc, lineage, sql. Pass -explain to
-// print the minimal plans and dissociations instead of evaluating.
+// Methods: diss (default), exact, obdd, mc, kl, lineage, sql. Pass
+// -explain to print the minimal plans and dissociations instead of
+// evaluating.
 //
 // Databases can be persisted: -save db.lpd writes a snapshot after
 // loading the CSVs; -load db.lpd restores one instead of loading CSVs.
@@ -25,15 +26,14 @@ package main
 
 import (
 	"bufio"
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"lapushdb"
+	"lapushdb/internal/loader"
 )
 
 type relFlags []string
@@ -62,54 +62,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	det := map[string]bool{}
-	for _, d := range dets {
-		det[d] = true
+	// Validate the method before doing any loading work, so a typo fails
+	// fast with the valid set instead of after minutes of CSV ingestion.
+	if _, err := lapushdb.MethodFromString(*method); err != nil {
+		fail("%v", err)
 	}
 
-	var db *lapushdb.DB
-	if *loadFile != "" {
-		f, err := os.Open(*loadFile)
-		if err != nil {
-			fail("load snapshot: %v", err)
-		}
-		db, err = lapushdb.Load(f)
-		f.Close()
-		if err != nil {
-			fail("load snapshot: %v", err)
-		}
-	} else {
-		db = lapushdb.Open()
-		for _, spec := range rels {
-			name, file, ok := strings.Cut(spec, "=")
-			if !ok {
-				fail("bad -rel %q, want Name=file.csv", spec)
-			}
-			if err := loadCSV(db, name, file, det[name]); err != nil {
-				fail("load %s: %v", name, err)
-			}
-		}
-	}
-	for _, spec := range keys {
-		name, cols, ok := strings.Cut(spec, "=")
-		if !ok {
-			fail("bad -key %q, want Rel=col1,col2", spec)
-		}
-		r := db.Relation(name)
-		if r == nil {
-			fail("unknown relation %s in -key", name)
-		}
-		r.SetKey(strings.Split(cols, ",")...)
+	db, err := loader.Build(*loadFile, rels, dets, keys)
+	if err != nil {
+		fail("%v", err)
 	}
 	if *saveFile != "" {
-		f, err := os.Create(*saveFile)
-		if err != nil {
-			fail("save snapshot: %v", err)
-		}
-		if err := db.Save(f); err != nil {
-			fail("save snapshot: %v", err)
-		}
-		if err := f.Close(); err != nil {
+		if err := loader.SaveSnapshotFile(db, *saveFile); err != nil {
 			fail("save snapshot: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "saved snapshot to %s\n", *saveFile)
@@ -157,26 +121,11 @@ func main() {
 }
 
 func methodOptions(method string, samples int, seed int64) (*lapushdb.Options, error) {
-	opts := &lapushdb.Options{MCSamples: samples, Seed: seed}
-	switch method {
-	case "diss":
-		opts.Method = lapushdb.Dissociation
-	case "exact":
-		opts.Method = lapushdb.Exact
-	case "mc":
-		opts.Method = lapushdb.MonteCarlo
-	case "kl":
-		opts.Method = lapushdb.KarpLuby
-	case "obdd":
-		opts.Method = lapushdb.ExactOBDD
-	case "lineage":
-		opts.Method = lapushdb.LineageSize
-	case "sql":
-		opts.Method = lapushdb.Deterministic
-	default:
-		return nil, fmt.Errorf("unknown method %q (want diss, exact, obdd, mc, kl, lineage, or sql)", method)
+	m, err := lapushdb.MethodFromString(method)
+	if err != nil {
+		return nil, err
 	}
-	return opts, nil
+	return &lapushdb.Options{Method: m, MCSamples: samples, Seed: seed}, nil
 }
 
 func printAnswers(answers []lapushdb.Answer, top int) {
@@ -278,50 +227,6 @@ func repl(db *lapushdb.DB, method string, samples int, seed int64, top int, in i
 		}
 		prompt()
 	}
-}
-
-func loadCSV(db *lapushdb.DB, name, file string, det bool) error {
-	f, err := os.Open(file)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	rd := csv.NewReader(f)
-	rd.TrimLeadingSpace = true
-	records, err := rd.ReadAll()
-	if err != nil {
-		return err
-	}
-	if len(records) < 1 || len(records[0]) < 2 {
-		return fmt.Errorf("need a header row with at least one column plus probability")
-	}
-	cols := records[0][:len(records[0])-1]
-	var rel *lapushdb.Relation
-	if det {
-		rel, err = db.CreateDeterministicRelation(name, cols...)
-	} else {
-		rel, err = db.CreateRelation(name, cols...)
-	}
-	if err != nil {
-		return err
-	}
-	for ln, rec := range records[1:] {
-		if len(rec) != len(cols)+1 {
-			return fmt.Errorf("line %d: %d fields, want %d", ln+2, len(rec), len(cols)+1)
-		}
-		p, err := strconv.ParseFloat(rec[len(cols)], 64)
-		if err != nil {
-			return fmt.Errorf("line %d: bad probability %q", ln+2, rec[len(cols)])
-		}
-		vals := make([]any, len(cols))
-		for i, v := range rec[:len(cols)] {
-			vals[i] = v
-		}
-		if err := rel.Insert(p, vals...); err != nil {
-			return fmt.Errorf("line %d: %v", ln+2, err)
-		}
-	}
-	return nil
 }
 
 func fail(format string, args ...any) {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"lapushdb"
+	"lapushdb/internal/loader"
 )
 
 func writeFile(t *testing.T, dir, name, content string) string {
@@ -22,7 +23,7 @@ func TestLoadCSV(t *testing.T) {
 	dir := t.TempDir()
 	file := writeFile(t, dir, "likes.csv", "user,movie,p\nann,heat,0.9\nbob,heat,0.5\n")
 	db := lapushdb.Open()
-	if err := loadCSV(db, "Likes", file, false); err != nil {
+	if err := loader.LoadCSVFile(db, "Likes", file, false); err != nil {
 		t.Fatal(err)
 	}
 	if got := db.Relation("Likes").Len(); got != 2 {
@@ -41,7 +42,7 @@ func TestLoadCSVDeterministic(t *testing.T) {
 	dir := t.TempDir()
 	file := writeFile(t, dir, "d.csv", "x,p\n1,1\n2,1\n")
 	db := lapushdb.Open()
-	if err := loadCSV(db, "D", file, true); err != nil {
+	if err := loader.LoadCSVFile(db, "D", file, true); err != nil {
 		t.Fatal(err)
 	}
 	ex, err := db.Explain("q(x) :- D(x)")
@@ -68,7 +69,7 @@ func TestLoadCSVErrors(t *testing.T) {
 		if name != "missing.csv" {
 			writeFile(t, dir, name, content)
 		}
-		if err := loadCSV(db, "R_"+name[:3]+name[4:7], file, false); err == nil {
+		if err := loader.LoadCSVFile(db, "R_"+name[:3]+name[4:7], file, false); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
 	}

@@ -1,0 +1,112 @@
+// Command lapushd serves a probabilistic database over HTTP/JSON. It
+// loads the same CSV files and snapshots as cmd/lapush, then answers
+// concurrent queries with a bounded plan cache, per-request deadlines,
+// and Prometheus-format metrics.
+//
+// Usage:
+//
+//	lapushd -rel Likes=likes.csv -rel Stars=stars.csv -addr :8080
+//	lapushd -load db.lpd -workers 16 -cache 512
+//
+// Endpoints:
+//
+//	POST /v1/query     evaluate a conjunctive query and rank its answers
+//	POST /v1/explain   show minimal plans and dissociations
+//	GET  /v1/relations list loaded relations
+//	GET  /healthz      liveness probe
+//	GET  /metrics      Prometheus text metrics
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight queries before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lapushdb/internal/loader"
+	"lapushdb/internal/server"
+)
+
+type relFlags []string
+
+func (r *relFlags) String() string     { return strings.Join(*r, ",") }
+func (r *relFlags) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var rels, dets, keys relFlags
+	flag.Var(&rels, "rel", "relation as Name=file.csv (repeatable)")
+	flag.Var(&dets, "det", "declare a relation deterministic (repeatable)")
+	flag.Var(&keys, "key", "declare a key as Rel=col1,col2 (repeatable)")
+	loadFile := flag.String("load", "", "restore a database snapshot instead of loading CSVs")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 8, "max queries evaluating concurrently")
+	cacheSize := flag.Int("cache", 256, "plan cache capacity (entries)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	if len(rels) == 0 && *loadFile == "" {
+		fmt.Fprintln(os.Stderr, "lapushd: need at least one -rel or a -load snapshot")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	db, err := loader.Build(*loadFile, rels, dets, keys)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	srv := server.New(db, server.Config{
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	tuples := 0
+	infos := db.RelationInfos()
+	for _, ri := range infos {
+		tuples += ri.Tuples
+	}
+	fmt.Fprintf(os.Stderr, "lapushd: serving %d relations (%d tuples) on %s\n", len(infos), tuples, *addr)
+
+	select {
+	case err := <-errCh:
+		fail("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "lapushd: shutting down, draining in-flight queries")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail("shutdown: %v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lapushd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -110,25 +111,45 @@ type Evaluator struct {
 	opts    Options
 	cache   map[string]*Result
 	reduced map[string][]int32 // atom relation -> surviving row indices
+	cancel  canceller
 }
 
 // NewEvaluator prepares an evaluator for one query evaluation. If
 // opts.SemiJoin is set, q is used to compute the semi-join reduction; q
 // may be nil otherwise.
 func NewEvaluator(db *DB, q *cq.Query, opts Options) *Evaluator {
+	return NewEvaluatorCtx(nil, db, q, opts)
+}
+
+// NewEvaluatorCtx is NewEvaluator bound to a context: the semi-join
+// reduction and all evaluation loops poll ctx and unwind with a
+// cancellation panic when it is done. Callers passing a non-nil ctx must
+// wrap evaluation in TrapCancel.
+func NewEvaluatorCtx(ctx context.Context, db *DB, q *cq.Query, opts Options) *Evaluator {
 	e := &Evaluator{db: db, opts: opts}
+	e.cancel.ctx = ctx
 	if opts.ReuseSubplans {
 		e.cache = map[string]*Result{}
 	}
 	if opts.SemiJoin && q != nil {
-		e.reduced = SemiJoinReduce(db, q)
+		e.reduced = semiJoinReduce(db, q, &e.cancel)
 	}
+	return e
+}
+
+// WithContext binds the evaluator to a context: evaluation loops poll it
+// periodically and, when it is cancelled, unwind with a panic that
+// TrapCancel converts back into the context's error. Callers that bind a
+// context must wrap evaluation in TrapCancel.
+func (e *Evaluator) WithContext(ctx context.Context) *Evaluator {
+	e.cancel.ctx = ctx
 	return e
 }
 
 // Eval evaluates a plan and returns its result. The result's columns are
 // the plan's head variables in sorted order.
 func (e *Evaluator) Eval(p plan.Node) *Result {
+	e.cancel.checkNow()
 	if e.cache != nil {
 		if r, ok := e.cache[p.Key()]; ok {
 			return r
@@ -139,21 +160,21 @@ func (e *Evaluator) Eval(p plan.Node) *Result {
 	case *plan.Scan:
 		out = e.scan(t)
 	case *plan.Project:
-		out = project(e.Eval(t.Child), t.OnTo)
+		out = project(e.Eval(t.Child), t.OnTo, &e.cancel)
 	case *plan.Join:
 		results := make([]*Result, len(t.Subs))
 		for i, c := range t.Subs {
 			results[i] = e.Eval(c)
 		}
 		if e.opts.CostBasedJoins {
-			out = foldJoinCostBased(results)
+			out = foldJoinCostBased(results, &e.cancel)
 		} else {
-			out = foldJoin(results)
+			out = foldJoin(results, &e.cancel)
 		}
 	case *plan.Min:
 		out = e.Eval(t.Subs[0])
 		for _, c := range t.Subs[1:] {
-			out = combineMin(out, e.Eval(c))
+			out = combineMin(out, e.Eval(c), &e.cancel)
 		}
 	default:
 		panic("engine: unknown plan node")
@@ -168,14 +189,19 @@ func (e *Evaluator) Eval(p plan.Node) *Result {
 // them, mirroring separate SQL statements) and combines them with the
 // per-answer minimum — the unoptimized "all minimal plans" strategy.
 func EvalPlans(db *DB, q *cq.Query, plans []plan.Node, opts Options) *Result {
+	return EvalPlansCtx(nil, db, q, plans, opts)
+}
+
+// EvalPlansCtx is EvalPlans bound to a context (see NewEvaluatorCtx).
+func EvalPlansCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan.Node, opts Options) *Result {
 	var out *Result
 	for _, p := range plans {
-		e := NewEvaluator(db, q, opts)
+		e := NewEvaluatorCtx(ctx, db, q, opts)
 		r := e.Eval(p)
 		if out == nil {
 			out = r
 		} else {
-			out = combineMin(out, r)
+			out = combineMin(out, r, &e.cancel)
 		}
 	}
 	return out
@@ -207,6 +233,7 @@ func (e *Evaluator) scan(s *plan.Scan) *Result {
 	filter := newRowFilter(e.db, rel, s)
 	out := &Result{Cols: cols}
 	emit := func(i int) {
+		e.cancel.check()
 		row := rel.Row(i)
 		if !filter.ok(row) {
 			return
@@ -365,7 +392,7 @@ func LikeMatch(pattern, s string) bool {
 // project groups the child's rows by the kept columns and combines the
 // scores of each group as independent events: 1 − ∏(1 − s). This is the
 // probabilistic duplicate-eliminating projection π^p.
-func project(in *Result, onto []cq.Var) *Result {
+func project(in *Result, onto []cq.Var, c *canceller) *Result {
 	keep := make([]int, len(onto))
 	for i, v := range onto {
 		keep[i] = colIndex(in.Cols, v)
@@ -374,6 +401,7 @@ func project(in *Result, onto []cq.Var) *Result {
 	groups := map[string]int{}
 	key := make([]byte, 0, len(onto)*8)
 	for i := 0; i < in.Len(); i++ {
+		c.check()
 		row := in.Row(i)
 		key = key[:0]
 		for _, j := range keep {
@@ -401,7 +429,7 @@ func project(in *Result, onto []cq.Var) *Result {
 // products: it starts from the smallest input and greedily joins the
 // smallest remaining input that shares a column with the accumulated
 // result, falling back to a cross product only when no input connects.
-func foldJoin(results []*Result) *Result {
+func foldJoin(results []*Result, c *canceller) *Result {
 	if len(results) == 1 {
 		return results[0]
 	}
@@ -428,7 +456,7 @@ func foldJoin(results []*Result) *Result {
 		if pick < 0 {
 			pick = 0 // genuine cross product (disconnected plan)
 		}
-		cur = join(cur, remaining[pick])
+		cur = join(cur, remaining[pick], c)
 		remaining = append(remaining[:pick], remaining[pick+1:]...)
 	}
 	return cur
@@ -436,7 +464,7 @@ func foldJoin(results []*Result) *Result {
 
 // join computes the natural join of two results on their shared columns,
 // multiplying scores.
-func join(l, r *Result) *Result {
+func join(l, r *Result, c *canceller) *Result {
 	shared, lPos, rPos := sharedCols(l.Cols, r.Cols)
 	_ = shared
 	// Output columns: union, sorted.
@@ -485,6 +513,7 @@ func join(l, r *Result) *Result {
 			key = appendValue(key, prow[j])
 		}
 		for _, bi := range table[string(key)] {
+			c.check()
 			brow := build.Row(int(bi))
 			var lrow, rrow []Value
 			var ls, rs float64
@@ -513,7 +542,7 @@ func join(l, r *Result) *Result {
 // same answer support, so every key is expected on both sides; a tuple
 // seen on only one side keeps its score (defensive, and correct for the
 // upper-bound semantics).
-func combineMin(a, b *Result) *Result {
+func combineMin(a, b *Result, c *canceller) *Result {
 	if !varsSliceEqual(a.Cols, b.Cols) {
 		panic(fmt.Sprintf("engine: min over different columns %v vs %v", a.Cols, b.Cols))
 	}
@@ -528,6 +557,7 @@ func combineMin(a, b *Result) *Result {
 		idx[string(key)] = i
 	}
 	for i := 0; i < b.Len(); i++ {
+		c.check()
 		key = key[:0]
 		for _, v := range b.Row(i) {
 			key = appendValue(key, v)
@@ -550,6 +580,16 @@ func combineMin(a, b *Result) *Result {
 // predicates are applied first, so the reduction starts from the
 // selected subsets.
 func SemiJoinReduce(db *DB, q *cq.Query) map[string][]int32 {
+	return semiJoinReduce(db, q, nil)
+}
+
+// SemiJoinReduceCtx is SemiJoinReduce bound to a context (see
+// NewEvaluatorCtx for the cancellation contract).
+func SemiJoinReduceCtx(ctx context.Context, db *DB, q *cq.Query) map[string][]int32 {
+	return semiJoinReduce(db, q, &canceller{ctx: ctx})
+}
+
+func semiJoinReduce(db *DB, q *cq.Query, c *canceller) map[string][]int32 {
 	type atomInfo struct {
 		atom cq.Atom
 		rel  *Relation
@@ -609,6 +649,7 @@ func SemiJoinReduce(db *DB, q *cq.Query) map[string][]int32 {
 				keys := map[string]bool{}
 				key := make([]byte, 0, 16)
 				for _, r := range b.live {
+					c.check()
 					row := b.rel.Row(int(r))
 					key = key[:0]
 					for _, v := range vars {
@@ -619,6 +660,7 @@ func SemiJoinReduce(db *DB, q *cq.Query) map[string][]int32 {
 				// Keep only a's rows whose shared-key exists in b.
 				kept := a.live[:0]
 				for _, r := range a.live {
+					c.check()
 					row := a.rel.Row(int(r))
 					key = key[:0]
 					for _, v := range vars {

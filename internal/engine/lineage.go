@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sort"
 
 	"lapushdb/internal/cq"
@@ -49,6 +50,14 @@ func (l *Lineage) MaxSize() int {
 // same semi-join-reduced scan sets as Optimization 3 when reduced is
 // non-nil (pass SemiJoinReduce output) to keep intermediate results small.
 func EvalLineage(db *DB, q *cq.Query, reduced map[string][]int32) *Lineage {
+	return EvalLineageCtx(nil, db, q, reduced)
+}
+
+// EvalLineageCtx is EvalLineage bound to a context: the scan and join
+// loops poll ctx and unwind with a cancellation panic when it is done.
+// Callers passing a non-nil ctx must wrap the call in TrapCancel.
+func EvalLineageCtx(ctx context.Context, db *DB, q *cq.Query, reduced map[string][]int32) *Lineage {
+	cancel := &canceller{ctx: ctx}
 	type lrel struct {
 		cols []cq.Var
 		rows [][]Value
@@ -70,6 +79,7 @@ func EvalLineage(db *DB, q *cq.Query, reduced map[string][]int32) *Lineage {
 		}
 		out := &lrel{cols: cols}
 		emit := func(i int) {
+			cancel.check()
 			row := rel.Row(i)
 			if !filter.ok(row) {
 				return
@@ -133,6 +143,7 @@ func EvalLineage(db *DB, q *cq.Query, reduced map[string][]int32) *Lineage {
 				key = appendValue(key, l.rows[i][j])
 			}
 			for _, ri := range table[string(key)] {
+				cancel.check()
 				vals := make([]Value, len(outCols))
 				for k, s := range srcs {
 					if s.left {
@@ -168,6 +179,7 @@ func EvalLineage(db *DB, q *cq.Query, reduced map[string][]int32) *Lineage {
 	groups := map[string]int{}
 	key := make([]byte, 0, 16)
 	for i := range cur.rows {
+		cancel.check()
 		key = key[:0]
 		for _, j := range keep {
 			key = appendValue(key, cur.rows[i][j])
@@ -268,6 +280,12 @@ func orderAtomsByConnectivity(atoms []cq.Atom) []cq.Atom {
 // projected away with duplicate elimination. It returns the distinct
 // head tuples.
 func EvalDeterministic(db *DB, q *cq.Query) *Result {
+	return EvalDeterministicCtx(nil, db, q)
+}
+
+// EvalDeterministicCtx is EvalDeterministic bound to a context (see
+// EvalLineageCtx for the cancellation contract).
+func EvalDeterministicCtx(ctx context.Context, db *DB, q *cq.Query) *Result {
 	head := q.HeadSet()
 	atoms := orderAtomsByConnectivity(q.Atoms)
 	// needed[i]: variables required after joining atom i.
@@ -279,7 +297,7 @@ func EvalDeterministic(db *DB, q *cq.Query) *Result {
 			later.Add(v)
 		}
 	}
-	e := NewEvaluator(db, nil, Options{})
+	e := NewEvaluatorCtx(ctx, db, nil, Options{})
 	var cur *Result
 	for i, a := range atoms {
 		s := e.scan(plan.NewScan(a, q.PredsOnAtom(a)))
@@ -287,7 +305,7 @@ func EvalDeterministic(db *DB, q *cq.Query) *Result {
 		if cur == nil {
 			cur = s
 		} else {
-			cur = join(cur, s)
+			cur = join(cur, s, &e.cancel)
 		}
 		keep := cq.NewVarSet(cur.Cols...).Intersect(needed[i].Union(head))
 		cur = projectSet(cur, keep.Sorted())
@@ -299,7 +317,7 @@ func EvalDeterministic(db *DB, q *cq.Query) *Result {
 // projectSet projects under set semantics: duplicates are eliminated and
 // scores forced to 1.
 func projectSet(in *Result, onto []cq.Var) *Result {
-	out := project(in, onto)
+	out := project(in, onto, nil)
 	for i := range out.scores {
 		out.scores[i] = 1
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"sync"
 
@@ -15,18 +16,29 @@ import (
 // plan gets its own evaluator and subplan cache. Results are combined
 // with the per-answer minimum, exactly as in the sequential path.
 func EvalPlansParallel(db *DB, q *cq.Query, plans []plan.Node, opts Options, workers int) *Result {
+	return EvalPlansParallelCtx(nil, db, q, plans, opts, workers)
+}
+
+// EvalPlansParallelCtx is EvalPlansParallel bound to a context. Each
+// worker goroutine traps its own cancellation; the first cancellation
+// observed is re-raised on the calling goroutine after all workers
+// finish, so callers handle it uniformly via TrapCancel.
+func EvalPlansParallelCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan.Node, opts Options, workers int) *Result {
 	if len(plans) == 0 {
 		return &Result{}
 	}
 	if workers <= 0 {
 		workers = 4
 	}
+	root := &canceller{ctx: ctx}
 	var reduced map[string][]int32
 	if opts.SemiJoin && q != nil {
-		reduced = SemiJoinReduce(db, q)
+		reduced = semiJoinReduce(db, q, root)
 	}
 	results := make([]*Result, len(plans))
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var cancelErr error
 	sem := make(chan struct{}, workers)
 	for i, p := range plans {
 		wg.Add(1)
@@ -34,17 +46,30 @@ func EvalPlansParallel(db *DB, q *cq.Query, plans []plan.Node, opts Options, wor
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			e := &Evaluator{db: db, opts: opts, reduced: reduced}
-			if opts.ReuseSubplans {
-				e.cache = map[string]*Result{}
+			err := TrapCancel(func() {
+				e := &Evaluator{db: db, opts: opts, reduced: reduced}
+				e.cancel.ctx = ctx
+				if opts.ReuseSubplans {
+					e.cache = map[string]*Result{}
+				}
+				results[i] = e.Eval(p)
+			})
+			if err != nil {
+				mu.Lock()
+				if cancelErr == nil {
+					cancelErr = err
+				}
+				mu.Unlock()
 			}
-			results[i] = e.Eval(p)
 		}(i, p)
 	}
 	wg.Wait()
+	if cancelErr != nil {
+		panic(evalCancelled{cancelErr})
+	}
 	out := results[0]
 	for _, r := range results[1:] {
-		out = combineMin(out, r)
+		out = combineMin(out, r, root)
 	}
 	return out
 }
@@ -106,13 +131,13 @@ func estimateJoin(a, b columnStats, aCols, bCols []cq.Var) (float64, columnStats
 // cheapest left-deep order of the inputs in mask, with cost = sum of
 // estimated intermediate sizes. Falls back to the greedy fold beyond 12
 // inputs (the DP is 2^k).
-func foldJoinCostBased(results []*Result) *Result {
+func foldJoinCostBased(results []*Result, c *canceller) *Result {
 	k := len(results)
 	if k == 1 {
 		return results[0]
 	}
 	if k > 12 {
-		return foldJoin(results)
+		return foldJoin(results, c)
 	}
 	stats := make([]columnStats, k)
 	cols := make([][]cq.Var, k)
@@ -163,7 +188,7 @@ func foldJoinCostBased(results []*Result) *Result {
 	full := dp[(1<<uint(k))-1]
 	cur := results[full.order[0]]
 	for _, i := range full.order[1:] {
-		cur = join(cur, results[i])
+		cur = join(cur, results[i], c)
 	}
 	return cur
 }

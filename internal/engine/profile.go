@@ -39,21 +39,21 @@ func (e *Evaluator) EvalProfiled(p plan.Node) (*Result, []NodeStat) {
 		case *plan.Scan:
 			out = e.scan(t)
 		case *plan.Project:
-			out = project(eval(t.Child, depth+1), t.OnTo)
+			out = project(eval(t.Child, depth+1), t.OnTo, &e.cancel)
 		case *plan.Join:
 			results := make([]*Result, len(t.Subs))
 			for i, c := range t.Subs {
 				results[i] = eval(c, depth+1)
 			}
 			if e.opts.CostBasedJoins {
-				out = foldJoinCostBased(results)
+				out = foldJoinCostBased(results, &e.cancel)
 			} else {
-				out = foldJoin(results)
+				out = foldJoin(results, &e.cancel)
 			}
 		case *plan.Min:
 			out = eval(t.Subs[0], depth+1)
 			for _, c := range t.Subs[1:] {
-				out = combineMin(out, eval(c, depth+1))
+				out = combineMin(out, eval(c, depth+1), &e.cancel)
 			}
 		default:
 			panic("engine: unknown plan node")

@@ -1,0 +1,112 @@
+package loader
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"lapushdb"
+)
+
+func TestLoadCSV(t *testing.T) {
+	db := lapushdb.Open()
+	csv := "user, movie, p\nann, heat, 0.8\nbob, heat, 0.5\n"
+	if err := LoadCSV(db, "Likes", strings.NewReader(csv), false); err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	r := db.Relation("Likes")
+	if r == nil || r.Len() != 2 {
+		t.Fatalf("want 2 tuples, got %v", r)
+	}
+}
+
+func TestLoadCSVRejectsProbabilityAboveOne(t *testing.T) {
+	db := lapushdb.Open()
+	csv := "x, p\na, 0.5\nb, 1.7\n"
+	err := LoadCSV(db, "R", strings.NewReader(csv), false)
+	if err == nil {
+		t.Fatal("want error for probability 1.7, got nil")
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "out of [0, 1]") {
+		t.Fatalf("want line-numbered out-of-range error, got: %v", err)
+	}
+}
+
+func TestLoadCSVRejectsNegativeProbability(t *testing.T) {
+	db := lapushdb.Open()
+	csv := "x, p\na, -0.2\n"
+	err := LoadCSV(db, "R", strings.NewReader(csv), false)
+	if err == nil {
+		t.Fatal("want error for probability -0.2, got nil")
+	}
+	if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "out of [0, 1]") {
+		t.Fatalf("want line-numbered out-of-range error, got: %v", err)
+	}
+}
+
+func TestLoadCSVRejectsNaNProbability(t *testing.T) {
+	db := lapushdb.Open()
+	csv := "x, p\na, NaN\n"
+	err := LoadCSV(db, "R", strings.NewReader(csv), false)
+	if err == nil {
+		t.Fatal("want error for probability NaN, got nil")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-numbered error, got: %v", err)
+	}
+}
+
+func TestLoadCSVDeterministicRequiresOne(t *testing.T) {
+	db := lapushdb.Open()
+	csv := "x, p\na, 1\nb, 0.9\n"
+	err := LoadCSV(db, "R", strings.NewReader(csv), true)
+	if err == nil {
+		t.Fatal("want error for p != 1 in deterministic relation, got nil")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line-numbered error, got: %v", err)
+	}
+}
+
+func TestBuildAndKeySpecs(t *testing.T) {
+	dir := t.TempDir()
+	file := dir + "/likes.csv"
+	if err := writeFile(file, "user, movie, p\nann, heat, 0.8\n"); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Build("", []string{"Likes=" + file}, nil, []string{"Likes=user,movie"})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if db.Relation("Likes") == nil {
+		t.Fatal("relation not loaded")
+	}
+	if _, err := Build("", []string{"bad-spec"}, nil, nil); err == nil {
+		t.Fatal("want error for bad rel spec")
+	}
+	if _, err := Build("", nil, nil, []string{"Nope=user"}); err == nil {
+		t.Fatal("want error for unknown relation in key spec")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := lapushdb.Open()
+	if err := LoadCSV(db, "R", strings.NewReader("x, p\na, 0.5\n"), false); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/db.lpd"
+	if err := SaveSnapshotFile(db, path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if r := got.Relation("R"); r == nil || r.Len() != 1 {
+		t.Fatalf("snapshot round trip lost data: %v", r)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

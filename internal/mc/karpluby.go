@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 )
@@ -19,8 +20,16 @@ import (
 // expectation of the output is exactly P(F); averaging over `samples`
 // draws gives the estimate.
 func KarpLuby(clauses [][]int32, probs []float64, samples int, rng *rand.Rand) float64 {
+	p, _ := KarpLubyCtx(nil, clauses, probs, samples, rng)
+	return p
+}
+
+// KarpLubyCtx is KarpLuby with cooperative cancellation: the sampling
+// loop polls ctx every pollInterval rounds and returns its error when it
+// is done. A nil ctx never cancels.
+func KarpLubyCtx(ctx context.Context, clauses [][]int32, probs []float64, samples int, rng *rand.Rand) (float64, error) {
 	if len(clauses) == 0 {
-		return 0
+		return 0, nil
 	}
 	// Normalize: drop duplicate variables inside clauses; an empty
 	// clause makes the formula true.
@@ -35,7 +44,7 @@ func KarpLuby(clauses [][]int32, probs []float64, samples int, rng *rand.Rand) f
 			}
 		}
 		if len(uniq) == 0 {
-			return 1
+			return 1, nil
 		}
 		norm = append(norm, uniq)
 	}
@@ -51,7 +60,7 @@ func KarpLuby(clauses [][]int32, probs []float64, samples int, rng *rand.Rand) f
 		total += w
 	}
 	if total == 0 {
-		return 0
+		return 0, nil
 	}
 	prefix := make([]float64, len(norm))
 	acc := 0.0
@@ -86,6 +95,11 @@ func KarpLuby(clauses [][]int32, probs []float64, samples int, rng *rand.Rand) f
 	truth := make([]bool, len(order))
 	sum := 0.0
 	for s := 0; s < samples; s++ {
+		if ctx != nil && s%pollInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		// Sample clause i with probability weights[i]/total.
 		r := rng.Float64() * total
 		i := sort.SearchFloat64s(prefix, r)
@@ -117,5 +131,5 @@ func KarpLuby(clauses [][]int32, probs []float64, samples int, rng *rand.Rand) f
 		// Clause i is satisfied by construction, so n >= 1.
 		sum += 1.0 / float64(n)
 	}
-	return total * sum / float64(samples)
+	return total * sum / float64(samples), nil
 }

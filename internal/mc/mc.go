@@ -4,21 +4,34 @@
 package mc
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 )
+
+// pollInterval is how many sampling rounds may pass between two context
+// polls in the Ctx variants.
+const pollInterval = 1024
 
 // Estimate samples the monotone DNF formula `samples` times: in each
 // round every variable is independently set true with its probability and
 // the formula evaluated; the estimate is the fraction of satisfying
 // rounds.
 func Estimate(clauses [][]int32, probs []float64, samples int, rng *rand.Rand) float64 {
+	p, _ := EstimateCtx(nil, clauses, probs, samples, rng)
+	return p
+}
+
+// EstimateCtx is Estimate with cooperative cancellation: the sampling
+// loop polls ctx every pollInterval rounds and returns its error when it
+// is done. A nil ctx never cancels.
+func EstimateCtx(ctx context.Context, clauses [][]int32, probs []float64, samples int, rng *rand.Rand) (float64, error) {
 	if len(clauses) == 0 {
-		return 0
+		return 0, nil
 	}
 	for _, c := range clauses {
 		if len(c) == 0 {
-			return 1
+			return 1, nil
 		}
 	}
 	// Local variable ids keep the truth buffer dense.
@@ -51,6 +64,11 @@ func Estimate(clauses [][]int32, probs []float64, samples int, rng *rand.Rand) f
 	truth := make([]bool, len(order))
 	hits := 0
 	for s := 0; s < samples; s++ {
+		if ctx != nil && s%pollInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		for i := range truth {
 			truth[i] = rng.Float64() < p[i]
 		}
@@ -68,5 +86,5 @@ func Estimate(clauses [][]int32, probs []float64, samples int, rng *rand.Rand) f
 			}
 		}
 	}
-	return float64(hits) / float64(samples)
+	return float64(hits) / float64(samples), nil
 }

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"lapushdb"
+)
+
+// planCache is a bounded LRU cache of prepared statements. The cached
+// value is a *lapushdb.Prepared — the parsed query with its minimal
+// plans and merged single plan already enumerated — because plan search
+// is the expensive lifted-inference step; answer probabilities are
+// always computed fresh against the data. Keys combine the normalized
+// query, the method, and the database's schema fingerprint (see
+// Server.cacheKey), so a schema change or reload naturally invalidates
+// every entry.
+//
+// Prepared values are immutable, so a single entry may be handed to any
+// number of concurrent requests.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	onEvict func() // metrics hook, called with mu held
+}
+
+type cacheEntry struct {
+	key string
+	p   *lapushdb.Prepared
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &planCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached statement and promotes it to most recent.
+func (c *planCache) get(key string) (*lapushdb.Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).p, true
+}
+
+// put inserts a statement, evicting the least recently used entry when
+// the cache is full. Re-inserting an existing key refreshes its value
+// and recency.
+func (c *planCache) put(key string, p *lapushdb.Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).p = p
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, p: p})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		if c.onEvict != nil {
+			c.onEvict()
+		}
+	}
+}
+
+// len returns the number of cached statements.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

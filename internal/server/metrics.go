@@ -1,0 +1,147 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is a hand-rolled, dependency-free registry rendering in the
+// Prometheus text exposition format: per-endpoint request counts by
+// status code, per-endpoint latency histograms, in-flight gauges, and
+// the plan cache's hit/miss/eviction counters.
+type metrics struct {
+	endpoints map[string]*endpointMetrics
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheEvictions atomic.Int64
+	cacheEntries   func() int // reads the cache size at render time
+
+	queriesCancelled atomic.Int64
+	panicsRecovered  atomic.Int64
+	requestsRejected atomic.Int64 // worker-pool admission failures
+}
+
+// latencyBuckets are the histogram upper bounds in seconds.
+var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+type endpointMetrics struct {
+	inFlight atomic.Int64
+
+	mu      sync.Mutex
+	byCode  map[int]int64
+	buckets []int64 // one per latencyBuckets entry, cumulative at render
+	sum     float64
+	count   int64
+}
+
+func newMetrics(endpoints []string, cacheEntries func() int) *metrics {
+	m := &metrics{endpoints: make(map[string]*endpointMetrics, len(endpoints)), cacheEntries: cacheEntries}
+	for _, e := range endpoints {
+		m.endpoints[e] = &endpointMetrics{
+			byCode:  map[int]int64{},
+			buckets: make([]int64, len(latencyBuckets)),
+		}
+	}
+	return m
+}
+
+// observe records one finished request.
+func (m *metrics) observe(endpoint string, code int, seconds float64) {
+	e := m.endpoints[endpoint]
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.byCode[code]++
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			e.buckets[i]++
+			break
+		}
+	}
+	e.sum += seconds
+	e.count++
+	e.mu.Unlock()
+}
+
+func (m *metrics) enter(endpoint string) {
+	if e := m.endpoints[endpoint]; e != nil {
+		e.inFlight.Add(1)
+	}
+}
+
+func (m *metrics) exit(endpoint string) {
+	if e := m.endpoints[endpoint]; e != nil {
+		e.inFlight.Add(-1)
+	}
+}
+
+// render writes the whole registry in Prometheus text format with
+// stable ordering.
+func (m *metrics) render(b *strings.Builder) {
+	names := make([]string, 0, len(m.endpoints))
+	for n := range m.endpoints {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	b.WriteString("# TYPE lapushd_requests_total counter\n")
+	for _, n := range names {
+		e := m.endpoints[n]
+		e.mu.Lock()
+		codes := make([]int, 0, len(e.byCode))
+		for c := range e.byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(b, "lapushd_requests_total{endpoint=%q,code=%q} %d\n", n, strconv.Itoa(c), e.byCode[c])
+		}
+		e.mu.Unlock()
+	}
+
+	b.WriteString("# TYPE lapushd_request_duration_seconds histogram\n")
+	for _, n := range names {
+		e := m.endpoints[n]
+		e.mu.Lock()
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += e.buckets[i]
+			fmt.Fprintf(b, "lapushd_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", n, formatFloat(ub), cum)
+		}
+		fmt.Fprintf(b, "lapushd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", n, e.count)
+		fmt.Fprintf(b, "lapushd_request_duration_seconds_sum{endpoint=%q} %s\n", n, formatFloat(e.sum))
+		fmt.Fprintf(b, "lapushd_request_duration_seconds_count{endpoint=%q} %d\n", n, e.count)
+		e.mu.Unlock()
+	}
+
+	b.WriteString("# TYPE lapushd_in_flight_requests gauge\n")
+	for _, n := range names {
+		fmt.Fprintf(b, "lapushd_in_flight_requests{endpoint=%q} %d\n", n, m.endpoints[n].inFlight.Load())
+	}
+
+	b.WriteString("# TYPE lapushd_plan_cache_hits_total counter\n")
+	fmt.Fprintf(b, "lapushd_plan_cache_hits_total %d\n", m.cacheHits.Load())
+	b.WriteString("# TYPE lapushd_plan_cache_misses_total counter\n")
+	fmt.Fprintf(b, "lapushd_plan_cache_misses_total %d\n", m.cacheMisses.Load())
+	b.WriteString("# TYPE lapushd_plan_cache_evictions_total counter\n")
+	fmt.Fprintf(b, "lapushd_plan_cache_evictions_total %d\n", m.cacheEvictions.Load())
+	b.WriteString("# TYPE lapushd_plan_cache_entries gauge\n")
+	fmt.Fprintf(b, "lapushd_plan_cache_entries %d\n", m.cacheEntries())
+
+	b.WriteString("# TYPE lapushd_queries_cancelled_total counter\n")
+	fmt.Fprintf(b, "lapushd_queries_cancelled_total %d\n", m.queriesCancelled.Load())
+	b.WriteString("# TYPE lapushd_panics_recovered_total counter\n")
+	fmt.Fprintf(b, "lapushd_panics_recovered_total %d\n", m.panicsRecovered.Load())
+	b.WriteString("# TYPE lapushd_requests_rejected_total counter\n")
+	fmt.Fprintf(b, "lapushd_requests_rejected_total %d\n", m.requestsRejected.Load())
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,457 @@
+// Package server is lapushd's HTTP/JSON query service: a concurrent
+// front end over a lapushdb.DB with a bounded LRU plan cache, a
+// worker-pool executor with per-request deadlines, hand-rolled
+// Prometheus-format metrics, and defensive middleware (request size
+// limits, structured JSON errors, panic recovery).
+//
+// Endpoints:
+//
+//	POST /v1/query     {"query", "method", "top", "samples", "seed", "timeout_ms", "ignore_schema"}
+//	POST /v1/explain   {"query", "ignore_schema", "timeout_ms"}
+//	GET  /v1/relations
+//	GET  /healthz
+//	GET  /metrics
+//
+// The database is loaded once at startup and treated as immutable while
+// serving, so prepared plans are shared freely across requests and the
+// schema fingerprint that scopes cache keys is computed once.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"lapushdb"
+)
+
+// Config tunes the server. Zero values select the documented defaults.
+type Config struct {
+	// Workers bounds the number of queries evaluating concurrently
+	// (default 8). Requests beyond the bound wait in line, still subject
+	// to their deadline.
+	Workers int
+	// CacheSize bounds the plan cache's entry count (default 256).
+	CacheSize int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (default 5m).
+	MaxTimeout time.Duration
+	// MaxBodyBytes limits request body size (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxSamples caps Monte Carlo sample counts (default 10,000,000).
+	MaxSamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 10_000_000
+	}
+	return c
+}
+
+// Server serves queries over one immutable database.
+type Server struct {
+	db          *lapushdb.DB
+	fingerprint string
+	cfg         Config
+	cache       *planCache
+	sem         chan struct{} // worker-pool slots
+	metrics     *metrics
+	mux         *http.ServeMux
+	start       time.Time
+}
+
+// New builds a server over db. The db must not be mutated while the
+// server is in use: prepared plans and the schema fingerprint assume a
+// fixed schema and contents.
+func New(db *lapushdb.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		db:          db,
+		fingerprint: db.SchemaFingerprint(),
+		cfg:         cfg,
+		cache:       newPlanCache(cfg.CacheSize),
+		sem:         make(chan struct{}, cfg.Workers),
+		start:       time.Now(),
+	}
+	s.metrics = newMetrics([]string{"query", "explain", "relations", "healthz", "metrics"}, s.cache.len)
+	s.cache.onEvict = func() { s.metrics.cacheEvictions.Add(1) }
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/query", s.instrument("query", http.MethodPost, s.handleQuery))
+	s.mux.HandleFunc("/v1/explain", s.instrument("explain", http.MethodPost, s.handleExplain))
+	s.mux.HandleFunc("/v1/relations", s.instrument("relations", http.MethodGet, s.handleRelations))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// apiError is the JSON error envelope: {"error": {"code", "message"}}.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorResponse struct {
+	Error apiError `json:"error"`
+}
+
+// statusRecorder captures the status code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with method filtering, body size limits,
+// panic recovery, and request metrics.
+func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		s.metrics.enter(endpoint)
+		begin := time.Now()
+		defer func() {
+			s.metrics.exit(endpoint)
+			if p := recover(); p != nil {
+				s.metrics.panicsRecovered.Add(1)
+				// The handler may have written nothing yet; best effort.
+				writeError(rec, http.StatusInternalServerError, "internal", fmt.Sprintf("internal error: %v", p))
+				debug.PrintStack()
+			}
+			s.metrics.observe(endpoint, rec.code, time.Since(begin).Seconds())
+		}()
+		if r.Method != method {
+			rec.Header().Set("Allow", method)
+			writeError(rec, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Sprintf("%s requires %s", r.URL.Path, method))
+			return
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
+		}
+		h(rec, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorResponse{Error: apiError{Code: code, Message: msg}})
+}
+
+// decodeBody parses a JSON request body strictly (unknown fields are
+// rejected) and reports oversized bodies distinctly.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("malformed request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// requestContext applies the request's timeout (or the default, capped
+// at MaxTimeout) on top of the connection context.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// acquire takes a worker-pool slot, giving up when ctx expires first.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.metrics.requestsRejected.Add(1)
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// cacheKey scopes a normalized query by method, schema-use flag, and
+// the database's schema fingerprint. The fingerprint covers schema and
+// tuple counts, so serving a different snapshot never reuses stale
+// plans; keying by method keeps one method's traffic from evicting
+// another's entries even though Prepared values are method-independent.
+func (s *Server) cacheKey(method, normalized string, ignoreSchema bool) string {
+	flag := "s"
+	if ignoreSchema {
+		flag = "n"
+	}
+	return method + "\x00" + flag + "\x00" + s.fingerprint + "\x00" + normalized
+}
+
+// prepared resolves a query through the plan cache, preparing and
+// inserting on miss. Returns the statement and whether it was a hit.
+func (s *Server) prepared(ctx context.Context, methodLabel, query string, opts *lapushdb.Options) (*lapushdb.Prepared, bool, error) {
+	normalized, err := s.db.NormalizeQuery(query)
+	if err != nil {
+		return nil, false, err
+	}
+	key := s.cacheKey(methodLabel, normalized, opts.IgnoreSchema)
+	if p, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		return p, true, nil
+	}
+	s.metrics.cacheMisses.Add(1)
+	p, err := s.db.PrepareContext(ctx, query, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	s.cache.put(key, p)
+	return p, false, nil
+}
+
+type queryRequest struct {
+	Query        string `json:"query"`
+	Method       string `json:"method"`
+	Top          int    `json:"top"`
+	Samples      int    `json:"samples"`
+	Seed         int64  `json:"seed"`
+	TimeoutMS    int64  `json:"timeout_ms"`
+	IgnoreSchema bool   `json:"ignore_schema"`
+}
+
+type answerJSON struct {
+	Values []string `json:"values"`
+	Score  float64  `json:"score"`
+}
+
+type queryResponse struct {
+	Answers   []answerJSON `json:"answers"`
+	Count     int          `json:"count"`
+	Method    string       `json:"method"`
+	Safe      bool         `json:"safe"`
+	Cache     string       `json:"cache"` // "hit" or "miss"
+	ElapsedMS float64      `json:"elapsed_ms"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, "missing_query", "field \"query\" is required")
+		return
+	}
+	if req.Method == "" {
+		req.Method = "diss"
+	}
+	method, err := lapushdb.MethodFromString(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_method", err.Error())
+		return
+	}
+	if req.Top < 0 {
+		writeError(w, http.StatusBadRequest, "bad_top", "field \"top\" must be >= 0")
+		return
+	}
+	if req.Samples < 0 || req.Samples > s.cfg.MaxSamples {
+		writeError(w, http.StatusBadRequest, "bad_samples",
+			fmt.Sprintf("field \"samples\" must be in [0, %d]", s.cfg.MaxSamples))
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "bad_timeout", "field \"timeout_ms\" must be >= 0")
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	opts := &lapushdb.Options{
+		Method:       method,
+		MCSamples:    req.Samples,
+		Seed:         req.Seed,
+		IgnoreSchema: req.IgnoreSchema,
+	}
+	begin := time.Now()
+	p, hit, err := s.prepared(ctx, req.Method, req.Query, opts)
+	if err != nil {
+		s.writeQueryError(w, ctx, err)
+		return
+	}
+	if err := s.acquire(ctx); err != nil {
+		s.writeQueryError(w, ctx, err)
+		return
+	}
+	answers, err := s.db.RankPrepared(ctx, p, opts)
+	s.release()
+	if err != nil {
+		s.writeQueryError(w, ctx, err)
+		return
+	}
+	if req.Top > 0 && req.Top < len(answers) {
+		answers = answers[:req.Top]
+	}
+	resp := queryResponse{
+		Answers:   make([]answerJSON, len(answers)),
+		Count:     len(answers),
+		Method:    req.Method,
+		Safe:      p.Safe(),
+		Cache:     cacheLabel(hit),
+		ElapsedMS: float64(time.Since(begin).Microseconds()) / 1000,
+	}
+	for i, a := range answers {
+		resp.Answers[i] = answerJSON{Values: a.Values, Score: a.Score}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// writeQueryError maps evaluation errors to structured responses:
+// cancellation and deadline errors become 503/504 (and count in the
+// cancellation metric), everything else is a client-side query problem.
+func (s *Server) writeQueryError(w http.ResponseWriter, ctx context.Context, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.queriesCancelled.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", "query deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		s.metrics.queriesCancelled.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "cancelled", "query cancelled")
+	default:
+		writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+	}
+	_ = ctx
+}
+
+type explainRequest struct {
+	Query        string `json:"query"`
+	IgnoreSchema bool   `json:"ignore_schema"`
+	TimeoutMS    int64  `json:"timeout_ms"`
+}
+
+type explainResponse struct {
+	Safe          bool     `json:"safe"`
+	Plans         []string `json:"plans"`
+	Dissociations []string `json:"dissociations"`
+	SinglePlan    string   `json:"single_plan"`
+	Cache         string   `json:"cache"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, "missing_query", "field \"query\" is required")
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	opts := &lapushdb.Options{IgnoreSchema: req.IgnoreSchema}
+	p, hit, err := s.prepared(ctx, "explain", req.Query, opts)
+	if err != nil {
+		s.writeQueryError(w, ctx, err)
+		return
+	}
+	ex := p.Explanation()
+	writeJSON(w, http.StatusOK, explainResponse{
+		Safe:          ex.Safe,
+		Plans:         ex.Plans,
+		Dissociations: ex.Dissociations,
+		SinglePlan:    ex.SinglePlan,
+		Cache:         cacheLabel(hit),
+	})
+}
+
+type relationJSON struct {
+	Name          string   `json:"name"`
+	Cols          []string `json:"cols"`
+	Deterministic bool     `json:"deterministic"`
+	Key           []string `json:"key,omitempty"`
+	Tuples        int      `json:"tuples"`
+}
+
+func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
+	infos := s.db.RelationInfos()
+	rels := make([]relationJSON, len(infos))
+	for i, ri := range infos {
+		rels[i] = relationJSON{
+			Name:          ri.Name,
+			Cols:          ri.Cols,
+			Deterministic: ri.Deterministic,
+			Key:           ri.Key,
+			Tuples:        ri.Tuples,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"relations": rels, "fingerprint": s.fingerprint})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	tuples := 0
+	infos := s.db.RelationInfos()
+	for _, ri := range infos {
+		tuples += ri.Tuples
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"uptime_s":    time.Since(s.start).Seconds(),
+		"relations":   len(infos),
+		"tuples":      tuples,
+		"fingerprint": s.fingerprint,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.metrics.render(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

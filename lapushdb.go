@@ -29,6 +29,7 @@
 package lapushdb
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -200,6 +201,14 @@ type Answer struct {
 // score. The query must be a self-join-free conjunctive query over the
 // database's relations.
 func (d *DB) Rank(query string, opts *Options) ([]Answer, error) {
+	return d.RankContext(context.Background(), query, opts)
+}
+
+// RankContext is Rank honoring ctx: the engine's evaluation loops poll
+// the context periodically and the call returns its error
+// (context.Canceled or context.DeadlineExceeded) promptly when it is
+// done, instead of running the query to completion.
+func (d *DB) RankContext(ctx context.Context, query string, opts *Options) ([]Answer, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -210,17 +219,26 @@ func (d *DB) Rank(query string, opts *Options) ([]Answer, error) {
 	if err := d.checkQuery(q); err != nil {
 		return nil, err
 	}
+	return d.rank(ctx, q, nil, opts)
+}
+
+// rank dispatches a parsed query to its method's evaluation path. When
+// pre is non-nil its pre-enumerated plans are reused (RankPrepared).
+func (d *DB) rank(ctx context.Context, q *cq.Query, pre *Prepared, opts *Options) ([]Answer, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	switch opts.Method {
 	case Dissociation:
-		return d.rankDissociation(q, opts)
+		return d.rankDissociation(ctx, q, pre, opts)
 	case Exact, ExactOBDD:
-		return d.rankLineageBased(q, opts, true)
+		return d.rankLineageBased(ctx, q, opts, true)
 	case MonteCarlo, KarpLuby:
-		return d.rankLineageBased(q, opts, false)
+		return d.rankLineageBased(ctx, q, opts, false)
 	case LineageSize:
-		return d.rankLineageSize(q, opts)
+		return d.rankLineageSize(ctx, q, opts)
 	case Deterministic:
-		return d.rankDeterministic(q)
+		return d.rankDeterministic(ctx, q)
 	default:
 		return nil, fmt.Errorf("lapushdb: unknown method %d", opts.Method)
 	}
@@ -246,32 +264,48 @@ func (d *DB) schema(q *cq.Query, opts *Options) *core.Schema {
 	return engine.SchemaFor(d.db, q)
 }
 
-func (d *DB) rankDissociation(q *cq.Query, opts *Options) ([]Answer, error) {
-	sch := d.schema(q, opts)
+func (d *DB) rankDissociation(ctx context.Context, q *cq.Query, pre *Prepared, opts *Options) ([]Answer, error) {
 	eopts := engine.Options{
 		ReuseSubplans:  !opts.DisableOpt2,
 		SemiJoin:       !opts.DisableOpt3,
 		CostBasedJoins: opts.CostBasedJoins,
 	}
+	// Plans come from the prepared statement when available — skipping
+	// the minimal-plan enumeration is the point of the plan cache.
+	minPlans := func() []plan.Node {
+		if pre != nil {
+			return pre.plans
+		}
+		return core.MinimalPlans(q, d.schema(q, opts))
+	}
 	var res *engine.Result
-	switch {
-	case opts.Parallel:
-		res = engine.EvalPlansParallel(d.db, q, core.MinimalPlans(q, sch), eopts, opts.Workers)
-	case opts.DisableOpt1:
-		res = engine.EvalPlans(d.db, q, core.MinimalPlans(q, sch), eopts)
-	default:
-		sp := core.SinglePlan(q, sch)
-		res = engine.NewEvaluator(d.db, q, eopts).Eval(sp)
+	err := engine.TrapCancel(func() {
+		switch {
+		case opts.Parallel:
+			res = engine.EvalPlansParallelCtx(ctx, d.db, q, minPlans(), eopts, opts.Workers)
+		case opts.DisableOpt1:
+			res = engine.EvalPlansCtx(ctx, d.db, q, minPlans(), eopts)
+		default:
+			var sp plan.Node
+			if pre != nil {
+				sp = pre.single
+			} else {
+				sp = core.SinglePlan(q, d.schema(q, opts))
+			}
+			res = engine.NewEvaluatorCtx(ctx, d.db, q, eopts).Eval(sp)
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return d.toAnswers(res), nil
 }
 
-func (d *DB) rankLineageBased(q *cq.Query, opts *Options, exactMethod bool) ([]Answer, error) {
-	var reduced map[string][]int32
-	if !opts.DisableOpt3 {
-		reduced = engine.SemiJoinReduce(d.db, q)
+func (d *DB) rankLineageBased(ctx context.Context, q *cq.Query, opts *Options, exactMethod bool) ([]Answer, error) {
+	lin, err := d.evalLineage(ctx, q, !opts.DisableOpt3)
+	if err != nil {
+		return nil, err
 	}
-	lin := engine.EvalLineage(d.db, q, reduced)
 	answers := make([]Answer, lin.Len())
 	budget := opts.ExactBudget
 	if budget <= 0 {
@@ -283,6 +317,9 @@ func (d *DB) rankLineageBased(q *cq.Query, opts *Options, exactMethod bool) ([]A
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for i := 0; i < lin.Len(); i++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		var p float64
 		if exactMethod {
 			var err error
@@ -294,10 +331,16 @@ func (d *DB) rankLineageBased(q *cq.Query, opts *Options, exactMethod bool) ([]A
 			if err != nil {
 				return nil, fmt.Errorf("lapushdb: exact inference infeasible for answer %v: %w", d.decode(lin.Key(i)), err)
 			}
-		} else if opts.Method == KarpLuby {
-			p = mc.KarpLuby(lin.Clauses(i), d.db.VarProbs(), samples, rng)
 		} else {
-			p = mc.Estimate(lin.Clauses(i), d.db.VarProbs(), samples, rng)
+			var err error
+			if opts.Method == KarpLuby {
+				p, err = mc.KarpLubyCtx(ctx, lin.Clauses(i), d.db.VarProbs(), samples, rng)
+			} else {
+				p, err = mc.EstimateCtx(ctx, lin.Clauses(i), d.db.VarProbs(), samples, rng)
+			}
+			if err != nil {
+				return nil, err
+			}
 		}
 		answers[i] = Answer{Values: d.decode(lin.Key(i)), Score: p}
 	}
@@ -305,12 +348,28 @@ func (d *DB) rankLineageBased(q *cq.Query, opts *Options, exactMethod bool) ([]A
 	return answers, nil
 }
 
-func (d *DB) rankLineageSize(q *cq.Query, opts *Options) ([]Answer, error) {
-	var reduced map[string][]int32
-	if !opts.DisableOpt3 {
-		reduced = engine.SemiJoinReduce(d.db, q)
+// evalLineage computes the query's lineage under ctx, with the semi-join
+// reduction applied first when reduce is set.
+func (d *DB) evalLineage(ctx context.Context, q *cq.Query, reduce bool) (*engine.Lineage, error) {
+	var lin *engine.Lineage
+	err := engine.TrapCancel(func() {
+		var reduced map[string][]int32
+		if reduce {
+			reduced = engine.SemiJoinReduceCtx(ctx, d.db, q)
+		}
+		lin = engine.EvalLineageCtx(ctx, d.db, q, reduced)
+	})
+	if err != nil {
+		return nil, err
 	}
-	lin := engine.EvalLineage(d.db, q, reduced)
+	return lin, nil
+}
+
+func (d *DB) rankLineageSize(ctx context.Context, q *cq.Query, opts *Options) ([]Answer, error) {
+	lin, err := d.evalLineage(ctx, q, !opts.DisableOpt3)
+	if err != nil {
+		return nil, err
+	}
 	answers := make([]Answer, lin.Len())
 	for i := 0; i < lin.Len(); i++ {
 		answers[i] = Answer{Values: d.decode(lin.Key(i)), Score: float64(lin.Size(i))}
@@ -319,8 +378,14 @@ func (d *DB) rankLineageSize(q *cq.Query, opts *Options) ([]Answer, error) {
 	return answers, nil
 }
 
-func (d *DB) rankDeterministic(q *cq.Query) ([]Answer, error) {
-	res := engine.EvalDeterministic(d.db, q)
+func (d *DB) rankDeterministic(ctx context.Context, q *cq.Query) ([]Answer, error) {
+	var res *engine.Result
+	err := engine.TrapCancel(func() {
+		res = engine.EvalDeterministicCtx(ctx, d.db, q)
+	})
+	if err != nil {
+		return nil, err
+	}
 	return d.toAnswers(res), nil
 }
 
@@ -394,26 +459,20 @@ type Explanation struct {
 // schema knowledge. An optional Options value controls schema use
 // (IgnoreSchema); evaluation-strategy fields are ignored.
 func (d *DB) Explain(query string, opts ...*Options) (*Explanation, error) {
-	q, err := cq.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	if err := d.checkQuery(q); err != nil {
-		return nil, err
-	}
+	return d.ExplainContext(context.Background(), query, opts...)
+}
+
+// ExplainContext is Explain honoring ctx at stage boundaries.
+func (d *DB) ExplainContext(ctx context.Context, query string, opts ...*Options) (*Explanation, error) {
 	o := &Options{}
 	if len(opts) > 0 && opts[0] != nil {
 		o = opts[0]
 	}
-	sch := d.schema(q, o)
-	plans := core.MinimalPlans(q, sch)
-	ex := &Explanation{Safe: core.IsSafe(q, sch)}
-	for _, p := range plans {
-		ex.Plans = append(ex.Plans, plan.String(p))
-		ex.Dissociations = append(ex.Dissociations, plan.DeltaOf(q, p).String())
+	p, err := d.PrepareContext(ctx, query, o)
+	if err != nil {
+		return nil, err
 	}
-	ex.SinglePlan = plan.String(core.SinglePlan(q, sch))
-	return ex, nil
+	return p.Explanation(), nil
 }
 
 // ScaleProbs multiplies every tuple probability by f ∈ (0, 1]. Scaling
@@ -458,6 +517,12 @@ type LineageInfo struct {
 // database's uncertain tuples whose probability is the answer's true
 // probability.
 func (d *DB) Lineage(query string) ([]LineageInfo, error) {
+	return d.LineageContext(context.Background(), query)
+}
+
+// LineageContext is Lineage honoring ctx: the lineage evaluation loops
+// poll the context and return its error promptly when it is done.
+func (d *DB) LineageContext(ctx context.Context, query string) ([]LineageInfo, error) {
 	q, err := cq.Parse(query)
 	if err != nil {
 		return nil, err
@@ -465,7 +530,10 @@ func (d *DB) Lineage(query string) ([]LineageInfo, error) {
 	if err := d.checkQuery(q); err != nil {
 		return nil, err
 	}
-	lin := engine.EvalLineage(d.db, q, engine.SemiJoinReduce(d.db, q))
+	lin, err := d.evalLineage(ctx, q, true)
+	if err != nil {
+		return nil, err
+	}
 	labels := d.db.VarLabels()
 	name := func(v int32) string {
 		if s, ok := labels[v]; ok {

@@ -1,6 +1,7 @@
 package lapushdb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -130,7 +131,7 @@ func (d *DB) RankUnion(queries []string, opts *Options) ([]Answer, error) {
 		combined := map[string]float64{} // key -> ∏(1 − ρi)
 		vals := map[string][]string{}
 		for i, q := range parsed {
-			answers, err := d.rankDissociation(q, opts)
+			answers, err := d.rankDissociation(context.Background(), q, nil, opts)
 			if err != nil {
 				return nil, err
 			}
