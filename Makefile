@@ -18,3 +18,12 @@ check: build vet test
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+FUZZTIME ?= 10s
+
+.PHONY: fuzz
+fuzz:
+	$(GO) test -run=^$$ -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/cq
+	$(GO) test -run=^$$ -fuzz='^FuzzAnalyses$$' -fuzztime=$(FUZZTIME) ./internal/cq
+	$(GO) test -run=^$$ -fuzz='^FuzzLikeMatch$$' -fuzztime=$(FUZZTIME) ./internal/engine
+	$(GO) test -run=^$$ -fuzz='^FuzzMorselDifferential$$' -fuzztime=$(FUZZTIME) ./internal/engine

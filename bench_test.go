@@ -314,3 +314,37 @@ func BenchmarkTopK(b *testing.B) {
 func exactProb(clauses [][]int32, probs []float64) (float64, error) {
 	return exact.ProbBudget(clauses, probs, 50_000_000)
 }
+
+// BenchmarkRank measures end-to-end ranking of the paper's unsafe
+// 3-chain at different intra-query worker counts. The morsel
+// determinism contract makes every variant produce byte-identical
+// rankings, which the benchmark verifies against the Workers=1 output.
+func BenchmarkRank(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	edb, q := workload.Chain(3, 30000, 2000, 0.5, rng)
+	plans := core.MinimalPlans(q, nil)
+	ref := engine.EvalPlans(edb, q, plans, engine.Options{Workers: 1, ReuseSubplans: true, SemiJoin: true})
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var res *engine.Result
+			for i := 0; i < b.N; i++ {
+				res = engine.EvalPlans(edb, q, plans, engine.Options{Workers: w, ReuseSubplans: true, SemiJoin: true})
+			}
+			b.StopTimer()
+			if res.Len() != ref.Len() {
+				b.Fatalf("workers=%d: %d rows vs %d", w, res.Len(), ref.Len())
+			}
+			for i := 0; i < ref.Len(); i++ {
+				if res.Score(i) != ref.Score(i) {
+					b.Fatalf("workers=%d: row %d score %v != %v", w, i, res.Score(i), ref.Score(i))
+				}
+				rr, gr := ref.Row(i), res.Row(i)
+				for j := range rr {
+					if rr[j] != gr[j] {
+						b.Fatalf("workers=%d: row %d differs", w, i)
+					}
+				}
+			}
+		})
+	}
+}

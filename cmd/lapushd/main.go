@@ -49,6 +49,7 @@ func main() {
 	loadFile := flag.String("load", "", "restore a database snapshot instead of loading CSVs")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 8, "max queries evaluating concurrently")
+	parallelism := flag.Int("parallelism", 1, "default intra-query worker count (morsel parallelism; requests may override via the parallelism field)")
 	cacheSize := flag.Int("cache", 256, "plan cache capacity (entries)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
@@ -69,6 +70,7 @@ func main() {
 
 	srv := server.New(db, server.Config{
 		Workers:        *workers,
+		Parallelism:    *parallelism,
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,

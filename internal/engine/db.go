@@ -17,12 +17,20 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Value is an interned attribute value. Non-negative values represent the
 // integer itself; negative values are indices into the database's string
 // dictionary.
 type Value int64
+
+// noValue is the resolution of a query constant that appears nowhere in
+// the database: it compares unequal to every stored Value and fails every
+// numeric comparison, so scans filter correctly without mutating the
+// string dictionary at query time (which would race under parallel
+// evaluation).
+const noValue Value = -1 << 62
 
 // DB is a tuple-independent probabilistic database: a set of relations
 // plus a probability per tuple. Every tuple is also a Boolean lineage
@@ -33,11 +41,17 @@ type DB struct {
 	strs    []string
 	strIDs  map[string]Value
 	varProb []float64 // probability per lineage variable id
+
+	// valIDs assigns a dense int32 id to every distinct Value stored in
+	// any relation, in first-insertion order. Join and group-by keys are
+	// built from these ids ([]int32) instead of per-row byte encodings:
+	// keys of arity <= 2 pack exactly into one uint64 map key.
+	valIDs map[Value]int32
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{rels: map[string]*Relation{}, strIDs: map[string]Value{}}
+	return &DB{rels: map[string]*Relation{}, strIDs: map[string]Value{}, valIDs: map[Value]int32{}}
 }
 
 // Relation is one probabilistic relation. All tuples of a deterministic
@@ -53,11 +67,14 @@ type Relation struct {
 
 	db   *DB
 	rows []Value   // flattened: len = arity * count
+	vids []int32   // dense value ids, parallel to rows
 	prob []float64 // per tuple; nil for deterministic relations
 	vars []int32   // lineage variable ids; nil for deterministic relations
 
 	// Secondary indexes, built lazily (see index.go). Not persisted or
-	// cloned: they rebuild on first use.
+	// cloned: they rebuild on first use. idxMu serializes the lazy
+	// builds: scans may run concurrently under parallel evaluation.
+	idxMu    sync.Mutex
 	hashIdx  map[int]*hashIndex
 	rangeIdx map[int]*rangeIndex
 }
@@ -131,9 +148,13 @@ func (db *DB) Clone() *DB {
 		strs:    append([]string(nil), db.strs...),
 		strIDs:  make(map[string]Value, len(db.strIDs)),
 		varProb: append([]float64(nil), db.varProb...),
+		valIDs:  make(map[Value]int32, len(db.valIDs)),
 	}
 	for s, id := range db.strIDs {
 		c.strIDs[s] = id
+	}
+	for v, id := range db.valIDs {
+		c.valIDs[v] = id
 	}
 	for name, r := range db.rels {
 		c.rels[name] = &Relation{
@@ -143,12 +164,29 @@ func (db *DB) Clone() *DB {
 			Key:           append([]int(nil), r.Key...),
 			db:            c,
 			rows:          append([]Value(nil), r.rows...),
+			vids:          append([]int32(nil), r.vids...),
 			prob:          append([]float64(nil), r.prob...),
 			vars:          append([]int32(nil), r.vars...),
 		}
 	}
 	return c
 }
+
+// noteValue returns the dense id of v, assigning the next one on first
+// sight. Called at insert/load time only; evaluation reads valIDs
+// read-only.
+func (db *DB) noteValue(v Value) int32 {
+	if id, ok := db.valIDs[v]; ok {
+		return id
+	}
+	id := int32(len(db.valIDs))
+	db.valIDs[v] = id
+	return id
+}
+
+// NumValues returns the number of distinct values stored across all
+// relations (the size of the dense value-id space).
+func (db *DB) NumValues() int { return len(db.valIDs) }
 
 // Intern returns the Value for a string, adding it to the dictionary if
 // needed.
@@ -180,12 +218,28 @@ func (db *DB) Decode(v Value) string {
 }
 
 // EncodeConst interns a query constant: numeric literals become integer
-// values, everything else dictionary ids.
+// values, everything else dictionary ids. Insert-time only — query
+// evaluation resolves constants with lookupConst, which never writes.
 func (db *DB) EncodeConst(lit string) Value {
 	if i, err := strconv.ParseInt(lit, 10, 64); err == nil && i >= 0 {
 		return Value(i)
 	}
 	return db.Intern(lit)
+}
+
+// lookupConst resolves a query constant read-only: numeric literals
+// encode themselves, known strings resolve to their dictionary id, and
+// unknown strings resolve to noValue (they can match no stored tuple).
+// Scans and predicates use this so concurrent evaluations never mutate
+// the dictionary.
+func (db *DB) lookupConst(lit string) Value {
+	if i, err := strconv.ParseInt(lit, 10, 64); err == nil && i >= 0 {
+		return Value(i)
+	}
+	if id, ok := db.strIDs[lit]; ok {
+		return id
+	}
+	return noValue
 }
 
 // VarLabels returns a human-readable label for every lineage variable,
@@ -231,6 +285,9 @@ func (r *Relation) Insert(tuple []Value, p float64) {
 		panic(fmt.Sprintf("engine: probability %v out of [0, 1]", p))
 	}
 	r.rows = append(r.rows, tuple...)
+	for _, v := range tuple {
+		r.vids = append(r.vids, r.db.noteValue(v))
+	}
 	if r.Deterministic {
 		if p != 1 {
 			panic(fmt.Sprintf("engine: deterministic relation %s requires p = 1", r.Name))
@@ -258,6 +315,13 @@ func (r *Relation) InsertStrings(tuple []string, p float64) {
 func (r *Relation) Row(i int) []Value {
 	a := len(r.Cols)
 	return r.rows[i*a : (i+1)*a]
+}
+
+// vidRow returns the dense value ids of the i-th tuple (a view; do not
+// modify).
+func (r *Relation) vidRow(i int) []int32 {
+	a := len(r.Cols)
+	return r.vids[i*a : (i+1)*a]
 }
 
 // Prob returns the probability of the i-th tuple.

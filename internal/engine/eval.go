@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"lapushdb/internal/cq"
 	"lapushdb/internal/plan"
@@ -16,7 +17,14 @@ import (
 type Result struct {
 	Cols   []cq.Var
 	rows   []Value // flattened, len = len(Cols) * n
+	ids    []int32 // dense value ids (DB.noteValue), parallel to rows
 	scores []float64
+
+	// Lazy ScoreOf index: hash of the row values -> first row with that
+	// hash, with hash collisions chained through idxNext.
+	idxOnce sync.Once
+	idx     map[uint64]int32
+	idxNext []int32
 }
 
 // Len returns the number of result tuples.
@@ -29,6 +37,13 @@ func (r *Result) Row(i int) []Value {
 		return nil
 	}
 	return r.rows[i*a : (i+1)*a]
+}
+
+// idRow returns the dense value ids of the i-th tuple (a view; do not
+// modify).
+func (r *Result) idRow(i int) []int32 {
+	a := len(r.Cols)
+	return r.ids[i*a : (i+1)*a]
 }
 
 // Score returns the probability score of the i-th tuple.
@@ -44,23 +59,54 @@ func (r *Result) BooleanScore() float64 {
 }
 
 // ScoreOf returns the score of the tuple with the given values, and
-// whether it exists.
+// whether it exists. The first call builds a hash index over the rows,
+// so a batch of lookups costs O(n + lookups) instead of O(n·lookups).
+// Concurrent ScoreOf calls are safe; do not overlap them with mutation.
 func (r *Result) ScoreOf(key []Value) (float64, bool) {
-	a := len(r.Cols)
-	if len(key) != a {
+	if len(key) != len(r.Cols) {
 		return 0, false
 	}
-outer:
-	for i := 0; i < r.Len(); i++ {
-		row := r.Row(i)
-		for j := range key {
-			if row[j] != key[j] {
-				continue outer
+	r.idxOnce.Do(r.buildScoreIndex)
+	j, ok := r.idx[valueKeyHash(key)]
+	for ok {
+		row := r.Row(int(j))
+		match := true
+		for i := range key {
+			if row[i] != key[i] {
+				match = false
+				break
 			}
 		}
-		return r.scores[i], true
+		if match {
+			return r.scores[j], true
+		}
+		j = r.idxNext[j]
+		ok = j >= 0
 	}
 	return 0, false
+}
+
+// buildScoreIndex hashes every row once. Duplicate rows keep the first
+// occurrence, matching the linear scan ScoreOf replaced.
+func (r *Result) buildScoreIndex() {
+	n := r.Len()
+	r.idx = make(map[uint64]int32, n)
+	r.idxNext = make([]int32, n)
+	for i := 0; i < n; i++ {
+		r.idxNext[i] = -1
+		h := valueKeyHash(r.Row(i))
+		first, ok := r.idx[h]
+		if !ok {
+			r.idx[h] = int32(i)
+			continue
+		}
+		for j := first; ; j = r.idxNext[j] {
+			if r.idxNext[j] < 0 {
+				r.idxNext[j] = int32(i)
+				break
+			}
+		}
+	}
 }
 
 // Sorted returns the row indices ordered by descending score, breaking
@@ -100,6 +146,17 @@ type Options struct {
 	// program over System R cardinality estimates instead of the default
 	// greedy smallest-connected-input heuristic.
 	CostBasedJoins bool
+	// Workers bounds intra-plan morsel parallelism: operators split row
+	// ranges into fixed-size chunks evaluated on up to Workers
+	// goroutines, the calling one included. Values <= 1 evaluate
+	// sequentially. Chunk layout depends only on input sizes — never on
+	// Workers — so output scores are bit-identical across all settings
+	// (see morsel.go).
+	Workers int
+	// Stats, when non-nil, accumulates execution counters (morsel chunks
+	// and join partitions processed) across the evaluation. Safe to share
+	// between concurrent evaluators.
+	Stats *EvalStats
 }
 
 // Evaluator evaluates plans over a database under the extensional score
@@ -112,6 +169,12 @@ type Evaluator struct {
 	cache   map[string]*Result
 	reduced map[string][]int32 // atom relation -> surviving row indices
 	cancel  canceller
+	pool    *pool // helper goroutines for morsel parallelism; nil = sequential
+}
+
+// ex returns the operator execution context for this evaluator.
+func (e *Evaluator) ex() *exec {
+	return &exec{c: &e.cancel, pool: e.pool, stats: e.opts.Stats}
 }
 
 // NewEvaluator prepares an evaluator for one query evaluation. If
@@ -128,6 +191,7 @@ func NewEvaluator(db *DB, q *cq.Query, opts Options) *Evaluator {
 func NewEvaluatorCtx(ctx context.Context, db *DB, q *cq.Query, opts Options) *Evaluator {
 	e := &Evaluator{db: db, opts: opts}
 	e.cancel.ctx = ctx
+	e.pool = newPool(ctx, opts.Workers)
 	if opts.ReuseSubplans {
 		e.cache = map[string]*Result{}
 	}
@@ -160,21 +224,21 @@ func (e *Evaluator) Eval(p plan.Node) *Result {
 	case *plan.Scan:
 		out = e.scan(t)
 	case *plan.Project:
-		out = project(e.Eval(t.Child), t.OnTo, &e.cancel)
+		out = project(e.Eval(t.Child), t.OnTo, e.ex())
 	case *plan.Join:
 		results := make([]*Result, len(t.Subs))
 		for i, c := range t.Subs {
 			results[i] = e.Eval(c)
 		}
 		if e.opts.CostBasedJoins {
-			out = foldJoinCostBased(results, &e.cancel)
+			out = foldJoinCostBased(results, e.ex())
 		} else {
-			out = foldJoin(results, &e.cancel)
+			out = foldJoin(results, e.ex())
 		}
 	case *plan.Min:
 		out = e.Eval(t.Subs[0])
 		for _, c := range t.Subs[1:] {
-			out = combineMin(out, e.Eval(c), &e.cancel)
+			out = combineMin(out, e.Eval(c), e.ex())
 		}
 	default:
 		panic("engine: unknown plan node")
@@ -201,7 +265,7 @@ func EvalPlansCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan.Node, o
 		if out == nil {
 			out = r
 		} else {
-			out = combineMin(out, r, &e.cancel)
+			out = combineMin(out, r, e.ex())
 		}
 	}
 	return out
@@ -238,8 +302,10 @@ func (e *Evaluator) scan(s *plan.Scan) *Result {
 		if !filter.ok(row) {
 			return
 		}
+		vrow := rel.vidRow(i)
 		for _, j := range pos {
 			out.rows = append(out.rows, row[j])
+			out.ids = append(out.ids, vrow[j])
 		}
 		out.scores = append(out.scores, rel.Prob(i))
 	}
@@ -282,7 +348,7 @@ func newRowFilter(db *DB, rel *Relation, s *plan.Scan) *rowFilter {
 			f.consts = append(f.consts, struct {
 				pos int
 				val Value
-			}{j, db.EncodeConst(t.Const)})
+			}{j, db.lookupConst(t.Const)})
 			continue
 		}
 		if prev, ok := seen[t.Var]; ok {
@@ -333,7 +399,7 @@ func compilePred(db *DB, p cq.Predicate, pos int) compiledPred {
 	if p.Op == cq.OpLike {
 		c.pat = p.Const
 	} else {
-		c.num = db.EncodeConst(p.Const)
+		c.num = db.lookupConst(p.Const)
 	}
 	return c
 }
@@ -392,32 +458,76 @@ func LikeMatch(pattern, s string) bool {
 // project groups the child's rows by the kept columns and combines the
 // scores of each group as independent events: 1 − ∏(1 − s). This is the
 // probabilistic duplicate-eliminating projection π^p.
-func project(in *Result, onto []cq.Var, c *canceller) *Result {
+//
+// The grouping is morsel-parallel: each chunk builds its own group
+// table with per-group complement partials ∏(1 − s) in row order, then
+// one goroutine merges partials chunk-ascending. Group ids follow
+// first-appearance order across chunks, which equals sequential row
+// order, so output rows and scores are bit-identical to a sequential
+// pass: within a chunk the factor order is the row order, and the
+// single-chunk case multiplies the initial 1 by the partial — exact in
+// IEEE arithmetic.
+func project(in *Result, onto []cq.Var, ex *exec) *Result {
 	keep := make([]int, len(onto))
 	for i, v := range onto {
 		keep[i] = colIndex(in.Cols, v)
 	}
+	ka := len(keep)
+	n := in.Len()
 	out := &Result{Cols: append([]cq.Var(nil), onto...)}
-	groups := map[string]int{}
-	key := make([]byte, 0, len(onto)*8)
-	for i := 0; i < in.Len(); i++ {
-		c.check()
-		row := in.Row(i)
-		key = key[:0]
-		for _, j := range keep {
-			key = appendValue(key, row[j])
-		}
-		g, ok := groups[string(key)]
-		if !ok {
-			g = out.Len()
-			groups[string(key)] = g
-			for _, j := range keep {
-				out.rows = append(out.rows, row[j])
+	if n == 0 {
+		return out
+	}
+	type chunkGroups struct {
+		firstRow []int32 // local group id -> first input row of the group
+		partial  []float64
+	}
+	nChunks := numChunks(n)
+	locals := make([]chunkGroups, nChunks)
+	if nChunks > 1 {
+		ex.addPartitions(nChunks)
+	}
+	ex.forChunks(nChunks, func(ci int, c *canceller) {
+		lo, hi := chunkBounds(ci, n)
+		g := newGroupTable(ka, hi-lo)
+		lg := &locals[ci]
+		key := make([]int32, ka)
+		for i := lo; i < hi; i++ {
+			c.check()
+			ids := in.idRow(i)
+			for k, j := range keep {
+				key[k] = ids[j]
 			}
-			// Store the complement ∏(1 − s); flip at the end.
-			out.scores = append(out.scores, 1)
+			gid, fresh := g.intern(key)
+			if fresh {
+				lg.firstRow = append(lg.firstRow, int32(i))
+				lg.partial = append(lg.partial, 1)
+			}
+			lg.partial[gid] *= 1 - in.scores[i]
 		}
-		out.scores[g] *= 1 - in.scores[i]
+	})
+	global := newGroupTable(ka, len(locals[0].firstRow))
+	cc := ex.canc()
+	key := make([]int32, ka)
+	for ci := range locals {
+		lg := &locals[ci]
+		for li, ri := range lg.firstRow {
+			cc.check()
+			ids := in.idRow(int(ri))
+			for k, j := range keep {
+				key[k] = ids[j]
+			}
+			gid, fresh := global.intern(key)
+			if fresh {
+				row := in.Row(int(ri))
+				for _, j := range keep {
+					out.rows = append(out.rows, row[j])
+					out.ids = append(out.ids, ids[j])
+				}
+				out.scores = append(out.scores, 1)
+			}
+			out.scores[gid] *= lg.partial[li]
+		}
 	}
 	for i := range out.scores {
 		out.scores[i] = 1 - out.scores[i]
@@ -429,7 +539,7 @@ func project(in *Result, onto []cq.Var, c *canceller) *Result {
 // products: it starts from the smallest input and greedily joins the
 // smallest remaining input that shares a column with the accumulated
 // result, falling back to a cross product only when no input connects.
-func foldJoin(results []*Result, c *canceller) *Result {
+func foldJoin(results []*Result, ex *exec) *Result {
 	if len(results) == 1 {
 		return results[0]
 	}
@@ -456,7 +566,7 @@ func foldJoin(results []*Result, c *canceller) *Result {
 		if pick < 0 {
 			pick = 0 // genuine cross product (disconnected plan)
 		}
-		cur = join(cur, remaining[pick], c)
+		cur = join(cur, remaining[pick], ex)
 		remaining = append(remaining[:pick], remaining[pick+1:]...)
 	}
 	return cur
@@ -464,9 +574,14 @@ func foldJoin(results []*Result, c *canceller) *Result {
 
 // join computes the natural join of two results on their shared columns,
 // multiplying scores.
-func join(l, r *Result, c *canceller) *Result {
-	shared, lPos, rPos := sharedCols(l.Cols, r.Cols)
-	_ = shared
+//
+// The build side is hashed into a partitioned table (see buildJoinTable)
+// and the probe side scans in parallel morsels into per-chunk buffers
+// that are concatenated chunk-ascending — the emission order of a
+// sequential probe, with build matches ascending within each probe row,
+// so the output is bit-identical to the sequential join.
+func join(l, r *Result, ex *exec) *Result {
+	_, lPos, rPos := sharedCols(l.Cols, r.Cols)
 	// Output columns: union, sorted.
 	colSet := cq.NewVarSet(l.Cols...)
 	for _, c := range r.Cols {
@@ -487,7 +602,7 @@ func join(l, r *Result, c *canceller) *Result {
 		}
 	}
 	out := &Result{Cols: outCols}
-	// Build a hash table on the smaller input.
+	// Build on the smaller input.
 	build, probe := r, l
 	buildPos, probePos := rPos, lPos
 	buildLeft := false
@@ -496,43 +611,74 @@ func join(l, r *Result, c *canceller) *Result {
 		buildPos, probePos = lPos, rPos
 		buildLeft = true
 	}
-	table := map[string][]int32{}
-	key := make([]byte, 0, 16)
-	for i := 0; i < build.Len(); i++ {
-		row := build.Row(i)
-		key = key[:0]
-		for _, j := range buildPos {
-			key = appendValue(key, row[j])
-		}
-		table[string(key)] = append(table[string(key)], int32(i))
+	jt := buildJoinTable(build, buildPos, ex)
+	np := probe.Len()
+	pChunks := numChunks(np)
+	type chunkBuf struct {
+		rows   []Value
+		ids    []int32
+		scores []float64
 	}
-	for i := 0; i < probe.Len(); i++ {
-		prow := probe.Row(i)
-		key = key[:0]
-		for _, j := range probePos {
-			key = appendValue(key, prow[j])
-		}
-		for _, bi := range table[string(key)] {
+	bufs := make([]chunkBuf, pChunks)
+	if pChunks > 1 {
+		ex.addPartitions(pChunks)
+	}
+	ex.forChunks(pChunks, func(ci int, c *canceller) {
+		lo, hi := chunkBounds(ci, np)
+		b := &bufs[ci]
+		key := make([]int32, len(probePos))
+		for i := lo; i < hi; i++ {
 			c.check()
-			brow := build.Row(int(bi))
-			var lrow, rrow []Value
-			var ls, rs float64
-			if buildLeft {
-				lrow, rrow = brow, prow
-				ls, rs = build.scores[bi], probe.scores[i]
-			} else {
-				lrow, rrow = prow, brow
-				ls, rs = probe.scores[i], build.scores[bi]
+			prow := probe.Row(i)
+			pids := probe.idRow(i)
+			for k, j := range probePos {
+				key[k] = pids[j]
 			}
-			for _, s := range srcs {
-				if s.left {
-					out.rows = append(out.rows, lrow[s.pos])
+			for _, bi := range jt.lookup(keySig(key), key) {
+				c.check()
+				brow := build.Row(int(bi))
+				bids := build.idRow(int(bi))
+				var lrow, rrow []Value
+				var lids, rids []int32
+				var ls, rs float64
+				if buildLeft {
+					lrow, rrow = brow, prow
+					lids, rids = bids, pids
+					ls, rs = build.scores[bi], probe.scores[i]
 				} else {
-					out.rows = append(out.rows, rrow[s.pos])
+					lrow, rrow = prow, brow
+					lids, rids = pids, bids
+					ls, rs = probe.scores[i], build.scores[bi]
 				}
+				for _, s := range srcs {
+					if s.left {
+						b.rows = append(b.rows, lrow[s.pos])
+						b.ids = append(b.ids, lids[s.pos])
+					} else {
+						b.rows = append(b.rows, rrow[s.pos])
+						b.ids = append(b.ids, rids[s.pos])
+					}
+				}
+				b.scores = append(b.scores, ls*rs)
 			}
-			out.scores = append(out.scores, ls*rs)
 		}
+	})
+	if pChunks == 1 {
+		out.rows, out.ids, out.scores = bufs[0].rows, bufs[0].ids, bufs[0].scores
+		return out
+	}
+	total := 0
+	for i := range bufs {
+		total += len(bufs[i].scores)
+	}
+	width := len(outCols)
+	out.rows = make([]Value, 0, total*width)
+	out.ids = make([]int32, 0, total*width)
+	out.scores = make([]float64, 0, total)
+	for i := range bufs {
+		out.rows = append(out.rows, bufs[i].rows...)
+		out.ids = append(out.ids, bufs[i].ids...)
+		out.scores = append(out.scores, bufs[i].scores...)
 	}
 	return out
 }
@@ -542,30 +688,36 @@ func join(l, r *Result, c *canceller) *Result {
 // same answer support, so every key is expected on both sides; a tuple
 // seen on only one side keeps its score (defensive, and correct for the
 // upper-bound semantics).
-func combineMin(a, b *Result, c *canceller) *Result {
+func combineMin(a, b *Result, ex *exec) *Result {
 	if !varsSliceEqual(a.Cols, b.Cols) {
 		panic(fmt.Sprintf("engine: min over different columns %v vs %v", a.Cols, b.Cols))
 	}
-	idx := map[string]int{}
-	key := make([]byte, 0, 16)
-	out := &Result{Cols: a.Cols, rows: append([]Value(nil), a.rows...), scores: append([]float64(nil), a.scores...)}
+	cc := ex.canc()
+	g := newGroupTable(len(a.Cols), a.Len())
+	rowOf := make([]int32, 0, a.Len())
+	out := &Result{
+		Cols:   a.Cols,
+		rows:   append([]Value(nil), a.rows...),
+		ids:    append([]int32(nil), a.ids...),
+		scores: append([]float64(nil), a.scores...),
+	}
 	for i := 0; i < a.Len(); i++ {
-		key = key[:0]
-		for _, v := range a.Row(i) {
-			key = appendValue(key, v)
+		cc.check()
+		gid, fresh := g.intern(a.idRow(i))
+		if fresh {
+			rowOf = append(rowOf, int32(i))
+		} else {
+			rowOf[gid] = int32(i) // duplicate key in a: last wins, as before
 		}
-		idx[string(key)] = i
 	}
 	for i := 0; i < b.Len(); i++ {
-		c.check()
-		key = key[:0]
-		for _, v := range b.Row(i) {
-			key = appendValue(key, v)
-		}
-		if j, ok := idx[string(key)]; ok {
+		cc.check()
+		if gid, ok := g.lookup(b.idRow(i)); ok {
+			j := rowOf[gid]
 			out.scores[j] = math.Min(out.scores[j], b.scores[i])
 		} else {
 			out.rows = append(out.rows, b.Row(i)...)
+			out.ids = append(out.ids, b.idRow(i)...)
 			out.scores = append(out.scores, b.scores[i])
 		}
 	}
@@ -646,27 +798,25 @@ func semiJoinReduce(db *DB, q *cq.Query, c *canceller) map[string][]int32 {
 					continue
 				}
 				// Keys present in b on the shared vars.
-				keys := map[string]bool{}
-				key := make([]byte, 0, 16)
+				keys := newGroupTable(len(vars), len(b.live))
+				key := make([]int32, len(vars))
 				for _, r := range b.live {
 					c.check()
-					row := b.rel.Row(int(r))
-					key = key[:0]
-					for _, v := range vars {
-						key = appendValue(key, row[b.varPos[v]])
+					row := b.rel.vidRow(int(r))
+					for x, v := range vars {
+						key[x] = row[b.varPos[v]]
 					}
-					keys[string(key)] = true
+					keys.intern(key)
 				}
 				// Keep only a's rows whose shared-key exists in b.
 				kept := a.live[:0]
 				for _, r := range a.live {
 					c.check()
-					row := a.rel.Row(int(r))
-					key = key[:0]
-					for _, v := range vars {
-						key = appendValue(key, row[a.varPos[v]])
+					row := a.rel.vidRow(int(r))
+					for x, v := range vars {
+						key[x] = row[a.varPos[v]]
 					}
-					if keys[string(key)] {
+					if _, ok := keys.lookup(key); ok {
 						kept = append(kept, r)
 					}
 				}

@@ -62,6 +62,10 @@ func (r *Relation) hashLookup(col int, v Value) ([]int32, bool) {
 	if !ok {
 		return nil, false
 	}
+	// Parallel evaluation may scan the same relation from several
+	// goroutines; serialize the lazy build (and the builtAt check).
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
 	if idx.builtAt != r.Len() {
 		idx.rows = make(map[Value][]int32, r.Len())
 		for i := 0; i < r.Len(); i++ {
@@ -84,6 +88,8 @@ func (r *Relation) rangeLookup(col int, op cq.CompareOp, bound Value) ([]int32, 
 	if bound < 0 {
 		return nil, false // non-numeric bound: fall back to full scan
 	}
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
 	if idx.builtAt != r.Len() {
 		idx.perm = make([]int32, r.Len())
 		for i := range idx.perm {
@@ -141,7 +147,7 @@ func (r *Relation) indexCandidates(db *DB, s *plan.Scan) ([]int32, bool) {
 	// Constants in atom argument positions.
 	for j, t := range s.Atom.Args {
 		if !t.IsVar() {
-			consider(r.hashLookup(j, db.EncodeConst(t.Const)))
+			consider(r.hashLookup(j, db.lookupConst(t.Const)))
 		}
 	}
 	// Predicates bound to argument positions.
@@ -160,9 +166,9 @@ func (r *Relation) indexCandidates(db *DB, s *plan.Scan) ([]int32, bool) {
 		}
 		switch p.Op {
 		case cq.OpEQ:
-			consider(r.hashLookup(j, db.EncodeConst(p.Const)))
+			consider(r.hashLookup(j, db.lookupConst(p.Const)))
 		case cq.OpLE, cq.OpLT, cq.OpGE, cq.OpGT:
-			consider(r.rangeLookup(j, p.Op, db.EncodeConst(p.Const)))
+			consider(r.rangeLookup(j, p.Op, db.lookupConst(p.Const)))
 		}
 	}
 	return best, found

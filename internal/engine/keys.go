@@ -1,0 +1,153 @@
+package engine
+
+// Interned join/project keys. A composite key is the tuple of dense
+// value ids ([]int32, see DB.noteValue) at the key columns. Keys of
+// arity <= 2 pack exactly into one uint64 — a collision-free map key —
+// and wider keys fall back to a 64-bit hash with full-key comparison on
+// collision chains. Both replace the per-row []byte encodings
+// (appendValue) the operators used before: no per-row allocation, no
+// byte-string hashing.
+
+// packKey packs an arity <= 2 key of dense ids into a collision-free
+// uint64.
+func packKey(key []int32) uint64 {
+	switch len(key) {
+	case 0:
+		return 0
+	case 1:
+		return uint64(uint32(key[0]))
+	default:
+		return uint64(uint32(key[0]))<<32 | uint64(uint32(key[1]))
+	}
+}
+
+// mix64 is the murmur3 finalizer: a cheap bijective scrambler used both
+// to hash wide keys and to spread packed keys across join partitions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// hashKey32 hashes a wide ([]int32, arity >= 3) key.
+func hashKey32(key []int32) uint64 {
+	h := uint64(len(key)) + 0x9e3779b97f4a7c15
+	for _, v := range key {
+		h = mix64(h ^ uint64(uint32(v)))
+	}
+	return h
+}
+
+// keySig returns the packed key (arity <= 2, exact) or the hash (wider,
+// needs comparison) — the signature joins partition and look up by.
+func keySig(key []int32) uint64 {
+	if len(key) <= 2 {
+		return packKey(key)
+	}
+	return hashKey32(key)
+}
+
+// groupTable maps composite keys to dense group ids 0..n-1 assigned in
+// first-appearance order — the deterministic property every operator's
+// output ordering rests on.
+type groupTable struct {
+	arity int
+	exact bool             // arity <= 2: sig is the packed key, no compare needed
+	table map[uint64]int32 // sig -> first group id with that sig
+	next  []int32          // group id -> next group with equal sig, -1 ends
+	keys  []int32          // flattened interned keys, arity per group
+}
+
+func newGroupTable(arity, sizeHint int) *groupTable {
+	return &groupTable{
+		arity: arity,
+		exact: arity <= 2,
+		table: make(map[uint64]int32, sizeHint),
+	}
+}
+
+func (g *groupTable) size() int { return len(g.next) }
+
+// intern returns the group id of key, adding it when unseen.
+func (g *groupTable) intern(key []int32) (gid int32, fresh bool) {
+	return g.internSig(keySig(key), key)
+}
+
+// internSig is intern with the signature precomputed by the caller (the
+// morsel operators compute signatures once per row in parallel).
+func (g *groupTable) internSig(sig uint64, key []int32) (gid int32, fresh bool) {
+	if first, ok := g.table[sig]; ok {
+		if g.exact {
+			return first, false
+		}
+		for id := first; ; id = g.next[id] {
+			if g.keyEqual(id, key) {
+				return id, false
+			}
+			if g.next[id] < 0 {
+				gid = g.add(key)
+				g.next[id] = gid
+				return gid, true
+			}
+		}
+	}
+	gid = g.add(key)
+	g.table[sig] = gid
+	return gid, true
+}
+
+// lookup returns the group id of key without adding it.
+func (g *groupTable) lookup(key []int32) (int32, bool) {
+	return g.lookupSig(keySig(key), key)
+}
+
+func (g *groupTable) lookupSig(sig uint64, key []int32) (int32, bool) {
+	first, ok := g.table[sig]
+	if !ok {
+		return 0, false
+	}
+	if g.exact {
+		return first, true
+	}
+	for id := first; ; id = g.next[id] {
+		if g.keyEqual(id, key) {
+			return id, true
+		}
+		if g.next[id] < 0 {
+			return 0, false
+		}
+	}
+}
+
+func (g *groupTable) add(key []int32) int32 {
+	id := int32(len(g.next))
+	g.next = append(g.next, -1)
+	if !g.exact {
+		g.keys = append(g.keys, key...)
+	}
+	return id
+}
+
+func (g *groupTable) keyEqual(id int32, key []int32) bool {
+	base := int(id) * g.arity
+	for i, v := range key {
+		if g.keys[base+i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// valueKeyHash hashes a raw-Value composite key (used where dense ids
+// are unavailable, e.g. Result.ScoreOf lookups keyed by caller-supplied
+// values).
+func valueKeyHash(key []Value) uint64 {
+	h := uint64(len(key)) + 0x9e3779b97f4a7c15
+	for _, v := range key {
+		h = mix64(h ^ uint64(v))
+	}
+	return h
+}

@@ -305,7 +305,7 @@ func EvalDeterministicCtx(ctx context.Context, db *DB, q *cq.Query) *Result {
 		if cur == nil {
 			cur = s
 		} else {
-			cur = join(cur, s, &e.cancel)
+			cur = join(cur, s, e.ex())
 		}
 		keep := cq.NewVarSet(cur.Cols...).Intersect(needed[i].Union(head))
 		cur = projectSet(cur, keep.Sorted())
@@ -326,23 +326,19 @@ func projectSet(in *Result, onto []cq.Var) *Result {
 
 // dedupeInPlace removes duplicate rows, keeping score 1 (set semantics).
 func dedupeInPlace(r *Result) {
-	seen := map[string]bool{}
-	key := make([]byte, 0, 16)
+	seen := newGroupTable(len(r.Cols), r.Len())
 	n := 0
 	a := len(r.Cols)
 	for i := 0; i < r.Len(); i++ {
-		key = key[:0]
-		for _, v := range r.Row(i) {
-			key = appendValue(key, v)
-		}
-		if seen[string(key)] {
+		if _, fresh := seen.intern(r.idRow(i)); !fresh {
 			continue
 		}
-		seen[string(key)] = true
 		copy(r.rows[n*a:(n+1)*a], r.Row(i))
+		copy(r.ids[n*a:(n+1)*a], r.idRow(i))
 		r.scores[n] = 1
 		n++
 	}
 	r.rows = r.rows[:n*a]
+	r.ids = r.ids[:n*a]
 	r.scores = r.scores[:n]
 }

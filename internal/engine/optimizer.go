@@ -35,6 +35,9 @@ func EvalPlansParallelCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan
 	if opts.SemiJoin && q != nil {
 		reduced = semiJoinReduce(db, q, root)
 	}
+	// One morsel pool shared across plan workers keeps the total
+	// goroutine budget bounded by Workers regardless of plan count.
+	morselPool := newPool(ctx, opts.Workers)
 	results := make([]*Result, len(plans))
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -47,7 +50,7 @@ func EvalPlansParallelCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			err := TrapCancel(func() {
-				e := &Evaluator{db: db, opts: opts, reduced: reduced}
+				e := &Evaluator{db: db, opts: opts, reduced: reduced, pool: morselPool}
 				e.cancel.ctx = ctx
 				if opts.ReuseSubplans {
 					e.cache = map[string]*Result{}
@@ -68,8 +71,9 @@ func EvalPlansParallelCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan
 		panic(evalCancelled{cancelErr})
 	}
 	out := results[0]
+	rootEx := &exec{c: root, pool: morselPool, stats: opts.Stats}
 	for _, r := range results[1:] {
-		out = combineMin(out, r, root)
+		out = combineMin(out, r, rootEx)
 	}
 	return out
 }
@@ -131,13 +135,13 @@ func estimateJoin(a, b columnStats, aCols, bCols []cq.Var) (float64, columnStats
 // cheapest left-deep order of the inputs in mask, with cost = sum of
 // estimated intermediate sizes. Falls back to the greedy fold beyond 12
 // inputs (the DP is 2^k).
-func foldJoinCostBased(results []*Result, c *canceller) *Result {
+func foldJoinCostBased(results []*Result, ex *exec) *Result {
 	k := len(results)
 	if k == 1 {
 		return results[0]
 	}
 	if k > 12 {
-		return foldJoin(results, c)
+		return foldJoin(results, ex)
 	}
 	stats := make([]columnStats, k)
 	cols := make([][]cq.Var, k)
@@ -188,7 +192,7 @@ func foldJoinCostBased(results []*Result, c *canceller) *Result {
 	full := dp[(1<<uint(k))-1]
 	cur := results[full.order[0]]
 	for _, i := range full.order[1:] {
-		cur = join(cur, results[i], c)
+		cur = join(cur, results[i], ex)
 	}
 	return cur
 }

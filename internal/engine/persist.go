@@ -89,6 +89,10 @@ func Load(r io.Reader) (*DB, error) {
 				return nil, fmt.Errorf("engine: relation %s references unknown lineage variable %d", rs.Name, id)
 			}
 		}
+		vids := make([]int32, len(rs.Rows))
+		for i, v := range rs.Rows {
+			vids[i] = db.noteValue(v)
+		}
 		db.rels[rs.Name] = &Relation{
 			Name:          rs.Name,
 			Cols:          rs.Cols,
@@ -96,6 +100,7 @@ func Load(r io.Reader) (*DB, error) {
 			Key:           rs.Key,
 			db:            db,
 			rows:          rs.Rows,
+			vids:          vids,
 			prob:          rs.Prob,
 			vars:          rs.Vars,
 		}

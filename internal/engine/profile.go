@@ -39,21 +39,21 @@ func (e *Evaluator) EvalProfiled(p plan.Node) (*Result, []NodeStat) {
 		case *plan.Scan:
 			out = e.scan(t)
 		case *plan.Project:
-			out = project(eval(t.Child, depth+1), t.OnTo, &e.cancel)
+			out = project(eval(t.Child, depth+1), t.OnTo, e.ex())
 		case *plan.Join:
 			results := make([]*Result, len(t.Subs))
 			for i, c := range t.Subs {
 				results[i] = eval(c, depth+1)
 			}
 			if e.opts.CostBasedJoins {
-				out = foldJoinCostBased(results, &e.cancel)
+				out = foldJoinCostBased(results, e.ex())
 			} else {
-				out = foldJoin(results, &e.cancel)
+				out = foldJoin(results, e.ex())
 			}
 		case *plan.Min:
 			out = eval(t.Subs[0], depth+1)
 			for _, c := range t.Subs[1:] {
-				out = combineMin(out, eval(c, depth+1), &e.cancel)
+				out = combineMin(out, eval(c, depth+1), e.ex())
 			}
 		default:
 			panic("engine: unknown plan node")

@@ -4,6 +4,7 @@ package engine
 // databases, real plan evaluation, exact inference as the oracle.
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -343,6 +344,166 @@ func TestPropOptimizationsPreserveScores(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// assertIdenticalResults asserts two results have the same Cols and, in
+// the same order, the same rows with exactly equal (bit-identical)
+// scores — the morsel determinism contract.
+func assertIdenticalResults(t *testing.T, label string, seq, par *Result) {
+	t.Helper()
+	if !varsSliceEqual(seq.Cols, par.Cols) {
+		t.Fatalf("%s: cols %v vs %v", label, seq.Cols, par.Cols)
+	}
+	if seq.Len() != par.Len() {
+		t.Fatalf("%s: %d rows vs %d", label, seq.Len(), par.Len())
+	}
+	for i := 0; i < seq.Len(); i++ {
+		sr, pr := seq.Row(i), par.Row(i)
+		for j := range sr {
+			if sr[j] != pr[j] {
+				t.Fatalf("%s: row %d differs: %v vs %v", label, i, sr, pr)
+			}
+		}
+		if seq.Score(i) != par.Score(i) {
+			t.Fatalf("%s: row %d score %v != %v (diff %g)",
+				label, i, seq.Score(i), par.Score(i), seq.Score(i)-par.Score(i))
+		}
+	}
+}
+
+// TestPropMorselDifferential: evaluation with Workers ∈ {2, 8} returns
+// identical columns, rows, and bit-identical scores to Workers = 1, on
+// random instances across the query pool and optimization variants.
+func TestPropMorselDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 24; iter++ {
+		qs := propQueries[iter%len(propQueries)]
+		q := cq.MustParse(qs)
+		db := randomDB(q, 4, 12, 1.0, rng)
+		plans := core.MinimalPlans(q, nil)
+		for name, base := range map[string]Options{
+			"plain":  {},
+			"opt23":  {ReuseSubplans: true, SemiJoin: true},
+			"costdp": {CostBasedJoins: true},
+		} {
+			seqOpts := base
+			seqOpts.Workers = 1
+			seq := EvalPlans(db, q, plans, seqOpts)
+			for _, w := range []int{2, 8} {
+				parOpts := base
+				parOpts.Workers = w
+				par := EvalPlans(db, q, plans, parOpts)
+				assertIdenticalResults(t, fmt.Sprintf("%s/%s/w=%d", qs, name, w), seq, par)
+				pp := EvalPlansParallel(db, q, plans, parOpts, w)
+				assertIdenticalResults(t, fmt.Sprintf("%s/%s/w=%d/planpar", qs, name, w), seq, pp)
+			}
+		}
+	}
+}
+
+// TestMorselDifferentialLarge runs the differential on a 3-chain whose
+// relations exceed morselSize, so the chunked project, the partitioned
+// join build, and the parallel probe all take their multi-chunk paths.
+func TestMorselDifferentialLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large differential skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(20))
+	q := cq.MustParse("q(x0, x3) :- R1(x0, x1), R2(x1, x2), R3(x2, x3)")
+	db := NewDB()
+	n := 3*morselSize + 17 // > 1 chunk, non-aligned tail
+	domain := 300
+	for ri := 1; ri <= 3; ri++ {
+		r := db.CreateRelation(fmt.Sprintf("R%d", ri), []string{"a", "b"})
+		for i := 0; i < n; i++ {
+			r.Insert([]Value{Value(rng.Intn(domain)), Value(rng.Intn(domain))}, rng.Float64())
+		}
+	}
+	plans := core.MinimalPlans(q, nil)
+	stats := &EvalStats{}
+	seq := EvalPlans(db, q, plans, Options{Workers: 1, Stats: stats})
+	if stats.Partitions() == 0 {
+		t.Fatalf("expected partitioned operator phases on %d-row inputs", n)
+	}
+	for _, w := range []int{2, 8} {
+		par := EvalPlans(db, q, plans, Options{Workers: w})
+		assertIdenticalResults(t, fmt.Sprintf("chain3-large/w=%d", w), seq, par)
+	}
+	// The semi-join-reduced and subplan-reusing variant too.
+	seqOpt := EvalPlans(db, q, plans, Options{Workers: 1, ReuseSubplans: true, SemiJoin: true})
+	parOpt := EvalPlans(db, q, plans, Options{Workers: 8, ReuseSubplans: true, SemiJoin: true})
+	assertIdenticalResults(t, "chain3-large/opt23/w=8", seqOpt, parOpt)
+}
+
+// TestPropOracleBothPaths is the oracle cross-check for both execution
+// paths: dissociation scores upper-bound the exact probability on every
+// answer, safe queries match the oracle exactly, and the parallel path
+// agrees bit-for-bit with the sequential one.
+func TestPropOracleBothPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	safeSet := map[string]bool{
+		"q() :- R(x), S(x, y)": true,
+		"q() :- A(x), B(x)":    true,
+	}
+	queries := append(append([]string(nil), propQueries...), "q() :- A(x), B(x)")
+	for iter := 0; iter < 24; iter++ {
+		qs := queries[iter%len(queries)]
+		q := cq.MustParse(qs)
+		db := randomDB(q, 4, 8, 1.0, rng)
+		truth := exactProbs(db, q)
+		plans := core.MinimalPlans(q, nil)
+		for _, w := range []int{1, 8} {
+			res := EvalPlans(db, q, plans, Options{Workers: w})
+			for i := 0; i < res.Len(); i++ {
+				want, ok := truth[resultKey(res, i)]
+				if !ok {
+					t.Fatalf("%s w=%d: answer missing from lineage", qs, w)
+				}
+				if res.Score(i) < want-1e-9 {
+					t.Errorf("%s w=%d: dissociation %v below exact %v", qs, w, res.Score(i), want)
+				}
+				if safeSet[qs] && math.Abs(res.Score(i)-want) > 1e-9 {
+					t.Errorf("%s w=%d: safe query score %v != exact %v", qs, w, res.Score(i), want)
+				}
+			}
+		}
+	}
+}
+
+// TestScoreOfIndexed is the regression test for the indexed ScoreOf: on
+// a 10k-row result every present key resolves to its own score, absent
+// keys miss, and duplicate rows keep first-occurrence semantics.
+func TestScoreOfIndexed(t *testing.T) {
+	const n = 10_000
+	r := &Result{Cols: []cq.Var{"x", "y"}}
+	for i := 0; i < n; i++ {
+		r.rows = append(r.rows, Value(i), Value(i%7))
+		r.scores = append(r.scores, float64(i+1)/float64(n+1))
+	}
+	// A duplicate of row 42 with a different score: lookups must keep
+	// returning the first occurrence, as the linear scan did.
+	r.rows = append(r.rows, Value(42), Value(42%7))
+	r.scores = append(r.scores, 0.123456)
+	for i := 0; i < n; i++ {
+		got, ok := r.ScoreOf([]Value{Value(i), Value(i % 7)})
+		if !ok {
+			t.Fatalf("key %d missing", i)
+		}
+		if want := float64(i+1) / float64(n+1); got != want {
+			t.Fatalf("key %d: score %v, want %v", i, got, want)
+		}
+	}
+	if _, ok := r.ScoreOf([]Value{Value(5), Value(6)}); ok {
+		t.Error("absent key found")
+	}
+	if _, ok := r.ScoreOf([]Value{Value(1)}); ok {
+		t.Error("wrong-arity key found")
+	}
+	// Empty-column (Boolean) results still work.
+	b := &Result{scores: []float64{0.5}}
+	if got, ok := b.ScoreOf(nil); !ok || got != 0.5 {
+		t.Errorf("boolean ScoreOf = %v, %v", got, ok)
 	}
 }
 

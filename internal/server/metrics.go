@@ -24,6 +24,7 @@ type metrics struct {
 	queriesCancelled atomic.Int64
 	panicsRecovered  atomic.Int64
 	requestsRejected atomic.Int64 // worker-pool admission failures
+	partitionsTotal  atomic.Int64 // morsel chunks + join partitions processed
 }
 
 // latencyBuckets are the histogram upper bounds in seconds.
@@ -140,6 +141,8 @@ func (m *metrics) render(b *strings.Builder) {
 	fmt.Fprintf(b, "lapushd_panics_recovered_total %d\n", m.panicsRecovered.Load())
 	b.WriteString("# TYPE lapushd_requests_rejected_total counter\n")
 	fmt.Fprintf(b, "lapushd_requests_rejected_total %d\n", m.requestsRejected.Load())
+	b.WriteString("# TYPE lapushd_partitions_total counter\n")
+	fmt.Fprintf(b, "lapushd_partitions_total %d\n", m.partitionsTotal.Load())
 }
 
 func formatFloat(f float64) string {

@@ -47,6 +47,14 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxSamples caps Monte Carlo sample counts (default 10,000,000).
 	MaxSamples int
+	// Parallelism is the default intra-query worker count: each query's
+	// operators split row ranges into morsels evaluated on up to this
+	// many goroutines (default 1, sequential). Requests may override it
+	// with the "parallelism" field, capped at MaxParallelism. Results are
+	// bit-identical across all settings.
+	Parallelism int
+	// MaxParallelism caps per-request parallelism (default 32).
+	MaxParallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +75,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSamples <= 0 {
 		c.MaxSamples = 10_000_000
+	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = 32
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
+	if c.Parallelism > c.MaxParallelism {
+		c.Parallelism = c.MaxParallelism
 	}
 	return c
 }
@@ -258,6 +275,10 @@ type queryRequest struct {
 	Seed         int64  `json:"seed"`
 	TimeoutMS    int64  `json:"timeout_ms"`
 	IgnoreSchema bool   `json:"ignore_schema"`
+	// Parallelism overrides the server's default intra-query worker
+	// count for this request (0 = server default), capped at the
+	// configured maximum. Scores are bit-identical across settings.
+	Parallelism int `json:"parallelism"`
 }
 
 type answerJSON struct {
@@ -272,6 +293,10 @@ type queryResponse struct {
 	Safe      bool         `json:"safe"`
 	Cache     string       `json:"cache"` // "hit" or "miss"
 	ElapsedMS float64      `json:"elapsed_ms"`
+	// Partitions is the number of morsel chunks and join partitions the
+	// query's operators processed (dissociation method only; 0 when
+	// every operator input fit in one chunk).
+	Partitions int64 `json:"partitions"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -304,14 +329,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_timeout", "field \"timeout_ms\" must be >= 0")
 		return
 	}
+	if req.Parallelism < 0 {
+		writeError(w, http.StatusBadRequest, "bad_parallelism", "field \"parallelism\" must be >= 0")
+		return
+	}
+	parallelism := s.cfg.Parallelism
+	if req.Parallelism > 0 {
+		parallelism = req.Parallelism
+	}
+	if parallelism > s.cfg.MaxParallelism {
+		parallelism = s.cfg.MaxParallelism
+	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 
+	stats := &lapushdb.RankStats{}
 	opts := &lapushdb.Options{
 		Method:       method,
 		MCSamples:    req.Samples,
 		Seed:         req.Seed,
 		IgnoreSchema: req.IgnoreSchema,
+		Workers:      parallelism,
+		Stats:        stats,
 	}
 	begin := time.Now()
 	p, hit, err := s.prepared(ctx, req.Method, req.Query, opts)
@@ -332,13 +371,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Top > 0 && req.Top < len(answers) {
 		answers = answers[:req.Top]
 	}
+	s.metrics.partitionsTotal.Add(stats.Partitions)
 	resp := queryResponse{
-		Answers:   make([]answerJSON, len(answers)),
-		Count:     len(answers),
-		Method:    req.Method,
-		Safe:      p.Safe(),
-		Cache:     cacheLabel(hit),
-		ElapsedMS: float64(time.Since(begin).Microseconds()) / 1000,
+		Answers:    make([]answerJSON, len(answers)),
+		Count:      len(answers),
+		Method:     req.Method,
+		Safe:       p.Safe(),
+		Cache:      cacheLabel(hit),
+		ElapsedMS:  float64(time.Since(begin).Microseconds()) / 1000,
+		Partitions: stats.Partitions,
 	}
 	for i, a := range answers {
 		resp.Answers[i] = answerJSON{Values: a.Values, Score: a.Score}

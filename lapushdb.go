@@ -177,8 +177,16 @@ type Options struct {
 	// (implies DisableOpt1: the merged single plan is inherently
 	// sequential). Workers bounds the concurrency (default 4).
 	Parallel bool
-	// Workers is the goroutine bound for Parallel.
+	// Workers bounds evaluation parallelism. It caps the goroutines of
+	// Parallel, and independently enables intra-plan morsel parallelism
+	// for the Dissociation method: operators split row ranges into
+	// fixed-size chunks evaluated on up to Workers goroutines. Results
+	// are bit-identical to sequential evaluation for every setting.
+	// Values <= 1 evaluate each plan sequentially.
 	Workers int
+	// Stats, when non-nil, receives execution counters for the query
+	// (Dissociation method only).
+	Stats *RankStats
 	// CostBasedJoins orders k-ary joins with a Selinger-style dynamic
 	// program over cardinality estimates instead of the greedy heuristic.
 	CostBasedJoins bool
@@ -195,6 +203,18 @@ type Options struct {
 type Answer struct {
 	Values []string
 	Score  float64
+}
+
+// RankStats reports execution counters from one Rank call (see
+// Options.Stats).
+type RankStats struct {
+	// Partitions is the number of morsel chunks and hash-join partitions
+	// processed by partitioned operators. Chunk layout depends only on
+	// input sizes, so the count is the same for every Workers setting;
+	// zero when every operator input fit in a single chunk.
+	Partitions int64
+	// ParallelOps is the number of operator phases that ran partitioned.
+	ParallelOps int64
 }
 
 // Rank evaluates the query and returns its answers ordered by descending
@@ -269,6 +289,12 @@ func (d *DB) rankDissociation(ctx context.Context, q *cq.Query, pre *Prepared, o
 		ReuseSubplans:  !opts.DisableOpt2,
 		SemiJoin:       !opts.DisableOpt3,
 		CostBasedJoins: opts.CostBasedJoins,
+		Workers:        opts.Workers,
+	}
+	var stats *engine.EvalStats
+	if opts.Stats != nil {
+		stats = &engine.EvalStats{}
+		eopts.Stats = stats
 	}
 	// Plans come from the prepared statement when available — skipping
 	// the minimal-plan enumeration is the point of the plan cache.
@@ -297,6 +323,10 @@ func (d *DB) rankDissociation(ctx context.Context, q *cq.Query, pre *Prepared, o
 	})
 	if err != nil {
 		return nil, err
+	}
+	if stats != nil {
+		opts.Stats.Partitions = stats.Partitions()
+		opts.Stats.ParallelOps = stats.ParallelOps()
 	}
 	return d.toAnswers(res), nil
 }
