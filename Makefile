@@ -27,3 +27,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz='^FuzzAnalyses$$' -fuzztime=$(FUZZTIME) ./internal/cq
 	$(GO) test -run=^$$ -fuzz='^FuzzLikeMatch$$' -fuzztime=$(FUZZTIME) ./internal/engine
 	$(GO) test -run=^$$ -fuzz='^FuzzMorselDifferential$$' -fuzztime=$(FUZZTIME) ./internal/engine
+	$(GO) test -run=^$$ -fuzz='^FuzzWALReplay$$' -fuzztime=$(FUZZTIME) ./internal/store

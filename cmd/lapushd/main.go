@@ -1,18 +1,26 @@
 // Command lapushd serves a probabilistic database over HTTP/JSON. It
 // loads the same CSV files and snapshots as cmd/lapush, then answers
 // concurrent queries with a bounded plan cache, per-request deadlines,
-// and Prometheus-format metrics.
+// and Prometheus-format metrics. With -data it runs over a durable
+// versioned store: mutations arrive through POST /v1/ingest, are logged
+// to a write-ahead log before they are acknowledged, and periodically
+// fold into snapshot checkpoints; on restart the store recovers the
+// checkpoint plus WAL (truncating a torn tail) and the -rel/-load seed
+// is ignored in favor of the recovered state.
 //
 // Usage:
 //
 //	lapushd -rel Likes=likes.csv -rel Stars=stars.csv -addr :8080
 //	lapushd -load db.lpd -workers 16 -cache 512
+//	lapushd -data /var/lib/lapushd -rel Likes=likes.csv -wal-fsync always
 //
 // Endpoints:
 //
 //	POST /v1/query     evaluate a conjunctive query and rank its answers
 //	POST /v1/explain   show minimal plans and dissociations
-//	GET  /v1/relations list loaded relations
+//	POST /v1/ingest    apply a mutation batch, publish a new version
+//	GET  /v1/relations list the live version's relations
+//	GET  /v1/store     store version, WAL bytes, checkpoint progress
 //	GET  /healthz      liveness probe
 //	GET  /metrics      Prometheus text metrics
 //
@@ -32,8 +40,10 @@ import (
 	"syscall"
 	"time"
 
+	"lapushdb"
 	"lapushdb/internal/loader"
 	"lapushdb/internal/server"
+	"lapushdb/internal/store"
 )
 
 type relFlags []string
@@ -55,20 +65,39 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	dataDir := flag.String("data", "", "durable store directory (WAL + checkpoints); empty serves in-memory only")
+	walFsync := flag.String("wal-fsync", "always", "WAL fsync policy: always (no acknowledged batch is ever lost) or never")
+	checkpointEvery := flag.Int("checkpoint-every", 256, "checkpoint after this many mutation batches (<0 disables automatic checkpoints)")
 	flag.Parse()
 
-	if len(rels) == 0 && *loadFile == "" {
-		fmt.Fprintln(os.Stderr, "lapushd: need at least one -rel or a -load snapshot")
+	if len(rels) == 0 && *loadFile == "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "lapushd: need at least one -rel, a -load snapshot, or a -data store directory")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	db, err := loader.Build(*loadFile, rels, dets, keys)
+	var db *lapushdb.DB
+	var err error
+	if len(rels) > 0 || *loadFile != "" {
+		db, err = loader.Build(*loadFile, rels, dets, keys)
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+
+	// The CSV/snapshot input seeds the store on first boot only; once
+	// the data directory holds a manifest, recovered state wins.
+	st, err := store.Open(db, store.Options{
+		Dir:             *dataDir,
+		Fsync:           store.FsyncPolicy(*walFsync),
+		CheckpointEvery: *checkpointEvery,
+	})
 	if err != nil {
 		fail("%v", err)
 	}
+	defer st.Close()
 
-	srv := server.New(db, server.Config{
+	srv := server.NewWithStore(st, server.Config{
 		Workers:        *workers,
 		Parallelism:    *parallelism,
 		CacheSize:      *cacheSize,
@@ -87,12 +116,18 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
+	v := st.Current()
 	tuples := 0
-	infos := db.RelationInfos()
+	infos := v.DB.RelationInfos()
 	for _, ri := range infos {
 		tuples += ri.Tuples
 	}
-	fmt.Fprintf(os.Stderr, "lapushd: serving %d relations (%d tuples) on %s\n", len(infos), tuples, *addr)
+	durable := "in-memory"
+	if *dataDir != "" {
+		durable = fmt.Sprintf("durable in %s (wal-fsync=%s)", *dataDir, *walFsync)
+	}
+	fmt.Fprintf(os.Stderr, "lapushd: serving %d relations (%d tuples) at version %d, %s, on %s\n",
+		len(infos), tuples, v.Seq, durable, *addr)
 
 	select {
 	case err := <-errCh:

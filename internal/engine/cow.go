@@ -1,0 +1,177 @@
+package engine
+
+// Copy-on-write cloning. CloneCOW backs the versioned store: a single
+// serialized applier builds the next database version as a cheap copy
+// that shares storage with the published one, while any number of
+// queries keep reading the published version lock-free.
+//
+// Sharing discipline:
+//
+//   - Slices are shared with their capacity clamped to their length, so
+//     every append on the clone reallocates instead of writing into the
+//     shared backing array. Appends on the (frozen) parent beyond the
+//     clone's length would not be visible to the clone either, but the
+//     contract is stronger: once cloned, the parent must not be mutated
+//     at all (the store only mutates the newest, still-private clone).
+//   - The string dictionary and value-id maps are shared until the
+//     clone's first write (a new string or value), at which point they
+//     are copied in full — probability-only batches never pay for them.
+//   - In-place writes (SetProb, ScaleProbs) copy the touched probability
+//     arrays first, tracked by per-slice copy-on-write flags.
+//   - Deletions rebuild the relation's storage into fresh arrays.
+//
+// Lazy secondary indexes are declared on the clone (same columns) but
+// never share built state: they rebuild on first use per version.
+
+// clampCap returns s with its capacity clamped to its length, so that
+// appending to the result always reallocates. nil stays nil.
+func clampCap[T any](s []T) []T {
+	if s == nil {
+		return nil
+	}
+	return s[:len(s):len(s)]
+}
+
+// CloneCOW returns a copy of the database that shares storage with the
+// receiver as described above. The receiver must be treated as frozen
+// for mutation afterwards; both copies remain safe to read (and the
+// clone safe to mutate) concurrently.
+func (db *DB) CloneCOW() *DB {
+	c := &DB{
+		rels:       make(map[string]*Relation, len(db.rels)),
+		order:      clampCap(db.order),
+		strs:       clampCap(db.strs),
+		strIDs:     db.strIDs,
+		varProb:    clampCap(db.varProb),
+		valIDs:     db.valIDs,
+		cowDicts:   true,
+		cowVarProb: true,
+	}
+	for name, r := range db.rels {
+		nr := &Relation{
+			Name:          r.Name,
+			Cols:          clampCap(r.Cols),
+			Deterministic: r.Deterministic,
+			Key:           clampCap(r.Key),
+			db:            c,
+			rows:          clampCap(r.rows),
+			vids:          clampCap(r.vids),
+			prob:          clampCap(r.prob),
+			vars:          clampCap(r.vars),
+			cowProb:       true,
+		}
+		// Carry index declarations (not built state): each version
+		// rebuilds lazily on first use, under its own idxMu.
+		if r.hashIdx != nil {
+			nr.hashIdx = make(map[int]*hashIndex, len(r.hashIdx))
+			for col := range r.hashIdx {
+				nr.hashIdx[col] = &hashIndex{builtAt: -1}
+			}
+		}
+		if r.rangeIdx != nil {
+			nr.rangeIdx = make(map[int]*rangeIndex, len(r.rangeIdx))
+			for col := range r.rangeIdx {
+				nr.rangeIdx[col] = &rangeIndex{builtAt: -1}
+			}
+		}
+		c.rels[name] = nr
+	}
+	return c
+}
+
+// ensureOwnedDicts copies the shared string and value dictionaries
+// before the first write on a copy-on-write clone.
+func (db *DB) ensureOwnedDicts() {
+	if !db.cowDicts {
+		return
+	}
+	strIDs := make(map[string]Value, len(db.strIDs)+1)
+	for s, id := range db.strIDs {
+		strIDs[s] = id
+	}
+	valIDs := make(map[Value]int32, len(db.valIDs)+1)
+	for v, id := range db.valIDs {
+		valIDs[v] = id
+	}
+	db.strIDs, db.valIDs = strIDs, valIDs
+	db.cowDicts = false
+}
+
+// ensureOwnedVarProb copies the shared lineage-probability table before
+// an in-place write.
+func (db *DB) ensureOwnedVarProb() {
+	if !db.cowVarProb {
+		return
+	}
+	db.varProb = append(make([]float64, 0, len(db.varProb)), db.varProb...)
+	db.cowVarProb = false
+}
+
+// ensureOwnedProb copies the relation's shared probability column
+// before an in-place write.
+func (r *Relation) ensureOwnedProb() {
+	if !r.cowProb {
+		return
+	}
+	r.prob = append(make([]float64, 0, len(r.prob)), r.prob...)
+	r.cowProb = false
+}
+
+// LookupConst resolves an external value to its interned form without
+// mutating the dictionary. ok is false when the value is a string that
+// occurs nowhere in the database (it can match no stored tuple).
+func (db *DB) LookupConst(lit string) (Value, bool) {
+	v := db.lookupConst(lit)
+	return v, v != noValue
+}
+
+// FindRow returns the index of the first tuple equal to the given
+// values, or -1. Duplicate tuples (same values, distinct lineage
+// variables) resolve to the first occurrence.
+func (r *Relation) FindRow(tuple []Value) int {
+	a := len(r.Cols)
+	if len(tuple) != a {
+		return -1
+	}
+	n := r.Len()
+outer:
+	for i := 0; i < n; i++ {
+		row := r.rows[i*a : (i+1)*a]
+		for j := range row {
+			if row[j] != tuple[j] {
+				continue outer
+			}
+		}
+		return i
+	}
+	return -1
+}
+
+// DeleteRow removes the i-th tuple, rebuilding the relation's storage
+// into fresh arrays (copy-on-write safe). The tuple's lineage variable
+// id stays allocated but unreferenced, so variable-id assignment — and
+// with it WAL replay — remains deterministic.
+func (r *Relation) DeleteRow(i int) {
+	a := len(r.Cols)
+	n := r.Len()
+	if i < 0 || i >= n {
+		panic("engine: DeleteRow index out of range")
+	}
+	rows := make([]Value, 0, (n-1)*a)
+	rows = append(rows, r.rows[:i*a]...)
+	rows = append(rows, r.rows[(i+1)*a:]...)
+	vids := make([]int32, 0, (n-1)*a)
+	vids = append(vids, r.vids[:i*a]...)
+	vids = append(vids, r.vids[(i+1)*a:]...)
+	prob := make([]float64, 0, n-1)
+	prob = append(prob, r.prob[:i]...)
+	prob = append(prob, r.prob[i+1:]...)
+	r.rows, r.vids, r.prob = rows, vids, prob
+	r.cowProb = false
+	if !r.Deterministic {
+		vars := make([]int32, 0, n-1)
+		vars = append(vars, r.vars[:i]...)
+		vars = append(vars, r.vars[i+1:]...)
+		r.vars = vars
+	}
+}

@@ -47,6 +47,13 @@ type DB struct {
 	// built from these ids ([]int32) instead of per-row byte encodings:
 	// keys of arity <= 2 pack exactly into one uint64 map key.
 	valIDs map[Value]int32
+
+	// Copy-on-write state (see cow.go). cowDicts marks strIDs/valIDs as
+	// shared with the parent of a CloneCOW copy; cowVarProb marks
+	// varProb as shared for in-place writes (appends are safe: shared
+	// slices are capacity-clamped).
+	cowDicts   bool
+	cowVarProb bool
 }
 
 // NewDB returns an empty database.
@@ -71,12 +78,17 @@ type Relation struct {
 	prob []float64 // per tuple; nil for deterministic relations
 	vars []int32   // lineage variable ids; nil for deterministic relations
 
-	// Secondary indexes, built lazily (see index.go). Not persisted or
-	// cloned: they rebuild on first use. idxMu serializes the lazy
-	// builds: scans may run concurrently under parallel evaluation.
+	// Secondary indexes, built lazily (see index.go). Not persisted, and
+	// only their declarations survive cloning: they rebuild on first
+	// use. idxMu serializes the lazy builds: scans may run concurrently
+	// under parallel evaluation.
 	idxMu    sync.Mutex
 	hashIdx  map[int]*hashIndex
 	rangeIdx map[int]*rangeIndex
+
+	// cowProb marks prob as shared with a CloneCOW parent for in-place
+	// writes (see cow.go).
+	cowProb bool
 }
 
 // CreateRelation adds a probabilistic relation with the given attribute
@@ -129,6 +141,10 @@ func (db *DB) ScaleProbs(f float64) {
 	if f <= 0 || f > 1 {
 		panic(fmt.Sprintf("engine: scale factor %v out of (0, 1]", f))
 	}
+	db.ensureOwnedVarProb()
+	for _, r := range db.rels {
+		r.ensureOwnedProb()
+	}
 	for i := range db.varProb {
 		db.varProb[i] *= f
 	}
@@ -179,6 +195,7 @@ func (db *DB) noteValue(v Value) int32 {
 	if id, ok := db.valIDs[v]; ok {
 		return id
 	}
+	db.ensureOwnedDicts()
 	id := int32(len(db.valIDs))
 	db.valIDs[v] = id
 	return id
@@ -194,6 +211,7 @@ func (db *DB) Intern(s string) Value {
 	if id, ok := db.strIDs[s]; ok {
 		return id
 	}
+	db.ensureOwnedDicts()
 	id := Value(-int64(len(db.strs)) - 1)
 	db.strs = append(db.strs, s)
 	db.strIDs[s] = id
@@ -342,6 +360,11 @@ func (r *Relation) SetProb(i int, p float64) {
 	if r.Deterministic {
 		panic("engine: cannot set probability on a deterministic relation")
 	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("engine: probability %v out of [0, 1]", p))
+	}
+	r.ensureOwnedProb()
+	r.db.ensureOwnedVarProb()
 	r.prob[i] = p
 	r.db.varProb[r.vars[i]] = p
 }
@@ -359,7 +382,9 @@ func (r *Relation) colIndex(name string) int {
 // SetKey declares the primary key by column names. The key contributes
 // functional dependencies to plan enumeration (Section 3.3.2).
 func (r *Relation) SetKey(cols ...string) {
-	r.Key = r.Key[:0]
+	// Fresh allocation: Key may share backing storage with a CloneCOW
+	// parent, so never truncate-and-append in place.
+	r.Key = make([]int, 0, len(cols))
 	for _, c := range cols {
 		i := r.colIndex(c)
 		if i < 0 {

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 )
 
 // snapshot is the serialized form of a database. All fields are exported
@@ -60,7 +61,12 @@ func Load(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("engine: load snapshot: %w", err)
 	}
 	if s.Version != snapshotVersion {
-		return nil, fmt.Errorf("engine: unsupported snapshot version %d", s.Version)
+		return nil, fmt.Errorf("engine: unsupported snapshot version %d (this build reads version %d)", s.Version, snapshotVersion)
+	}
+	for _, p := range s.VarProb {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return nil, fmt.Errorf("engine: lineage variable probability %v out of [0, 1]", p)
+		}
 	}
 	db := NewDB()
 	db.strs = s.Strings
@@ -87,6 +93,16 @@ func Load(r io.Reader) (*DB, error) {
 		for _, id := range rs.Vars {
 			if int(id) >= len(s.VarProb) || id < 0 {
 				return nil, fmt.Errorf("engine: relation %s references unknown lineage variable %d", rs.Name, id)
+			}
+		}
+		for _, v := range rs.Rows {
+			if v < 0 && int(-v-1) >= len(s.Strings) {
+				return nil, fmt.Errorf("engine: relation %s references string %d beyond dictionary size %d", rs.Name, -v-1, len(s.Strings))
+			}
+		}
+		for _, p := range rs.Prob {
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				return nil, fmt.Errorf("engine: relation %s has probability %v out of [0, 1]", rs.Name, p)
 			}
 		}
 		vids := make([]int32, len(rs.Rows))

@@ -2,8 +2,11 @@ package engine
 
 import (
 	"bytes"
+	"encoding/gob"
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"lapushdb/internal/core"
@@ -106,5 +109,124 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Load(bytes.NewReader(nil)); err == nil {
 		t.Error("empty input should fail")
+	}
+}
+
+// persistTestBytes saves a small two-relation database (probabilistic +
+// deterministic, interned strings, a key) for the corruption tests.
+func persistTestBytes(t *testing.T) []byte {
+	t.Helper()
+	db := NewDB()
+	r := db.CreateRelation("Likes", []string{"user", "movie"})
+	r.Insert([]Value{db.Intern("ann"), db.Intern("heat")}, 0.9)
+	r.Insert([]Value{db.Intern("bob"), db.Intern("heat")}, 0.5)
+	d := db.CreateDeterministicRelation("Fan", []string{"actor"})
+	d.Insert([]Value{db.Intern("deniro")}, 1)
+	r.SetKey("user", "movie")
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadRejectsFutureVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snapshot{Version: snapshotVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf)
+	if err == nil {
+		t.Fatal("snapshot from a future version must be rejected")
+	}
+	want := fmt.Sprintf("unsupported snapshot version %d", snapshotVersion+1)
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the version: want %q", err, want)
+	}
+}
+
+// TestLoadRejectsTruncatedSnapshot cuts a valid snapshot at every byte
+// boundary: every proper prefix must fail with an error, never a panic
+// or a silently partial database.
+func TestLoadRejectsTruncatedSnapshot(t *testing.T) {
+	data := persistTestBytes(t)
+	for n := 0; n < len(data); n++ {
+		if _, err := Load(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes loaded without error", n, len(data))
+		}
+	}
+}
+
+// TestLoadCorruptedByteNoPanic flips each byte of a valid snapshot in
+// turn. Load may reject or (for benign flips, e.g. inside string
+// content) accept the result, but it must never panic.
+func TestLoadCorruptedByteNoPanic(t *testing.T) {
+	data := persistTestBytes(t)
+	for i := range data {
+		c := append([]byte(nil), data...)
+		c[i] ^= 0xFF
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Load panicked with byte %d flipped: %v", i, r)
+				}
+			}()
+			Load(bytes.NewReader(c)) //nolint:errcheck // only the no-panic property matters
+		}()
+	}
+}
+
+func TestLoadRejectsDanglingStringReference(t *testing.T) {
+	s := snapshot{
+		Version: snapshotVersion,
+		Strings: []string{"a"},
+		VarProb: []float64{0.5},
+		Order:   []string{"R"},
+		Relations: []relationSnapshot{{
+			Name: "R", Cols: []string{"x"},
+			Rows: []Value{-5}, // string index 4, dictionary has 1 entry
+			Prob: []float64{0.5}, Vars: []int32{0},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf)
+	if err == nil || !strings.Contains(err.Error(), "string") {
+		t.Fatalf("want dangling-string error, got: %v", err)
+	}
+}
+
+func TestLoadRejectsBadProbabilities(t *testing.T) {
+	base := func() snapshot {
+		return snapshot{
+			Version: snapshotVersion,
+			VarProb: []float64{0.5},
+			Order:   []string{"R"},
+			Relations: []relationSnapshot{{
+				Name: "R", Cols: []string{"x"},
+				Rows: []Value{1}, Prob: []float64{0.5}, Vars: []int32{0},
+			}},
+		}
+	}
+	tampered := map[string]snapshot{}
+	s := base()
+	s.Relations[0].Prob[0] = 1.5
+	tampered["tuple probability above 1"] = s
+	s = base()
+	s.Relations[0].Prob[0] = math.NaN()
+	tampered["NaN tuple probability"] = s
+	s = base()
+	s.VarProb[0] = -0.25
+	tampered["negative lineage probability"] = s
+	for name, snap := range tampered {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(&buf); err == nil || !strings.Contains(err.Error(), "[0, 1]") {
+			t.Errorf("%s: want out-of-range error, got: %v", name, err)
+		}
 	}
 }

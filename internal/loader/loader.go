@@ -21,19 +21,23 @@ import (
 	"lapushdb"
 )
 
-// LoadCSV reads one relation from r into db. Errors are prefixed with
-// the 1-based CSV line number (the header is line 1).
+// LoadCSV reads one relation from r into db, streaming record by record
+// so arbitrarily large files load in bounded memory. Errors are prefixed
+// with the 1-based CSV line number (the header is line 1).
 func LoadCSV(db *lapushdb.DB, name string, r io.Reader, det bool) error {
 	rd := csv.NewReader(r)
 	rd.TrimLeadingSpace = true
-	records, err := rd.ReadAll()
+	rd.FieldsPerRecord = -1 // field counts are checked per record below
+	rd.ReuseRecord = true   // record values are copied into owned slices before insert
+
+	header, err := rd.Read()
+	if err == io.EOF || (err == nil && len(header) < 2) {
+		return fmt.Errorf("need a header row with at least one column plus probability")
+	}
 	if err != nil {
 		return err
 	}
-	if len(records) < 1 || len(records[0]) < 2 {
-		return fmt.Errorf("need a header row with at least one column plus probability")
-	}
-	cols := records[0][:len(records[0])-1]
+	cols := append([]string(nil), header[:len(header)-1]...)
 	var rel *lapushdb.Relation
 	if det {
 		rel, err = db.CreateDeterministicRelation(name, cols...)
@@ -43,29 +47,36 @@ func LoadCSV(db *lapushdb.DB, name string, r io.Reader, det bool) error {
 	if err != nil {
 		return err
 	}
-	for ln, rec := range records[1:] {
+	for {
+		rec, err := rd.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		ln, _ := rd.FieldPos(0)
 		if len(rec) != len(cols)+1 {
-			return fmt.Errorf("line %d: %d fields, want %d", ln+2, len(rec), len(cols)+1)
+			return fmt.Errorf("line %d: %d fields, want %d", ln, len(rec), len(cols)+1)
 		}
 		p, err := strconv.ParseFloat(rec[len(cols)], 64)
 		if err != nil {
-			return fmt.Errorf("line %d: bad probability %q", ln+2, rec[len(cols)])
+			return fmt.Errorf("line %d: bad probability %q", ln, rec[len(cols)])
 		}
 		if math.IsNaN(p) || p < 0 || p > 1 {
-			return fmt.Errorf("line %d: probability %v out of [0, 1]", ln+2, p)
+			return fmt.Errorf("line %d: probability %v out of [0, 1]", ln, p)
 		}
 		if det && p != 1 {
-			return fmt.Errorf("line %d: deterministic relation %s requires probability 1, got %v", ln+2, name, p)
+			return fmt.Errorf("line %d: deterministic relation %s requires probability 1, got %v", ln, name, p)
 		}
 		vals := make([]any, len(cols))
 		for i, v := range rec[:len(cols)] {
 			vals[i] = v
 		}
 		if err := rel.Insert(p, vals...); err != nil {
-			return fmt.Errorf("line %d: %v", ln+2, err)
+			return fmt.Errorf("line %d: %v", ln, err)
 		}
 	}
-	return nil
 }
 
 // LoadCSVFile is LoadCSV reading from a file path.

@@ -1,9 +1,11 @@
 package loader
 
 import (
+	"fmt"
 	"os"
 	"strings"
 	"testing"
+	"testing/iotest"
 
 	"lapushdb"
 )
@@ -65,6 +67,51 @@ func TestLoadCSVDeterministicRequiresOne(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "line 3") {
 		t.Fatalf("want line-numbered error, got: %v", err)
+	}
+}
+
+func TestLoadCSVFieldCountMismatch(t *testing.T) {
+	db := lapushdb.Open()
+	csv := "x, y, p\na, b, 0.5\nc, 0.5\n"
+	err := LoadCSV(db, "R", strings.NewReader(csv), false)
+	if err == nil {
+		t.Fatal("want error for short row, got nil")
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "2 fields, want 3") {
+		t.Fatalf("want line-numbered field-count error, got: %v", err)
+	}
+}
+
+// TestLoadCSVStreamsLargeInput feeds the loader a reader that yields the
+// file in tiny chunks, checking the streaming path converts records as
+// they arrive rather than buffering the whole input.
+func TestLoadCSVStreamsLargeInput(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("x, p\n")
+	const n = 5000
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "row%d, 0.5\n", i)
+	}
+	db := lapushdb.Open()
+	if err := LoadCSV(db, "R", iotest.OneByteReader(strings.NewReader(b.String())), false); err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if r := db.Relation("R"); r == nil || r.Len() != n {
+		t.Fatalf("want %d tuples, got %v", n, r)
+	}
+}
+
+// TestLoadCSVQuotedNewlineLineNumbers checks error line numbers stay
+// correct when quoted fields span lines (record index != line number).
+func TestLoadCSVQuotedNewlineLineNumbers(t *testing.T) {
+	db := lapushdb.Open()
+	csv := "x, p\n\"multi\nline\", 0.5\nbad, 2.0\n"
+	err := LoadCSV(db, "R", strings.NewReader(csv), false)
+	if err == nil {
+		t.Fatal("want error for probability 2.0, got nil")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("want error at line 4 (after the multi-line field), got: %v", err)
 	}
 }
 

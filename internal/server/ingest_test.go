@@ -1,0 +1,292 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"lapushdb/internal/store"
+)
+
+func pf(p float64) *float64 { return &p }
+
+func newHTTPServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// liveState reads the version, fingerprint, and tuple count an endpoint
+// reports.
+func liveState(t *testing.T, url string) (version uint64, fingerprint string, tuples int) {
+	t.Helper()
+	resp, body := getBody(t, url)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	var out struct {
+		Version     uint64          `json:"version"`
+		Fingerprint string          `json:"fingerprint"`
+		Tuples      int             `json:"tuples"`
+		Relations   json.RawMessage `json:"relations"` // count on /healthz, list on /v1/relations
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("GET %s: %v\n%s", url, err, body)
+	}
+	tuples = out.Tuples
+	var rels []struct {
+		Tuples int `json:"tuples"`
+	}
+	if json.Unmarshal(out.Relations, &rels) == nil {
+		for _, r := range rels {
+			tuples += r.Tuples
+		}
+	}
+	return out.Version, out.Fingerprint, tuples
+}
+
+// TestIngestUpdatesLiveEndpoints is the regression test that /healthz
+// and /v1/relations report the live store version, not the boot-time
+// one: ingest, then re-read both endpoints.
+func TestIngestUpdatesLiveEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	bootV, bootFP, bootTuples := liveState(t, ts.URL+"/healthz")
+	if bootV != 0 || bootTuples != 8 {
+		t.Fatalf("boot healthz: version %d tuples %d, want 0 and 8", bootV, bootTuples)
+	}
+	_, relFP, relTuples := liveState(t, ts.URL+"/v1/relations")
+	if relFP != bootFP || relTuples != bootTuples {
+		t.Fatalf("relations and healthz disagree at boot: %q/%d vs %q/%d", relFP, relTuples, bootFP, bootTuples)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", ingestRequest{Mutations: []store.Mutation{
+		{Op: store.OpInsert, Rel: "Likes", Tuple: []string{"carol", "heat"}, P: pf(0.7)},
+		{Op: store.OpSetProb, Rel: "Fan", Tuple: []string{"deniro"}, P: pf(0.9)},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", resp.StatusCode, body)
+	}
+	var ir ingestResponse
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Version != 1 || ir.Mutations != 2 || ir.Fingerprint == bootFP {
+		t.Fatalf("ingest response %+v, want version 1 and a fresh fingerprint", ir)
+	}
+
+	gotV, gotFP, gotTuples := liveState(t, ts.URL+"/healthz")
+	if gotV != 1 || gotFP != ir.Fingerprint || gotTuples != bootTuples+1 {
+		t.Fatalf("healthz after ingest: version %d fp %q tuples %d, want 1 %q %d",
+			gotV, gotFP, gotTuples, ir.Fingerprint, bootTuples+1)
+	}
+	gotV, gotFP, gotTuples = liveState(t, ts.URL+"/v1/relations")
+	if gotV != 1 || gotFP != ir.Fingerprint || gotTuples != bootTuples+1 {
+		t.Fatalf("relations after ingest: version %d fp %q tuples %d, want 1 %q %d",
+			gotV, gotFP, gotTuples, ir.Fingerprint, bootTuples+1)
+	}
+
+	// The new tuple is queryable: carol now likes a movie starring a
+	// fan-favorite actor.
+	resp, body = postJSON(t, ts.URL+"/v1/query", queryRequest{Query: testQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after ingest: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "carol") {
+		t.Fatalf("query after ingest does not see the new tuple: %s", body)
+	}
+}
+
+func TestIngestInvalidatesPlanCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cacheOf := func() string {
+		resp, body := postJSON(t, ts.URL+"/v1/query", queryRequest{Query: testQuery})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query: status %d: %s", resp.StatusCode, body)
+		}
+		var qr queryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		return qr.Cache
+	}
+	if got := cacheOf(); got != "miss" {
+		t.Fatalf("first query cache = %q, want miss", got)
+	}
+	if got := cacheOf(); got != "hit" {
+		t.Fatalf("second query cache = %q, want hit", got)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", ingestRequest{Mutations: []store.Mutation{
+		{Op: store.OpScaleProbs, Factor: 0.5},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", resp.StatusCode, body)
+	}
+	// The mutation bumped the version fingerprint, so the cached plan's
+	// key no longer matches: the next query must re-prepare.
+	if got := cacheOf(); got != "miss" {
+		t.Fatalf("post-ingest query cache = %q, want miss", got)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body any
+		code string
+	}{
+		{"empty batch", ingestRequest{}, "empty_batch"},
+		{"unknown op", ingestRequest{Mutations: []store.Mutation{{Op: "zap"}}}, "bad_mutation"},
+		{"unknown relation", ingestRequest{Mutations: []store.Mutation{
+			{Op: store.OpInsert, Rel: "Nope", Tuple: []string{"x"}, P: pf(0.5)}}}, "bad_mutation"},
+		{"missing tuple", ingestRequest{Mutations: []store.Mutation{
+			{Op: store.OpDelete, Rel: "Likes", Tuple: []string{"zz", "zz"}}}}, "bad_mutation"},
+		{"unknown field", map[string]any{"mutationz": []any{}}, "bad_json"},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/ingest", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.name, resp.StatusCode, body)
+			continue
+		}
+		if er := decodeErr(t, body); er.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, er.Code, tc.code)
+		}
+	}
+	// Nothing moved: an invalid batch never publishes a version.
+	if v, _, _ := liveState(t, ts.URL+"/healthz"); v != 0 {
+		t.Fatalf("version advanced to %d on invalid batches", v)
+	}
+}
+
+func TestStoreEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := getBody(t, ts.URL+"/v1/store")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var st store.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Durable || st.Seq != 0 || st.WALBytes != 0 {
+		t.Fatalf("ephemeral store stats = %+v", st)
+	}
+	postJSON(t, ts.URL+"/v1/ingest", ingestRequest{Mutations: []store.Mutation{
+		{Op: store.OpScaleProbs, Factor: 0.9},
+	}})
+	resp, body = getBody(t, ts.URL+"/v1/store")
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || st.Seq != 1 || st.MutationsTotal != 1 {
+		t.Fatalf("store stats after ingest = %+v", st)
+	}
+}
+
+func TestStoreMetricsExposed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/v1/ingest", ingestRequest{Mutations: []store.Mutation{
+		{Op: store.OpInsert, Rel: "Likes", Tuple: []string{"dave", "ronin"}, P: pf(0.2)},
+		{Op: store.OpScaleProbs, Factor: 0.9},
+	}})
+	_, body := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"lapushd_store_version 1",
+		"lapushd_store_mutations_total 2",
+		"lapushd_store_wal_bytes 0",
+		"lapushd_store_checkpoints_total 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestDurableServerRecovers boots a server over a durable store,
+// ingests, restarts the store from disk, and checks the new server
+// serves the ingested state.
+func TestDurableServerRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(movieDB(t), store.Options{Dir: dir, Fsync: store.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, NewWithStore(st, Config{}))
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", ingestRequest{Mutations: []store.Mutation{
+		{Op: store.OpInsert, Rel: "Likes", Tuple: []string{"carol", "heat"}, P: pf(0.7)},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", resp.StatusCode, body)
+	}
+	_, fp, tuples := liveState(t, ts.URL+"/healthz")
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(nil, store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	ts2 := newHTTPServer(t, NewWithStore(st2, Config{}))
+	v2, fp2, tuples2 := liveState(t, ts2.URL+"/healthz")
+	if v2 != 1 || fp2 != fp || tuples2 != tuples {
+		t.Fatalf("recovered server: version %d fp %q tuples %d, want 1 %q %d", v2, fp2, tuples2, fp, tuples)
+	}
+	resp, body = postJSON(t, ts2.URL+"/v1/query", queryRequest{Query: testQuery})
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "carol") {
+		t.Fatalf("recovered server query: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestConcurrentIngestAndQuery hammers /v1/ingest and /v1/query
+// concurrently; run under -race it checks the copy-on-write sharing
+// discipline end to end through the HTTP stack.
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	const writers, readers, rounds = 2, 4, 15
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				resp, body := postJSON(t, ts.URL+"/v1/ingest", ingestRequest{Mutations: []store.Mutation{
+					{Op: store.OpInsert, Rel: "Likes", Tuple: []string{fmt.Sprintf("w%d-%d", w, i), "heat"}, P: pf(0.5)},
+					{Op: store.OpSetProb, Rel: "Stars", Tuple: []string{"heat", "deniro"}, P: pf(float64(i+1) / (rounds + 1))},
+				}})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("writer %d: status %d: %s", w, resp.StatusCode, body)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				resp, body := postJSON(t, ts.URL+"/v1/query", queryRequest{Query: testQuery})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("reader %d: status %d: %s", r, resp.StatusCode, body)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	v, _, _ := liveState(t, ts.URL+"/healthz")
+	if v != writers*rounds {
+		t.Fatalf("final version %d, want %d", v, writers*rounds)
+	}
+}

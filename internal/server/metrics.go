@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"lapushdb/internal/store"
 )
 
 // metrics is a hand-rolled, dependency-free registry rendering in the
@@ -25,6 +27,8 @@ type metrics struct {
 	panicsRecovered  atomic.Int64
 	requestsRejected atomic.Int64 // worker-pool admission failures
 	partitionsTotal  atomic.Int64 // morsel chunks + join partitions processed
+
+	storeStats func() store.Stats // reads the store's counters at render time
 }
 
 // latencyBuckets are the histogram upper bounds in seconds.
@@ -143,6 +147,18 @@ func (m *metrics) render(b *strings.Builder) {
 	fmt.Fprintf(b, "lapushd_requests_rejected_total %d\n", m.requestsRejected.Load())
 	b.WriteString("# TYPE lapushd_partitions_total counter\n")
 	fmt.Fprintf(b, "lapushd_partitions_total %d\n", m.partitionsTotal.Load())
+
+	if m.storeStats != nil {
+		st := m.storeStats()
+		b.WriteString("# TYPE lapushd_store_version gauge\n")
+		fmt.Fprintf(b, "lapushd_store_version %d\n", st.Seq)
+		b.WriteString("# TYPE lapushd_store_mutations_total counter\n")
+		fmt.Fprintf(b, "lapushd_store_mutations_total %d\n", st.MutationsTotal)
+		b.WriteString("# TYPE lapushd_store_wal_bytes gauge\n")
+		fmt.Fprintf(b, "lapushd_store_wal_bytes %d\n", st.WALBytes)
+		b.WriteString("# TYPE lapushd_store_checkpoints_total counter\n")
+		fmt.Fprintf(b, "lapushd_store_checkpoints_total %d\n", st.Checkpoints)
+	}
 }
 
 func formatFloat(f float64) string {

@@ -1,6 +1,6 @@
 // Package server is lapushd's HTTP/JSON query service: a concurrent
-// front end over a lapushdb.DB with a bounded LRU plan cache, a
-// worker-pool executor with per-request deadlines, hand-rolled
+// front end over a versioned store.Store with a bounded LRU plan cache,
+// a worker-pool executor with per-request deadlines, hand-rolled
 // Prometheus-format metrics, and defensive middleware (request size
 // limits, structured JSON errors, panic recovery).
 //
@@ -8,13 +8,18 @@
 //
 //	POST /v1/query     {"query", "method", "top", "samples", "seed", "timeout_ms", "ignore_schema"}
 //	POST /v1/explain   {"query", "ignore_schema", "timeout_ms"}
+//	POST /v1/ingest    {"mutations": [{"op", "rel", ...}, ...]}
 //	GET  /v1/relations
+//	GET  /v1/store
 //	GET  /healthz
 //	GET  /metrics
 //
-// The database is loaded once at startup and treated as immutable while
-// serving, so prepared plans are shared freely across requests and the
-// schema fingerprint that scopes cache keys is computed once.
+// Every read request pins the store version that is current when it
+// starts and uses it throughout (snapshot isolation): concurrent
+// ingestion never changes a query's result mid-flight, and results are
+// bit-identical to evaluating the pinned version standalone. Plan-cache
+// keys are scoped by the pinned version's fingerprint, so mutations
+// invalidate stale plans naturally.
 package server
 
 import (
@@ -28,6 +33,7 @@ import (
 	"time"
 
 	"lapushdb"
+	"lapushdb/internal/store"
 )
 
 // Config tunes the server. Zero values select the documented defaults.
@@ -88,37 +94,52 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves queries over one immutable database.
+// Server serves queries over the versions a store publishes.
 type Server struct {
-	db          *lapushdb.DB
-	fingerprint string
-	cfg         Config
-	cache       *planCache
-	sem         chan struct{} // worker-pool slots
-	metrics     *metrics
-	mux         *http.ServeMux
-	start       time.Time
+	store   *store.Store
+	cfg     Config
+	cache   *planCache
+	sem     chan struct{} // worker-pool slots
+	metrics *metrics
+	mux     *http.ServeMux
+	start   time.Time
 }
 
-// New builds a server over db. The db must not be mutated while the
-// server is in use: prepared plans and the schema fingerprint assume a
-// fixed schema and contents.
+// New builds a server over a fixed database: db is wrapped in an
+// ephemeral store, so ingestion works (versioned, snapshot-isolated)
+// but nothing is persisted. The caller must not mutate db directly
+// after handing it over; all mutation goes through /v1/ingest.
 func New(db *lapushdb.DB, cfg Config) *Server {
+	st, err := store.Open(db, store.Options{})
+	if err != nil {
+		// Ephemeral Open only fails on invalid options; zero options are
+		// valid by construction.
+		panic(fmt.Sprintf("server: open ephemeral store: %v", err))
+	}
+	return NewWithStore(st, cfg)
+}
+
+// NewWithStore builds a server over an already-open store (typically a
+// durable one with a WAL). The server owns the request path only; the
+// caller keeps ownership of the store and closes it after shutdown.
+func NewWithStore(st *store.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		db:          db,
-		fingerprint: db.SchemaFingerprint(),
-		cfg:         cfg,
-		cache:       newPlanCache(cfg.CacheSize),
-		sem:         make(chan struct{}, cfg.Workers),
-		start:       time.Now(),
+		store: st,
+		cfg:   cfg,
+		cache: newPlanCache(cfg.CacheSize),
+		sem:   make(chan struct{}, cfg.Workers),
+		start: time.Now(),
 	}
-	s.metrics = newMetrics([]string{"query", "explain", "relations", "healthz", "metrics"}, s.cache.len)
+	s.metrics = newMetrics([]string{"query", "explain", "ingest", "relations", "store", "healthz", "metrics"}, s.cache.len)
+	s.metrics.storeStats = st.Stats
 	s.cache.onEvict = func() { s.metrics.cacheEvictions.Add(1) }
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/query", s.instrument("query", http.MethodPost, s.handleQuery))
 	s.mux.HandleFunc("/v1/explain", s.instrument("explain", http.MethodPost, s.handleExplain))
+	s.mux.HandleFunc("/v1/ingest", s.instrument("ingest", http.MethodPost, s.handleIngest))
 	s.mux.HandleFunc("/v1/relations", s.instrument("relations", http.MethodGet, s.handleRelations))
+	s.mux.HandleFunc("/v1/store", s.instrument("store", http.MethodGet, s.handleStore))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
 	return s
@@ -234,32 +255,34 @@ func (s *Server) acquire(ctx context.Context) error {
 func (s *Server) release() { <-s.sem }
 
 // cacheKey scopes a normalized query by method, schema-use flag, and
-// the database's schema fingerprint. The fingerprint covers schema and
-// tuple counts, so serving a different snapshot never reuses stale
-// plans; keying by method keeps one method's traffic from evicting
-// another's entries even though Prepared values are method-independent.
-func (s *Server) cacheKey(method, normalized string, ignoreSchema bool) string {
+// the pinned version's fingerprint. The fingerprint combines the schema
+// fingerprint with the version sequence number, so every mutation batch
+// invalidates stale plans naturally; keying by method keeps one
+// method's traffic from evicting another's entries even though Prepared
+// values are method-independent.
+func (s *Server) cacheKey(v *store.Version, method, normalized string, ignoreSchema bool) string {
 	flag := "s"
 	if ignoreSchema {
 		flag = "n"
 	}
-	return method + "\x00" + flag + "\x00" + s.fingerprint + "\x00" + normalized
+	return method + "\x00" + flag + "\x00" + v.Fingerprint + "\x00" + normalized
 }
 
-// prepared resolves a query through the plan cache, preparing and
-// inserting on miss. Returns the statement and whether it was a hit.
-func (s *Server) prepared(ctx context.Context, methodLabel, query string, opts *lapushdb.Options) (*lapushdb.Prepared, bool, error) {
-	normalized, err := s.db.NormalizeQuery(query)
+// prepared resolves a query through the plan cache against the pinned
+// version, preparing and inserting on miss. Returns the statement and
+// whether it was a hit.
+func (s *Server) prepared(ctx context.Context, v *store.Version, methodLabel, query string, opts *lapushdb.Options) (*lapushdb.Prepared, bool, error) {
+	normalized, err := v.DB.NormalizeQuery(query)
 	if err != nil {
 		return nil, false, err
 	}
-	key := s.cacheKey(methodLabel, normalized, opts.IgnoreSchema)
+	key := s.cacheKey(v, methodLabel, normalized, opts.IgnoreSchema)
 	if p, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
 		return p, true, nil
 	}
 	s.metrics.cacheMisses.Add(1)
-	p, err := s.db.PrepareContext(ctx, query, opts)
+	p, err := v.DB.PrepareContext(ctx, query, opts)
 	if err != nil {
 		return nil, false, err
 	}
@@ -343,6 +366,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 
+	// Pin the current version for the whole request: the query sees one
+	// consistent snapshot no matter how many batches land meanwhile.
+	v := s.store.Current()
 	stats := &lapushdb.RankStats{}
 	opts := &lapushdb.Options{
 		Method:       method,
@@ -353,7 +379,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Stats:        stats,
 	}
 	begin := time.Now()
-	p, hit, err := s.prepared(ctx, req.Method, req.Query, opts)
+	p, hit, err := s.prepared(ctx, v, req.Method, req.Query, opts)
 	if err != nil {
 		s.writeQueryError(w, ctx, err)
 		return
@@ -362,7 +388,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeQueryError(w, ctx, err)
 		return
 	}
-	answers, err := s.db.RankPrepared(ctx, p, opts)
+	answers, err := v.DB.RankPrepared(ctx, p, opts)
 	s.release()
 	if err != nil {
 		s.writeQueryError(w, ctx, err)
@@ -436,8 +462,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
+	v := s.store.Current()
 	opts := &lapushdb.Options{IgnoreSchema: req.IgnoreSchema}
-	p, hit, err := s.prepared(ctx, "explain", req.Query, opts)
+	p, hit, err := s.prepared(ctx, v, "explain", req.Query, opts)
 	if err != nil {
 		s.writeQueryError(w, ctx, err)
 		return
@@ -461,7 +488,8 @@ type relationJSON struct {
 }
 
 func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
-	infos := s.db.RelationInfos()
+	v := s.store.Current()
+	infos := v.DB.RelationInfos()
 	rels := make([]relationJSON, len(infos))
 	for i, ri := range infos {
 		rels[i] = relationJSON{
@@ -472,12 +500,17 @@ func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
 			Tuples:        ri.Tuples,
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"relations": rels, "fingerprint": s.fingerprint})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"relations":   rels,
+		"version":     v.Seq,
+		"fingerprint": v.Fingerprint,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	v := s.store.Current()
 	tuples := 0
-	infos := s.db.RelationInfos()
+	infos := v.DB.RelationInfos()
 	for _, ri := range infos {
 		tuples += ri.Tuples
 	}
@@ -486,8 +519,58 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_s":    time.Since(s.start).Seconds(),
 		"relations":   len(infos),
 		"tuples":      tuples,
-		"fingerprint": s.fingerprint,
+		"version":     v.Seq,
+		"fingerprint": v.Fingerprint,
 	})
+}
+
+type ingestRequest struct {
+	Mutations []store.Mutation `json:"mutations"`
+}
+
+type ingestResponse struct {
+	Version     uint64  `json:"version"`
+	Fingerprint string  `json:"fingerprint"`
+	Mutations   int     `json:"mutations"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// handleIngest applies one mutation batch atomically. On success the
+// response carries the new version's sequence number and fingerprint;
+// under the store's FsyncAlways policy a 200 means the batch is
+// durable. Validation failures leave the store untouched and return
+// 400; durability failures (the WAL itself failing) return 500.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Mutations) == 0 {
+		writeError(w, http.StatusBadRequest, "empty_batch", "field \"mutations\" must hold at least one mutation")
+		return
+	}
+	begin := time.Now()
+	v, err := s.store.Apply(req.Mutations)
+	if err != nil {
+		if errors.Is(err, store.ErrDurability) {
+			writeError(w, http.StatusInternalServerError, "durability_failure", err.Error())
+		} else {
+			writeError(w, http.StatusBadRequest, "bad_mutation", err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Version:     v.Seq,
+		Fingerprint: v.Fingerprint,
+		Mutations:   len(req.Mutations),
+		ElapsedMS:   float64(time.Since(begin).Microseconds()) / 1000,
+	})
+}
+
+// handleStore reports the store's durability state: version, WAL size,
+// checkpoint progress, fsync policy.
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Stats())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,419 @@
+// Package store is lapushd's durable versioned database store. It
+// publishes immutable lapushdb.DB versions behind an atomic pointer:
+// every in-flight query pins the version it started on (snapshot
+// isolation, preserving the engine's bit-identical determinism
+// contract) while a single serialized applier builds the next version
+// as a copy-on-write clone. Durability comes from a CRC-checked
+// write-ahead log of mutation batches with a configurable fsync
+// policy, threshold-triggered checkpointing to the .lpd snapshot
+// format, and crash recovery that loads the latest checkpoint, replays
+// the WAL, and truncates a torn tail instead of failing.
+//
+// On-disk layout of a store directory:
+//
+//	MANIFEST              JSON {seq, checkpoint}: which checkpoint is live
+//	checkpoint-<seq>.lpd  database snapshot at sequence number <seq>
+//	wal.log               mutation batches applied after that checkpoint
+//
+// Checkpoint protocol (crash-safe at every step): write the snapshot to
+// a temp file, fsync, rename to checkpoint-<seq>.lpd; write the new
+// manifest to a temp file, fsync, rename over MANIFEST; then truncate
+// the WAL. A crash between any two steps recovers correctly because WAL
+// records carry sequence numbers and replay skips records at or below
+// the manifest's checkpoint sequence.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"lapushdb"
+)
+
+const (
+	manifestName = "MANIFEST"
+	walName      = "wal.log"
+)
+
+// ErrDurability wraps WAL and checkpoint I/O failures, distinguishing
+// them from mutation validation errors: a validation error is the
+// client's fault, a durability error is the server's.
+var ErrDurability = errors.New("store: durability failure")
+
+// FsyncPolicy selects when the WAL is fsynced.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways fsyncs after every mutation batch, before the batch is
+	// acknowledged: a crash never loses an acknowledged batch.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncNever leaves flushing to the OS: a crash may lose recently
+	// acknowledged batches, but never recovers a corrupt state (torn
+	// tails truncate).
+	FsyncNever FsyncPolicy = "never"
+)
+
+// Options configures a store.
+type Options struct {
+	// Dir is the store directory. Empty selects ephemeral mode: full
+	// versioning and snapshot isolation, no WAL and no checkpoints.
+	Dir string
+	// Fsync is the WAL fsync policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// CheckpointEvery checkpoints after that many mutation batches have
+	// accumulated in the WAL (default 256; negative disables automatic
+	// checkpointing).
+	CheckpointEvery int
+}
+
+// Version is one immutable published database version. DB must be
+// treated as read-only; the fingerprint combines the schema fingerprint
+// with the sequence number, so it changes on every mutation batch —
+// plan-cache keys scoped by it invalidate naturally.
+type Version struct {
+	DB          *lapushdb.DB
+	Seq         uint64
+	Fingerprint string
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Seq                 uint64 `json:"version"`
+	Fingerprint         string `json:"fingerprint"`
+	Durable             bool   `json:"durable"`
+	Fsync               string `json:"fsync,omitempty"`
+	WALBytes            int64  `json:"wal_bytes"`
+	CheckpointSeq       uint64 `json:"last_checkpoint_seq"`
+	Checkpoints         int64  `json:"checkpoints_total"`
+	MutationsTotal      int64  `json:"mutations_total"`
+	BatchesTotal        int64  `json:"batches_total"`
+	LastCheckpointError string `json:"last_checkpoint_error,omitempty"`
+}
+
+// manifest is the JSON sidecar naming the live checkpoint.
+type manifest struct {
+	Seq        uint64 `json:"seq"`
+	Checkpoint string `json:"checkpoint"`
+}
+
+// Store is a concurrently-mutable versioned database. Readers call
+// Current and use the pinned version lock-free; Apply serializes
+// writers.
+type Store struct {
+	cur  atomic.Pointer[Version]
+	opts Options
+
+	mu              sync.Mutex // serializes Apply, Checkpoint, Close, Stats
+	wal             *walWriter // nil in ephemeral mode
+	closed          bool
+	checkpointSeq   uint64
+	sinceCheckpoint int
+	checkpoints     int64
+	mutations       atomic.Int64
+	batches         atomic.Int64
+	lastCkptErr     string
+}
+
+// Open opens (or creates) a store. seed provides the initial database
+// contents on first boot only: once the directory holds a manifest,
+// recovered state wins and seed is ignored, so restarting with the same
+// -rel flags does not clobber ingested data. A nil seed starts empty.
+// Ephemeral mode (Options.Dir == "") never touches the filesystem.
+func Open(seed *lapushdb.DB, opts Options) (*Store, error) {
+	switch opts.Fsync {
+	case "":
+		opts.Fsync = FsyncAlways
+	case FsyncAlways, FsyncNever:
+	default:
+		return nil, fmt.Errorf("store: unknown fsync policy %q (want %q or %q)", opts.Fsync, FsyncAlways, FsyncNever)
+	}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = 256
+	}
+	if seed == nil {
+		seed = lapushdb.Open()
+	}
+	s := &Store{opts: opts}
+	if opts.Dir == "" {
+		s.publish(seed.CloneCOW(), 0)
+		return s, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+
+	var db *lapushdb.DB
+	man, err := readManifest(filepath.Join(opts.Dir, manifestName))
+	switch {
+	case err == nil:
+		db, err = loadSnapshotFile(filepath.Join(opts.Dir, man.Checkpoint))
+		if err != nil {
+			return nil, fmt.Errorf("store: load checkpoint %s: %w", man.Checkpoint, err)
+		}
+		s.checkpointSeq = man.Seq
+	case errors.Is(err, os.ErrNotExist):
+		// First boot: anchor recovery with a checkpoint of the seed.
+		db = seed.CloneCOW()
+		if err := s.writeCheckpoint(db, 0); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("store: read manifest: %w", err)
+	}
+
+	// Replay the WAL over the checkpoint. Each record applies to a
+	// private clone that is adopted only when the whole batch succeeds,
+	// so a corrupt record can never leave a half-applied batch behind —
+	// the recovered state is always exactly a prefix of logged batches.
+	last := s.checkpointSeq
+	replayed := 0
+	apply := func(rec walRecord) error {
+		if rec.Seq <= s.checkpointSeq {
+			return nil // already folded into the checkpoint
+		}
+		if rec.Seq != last+1 {
+			return fmt.Errorf("store: wal sequence gap: have %d, next record is %d", last, rec.Seq)
+		}
+		next := db.CloneCOW()
+		if err := applyBatch(next, rec.Muts); err != nil {
+			return err
+		}
+		db = next
+		last = rec.Seq
+		replayed++
+		return nil
+	}
+	w, err := openWAL(filepath.Join(opts.Dir, walName), opts.Fsync == FsyncAlways, apply)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.wal = w
+	s.sinceCheckpoint = replayed
+	s.publish(db, last)
+	s.removeStaleCheckpoints()
+	return s, nil
+}
+
+// Current returns the live published version. The result is immutable
+// and remains valid (and consistent) for as long as the caller holds
+// it, however many mutations are applied meanwhile.
+func (s *Store) Current() *Version { return s.cur.Load() }
+
+// Apply atomically applies one mutation batch and publishes the
+// resulting version. The batch is all-or-nothing: any validation error
+// leaves the store unchanged. Under FsyncAlways the batch is durable
+// before Apply returns. Durability failures wrap ErrDurability.
+func (s *Store) Apply(muts []Mutation) (*Version, error) {
+	if len(muts) == 0 {
+		return nil, errors.New("store: empty mutation batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("store: closed")
+	}
+	cur := s.cur.Load()
+	next := cur.DB.CloneCOW()
+	if err := applyBatch(next, muts); err != nil {
+		return nil, err
+	}
+	seq := cur.Seq + 1
+	if s.wal != nil {
+		payload, err := json.Marshal(walRecord{Seq: seq, Muts: muts})
+		if err != nil {
+			return nil, fmt.Errorf("%w: encode batch: %v", ErrDurability, err)
+		}
+		if err := s.wal.append(payload); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+	}
+	v := s.publish(next, seq)
+	s.mutations.Add(int64(len(muts)))
+	s.batches.Add(1)
+	s.sinceCheckpoint++
+	if s.wal != nil && s.opts.CheckpointEvery > 0 && s.sinceCheckpoint >= s.opts.CheckpointEvery {
+		// The batch is already durable and published; a checkpoint
+		// failure only delays WAL truncation, so it must not fail the
+		// Apply. It is surfaced through Stats instead.
+		if err := s.checkpointLocked(v); err != nil {
+			s.lastCkptErr = err.Error()
+		} else {
+			s.lastCkptErr = ""
+		}
+	}
+	return v, nil
+}
+
+// Checkpoint forces a checkpoint of the current version and truncates
+// the WAL. A no-op in ephemeral mode.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if s.wal == nil {
+		return nil
+	}
+	return s.checkpointLocked(s.cur.Load())
+}
+
+// Stats returns the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.cur.Load()
+	st := Stats{
+		Seq:                 v.Seq,
+		Fingerprint:         v.Fingerprint,
+		Durable:             s.wal != nil,
+		CheckpointSeq:       s.checkpointSeq,
+		Checkpoints:         s.checkpoints,
+		MutationsTotal:      s.mutations.Load(),
+		BatchesTotal:        s.batches.Load(),
+		LastCheckpointError: s.lastCkptErr,
+	}
+	if s.wal != nil {
+		st.Fsync = string(s.opts.Fsync)
+		st.WALBytes = s.wal.size
+	}
+	return st
+}
+
+// Close releases the WAL file. Published versions stay readable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.wal != nil {
+		return s.wal.f.Close()
+	}
+	return nil
+}
+
+func (s *Store) publish(db *lapushdb.DB, seq uint64) *Version {
+	v := &Version{DB: db, Seq: seq, Fingerprint: fmt.Sprintf("%s@%d", db.SchemaFingerprint(), seq)}
+	s.cur.Store(v)
+	return v
+}
+
+// checkpointLocked runs the checkpoint protocol for version v and
+// resets the WAL. Caller holds s.mu.
+func (s *Store) checkpointLocked(v *Version) error {
+	if err := s.writeCheckpoint(v.DB, v.Seq); err != nil {
+		return err
+	}
+	if err := s.wal.reset(); err != nil {
+		return fmt.Errorf("%w: truncate wal: %v", ErrDurability, err)
+	}
+	s.checkpointSeq = v.Seq
+	s.sinceCheckpoint = 0
+	s.removeStaleCheckpoints()
+	return nil
+}
+
+// writeCheckpoint durably writes checkpoint-<seq>.lpd and points the
+// manifest at it (snapshot first, manifest second, each via fsynced
+// temp file + rename).
+func (s *Store) writeCheckpoint(db *lapushdb.DB, seq uint64) error {
+	name := fmt.Sprintf("checkpoint-%09d.lpd", seq)
+	if err := writeFileDurable(s.opts.Dir, name, func(f *os.File) error { return db.Save(f) }); err != nil {
+		return fmt.Errorf("%w: write checkpoint: %v", ErrDurability, err)
+	}
+	buf, err := json.Marshal(manifest{Seq: seq, Checkpoint: name})
+	if err != nil {
+		return fmt.Errorf("%w: encode manifest: %v", ErrDurability, err)
+	}
+	err = writeFileDurable(s.opts.Dir, manifestName, func(f *os.File) error {
+		_, err := f.Write(buf)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("%w: write manifest: %v", ErrDurability, err)
+	}
+	s.checkpoints++
+	return nil
+}
+
+// removeStaleCheckpoints deletes checkpoint files the manifest no
+// longer references (leftovers of a crash mid-protocol or of an earlier
+// checkpoint). Best effort.
+func (s *Store) removeStaleCheckpoints() {
+	live := fmt.Sprintf("checkpoint-%09d.lpd", s.checkpointSeq)
+	matches, err := filepath.Glob(filepath.Join(s.opts.Dir, "checkpoint-*.lpd"))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		if filepath.Base(m) != live {
+			_ = os.Remove(m)
+		}
+	}
+}
+
+// writeFileDurable writes dir/name via a temp file: write, fsync,
+// close, rename, fsync the directory. The file either exists complete
+// or not at all.
+func writeFileDurable(dir, name string, write func(f *os.File) error) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func readManifest(path string) (manifest, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return manifest{}, err
+	}
+	var m manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return manifest{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if m.Checkpoint == "" || filepath.Base(m.Checkpoint) != m.Checkpoint {
+		return manifest{}, fmt.Errorf("parse %s: bad checkpoint name %q", path, m.Checkpoint)
+	}
+	return m, nil
+}
+
+func loadSnapshotFile(path string) (*lapushdb.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return lapushdb.Load(f)
+}

@@ -1,0 +1,207 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Write-ahead log. The file starts with an 8-byte magic header; each
+// record is
+//
+//	uint32 LE payload length | uint32 LE CRC32C(payload) | payload
+//
+// where the payload is the JSON encoding of a walRecord (one mutation
+// batch with its version sequence number). Records are appended and
+// optionally fsynced before the batch's version is published, so a
+// crash can lose at most the batches that were never acknowledged; a
+// torn tail (partial record, bad CRC, undecodable payload) is truncated
+// on recovery instead of failing it.
+
+const (
+	walMagic = "LPDWAL01"
+	// walHeaderSize is the byte length of the magic header.
+	walHeaderSize = int64(len(walMagic))
+	// maxWALRecordBytes bounds one record's payload; a torn or corrupted
+	// length prefix must never drive a multi-gigabyte allocation.
+	maxWALRecordBytes = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// walRecord is one durably-logged mutation batch.
+type walRecord struct {
+	Seq  uint64     `json:"seq"`
+	Muts []Mutation `json:"muts"`
+}
+
+// walWriter appends records to an open WAL file.
+type walWriter struct {
+	f      *os.File
+	size   int64 // current file size = offset of the next record
+	sync   bool  // fsync after every append
+	broken error // first unrecoverable write error; poisons the writer
+}
+
+// append writes one record (and fsyncs under FsyncAlways). On a failed
+// or partial write it truncates back to the last clean record boundary
+// so later appends don't bury garbage mid-file; if even that fails the
+// writer is poisoned and every subsequent append errors.
+func (w *walWriter) append(payload []byte) error {
+	if w.broken != nil {
+		return fmt.Errorf("store: wal writer unusable after earlier error: %w", w.broken)
+	}
+	if len(payload) > maxWALRecordBytes {
+		return fmt.Errorf("store: wal record of %d bytes exceeds the %d byte limit", len(payload), maxWALRecordBytes)
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	copy(buf[8:], payload)
+	if _, err := w.f.Write(buf); err != nil {
+		w.restoreTail(err)
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			// Durability of the record is unknown; roll it back so the
+			// acknowledged state and the recovered state stay equal.
+			w.restoreTail(err)
+			return fmt.Errorf("store: wal fsync: %w", err)
+		}
+	}
+	w.size += int64(len(buf))
+	return nil
+}
+
+// reset truncates the WAL back to its magic header after a checkpoint
+// has captured everything it held. The truncation is always fsynced —
+// checkpoints are rare, and replaying stale records over a newer
+// checkpoint would be skipped by sequence number anyway, so this only
+// bounds recovery work.
+func (w *walWriter) reset() error {
+	if w.broken != nil {
+		return fmt.Errorf("store: wal writer unusable after earlier error: %w", w.broken)
+	}
+	if err := w.f.Truncate(walHeaderSize); err != nil {
+		w.broken = err
+		return err
+	}
+	if _, err := w.f.Seek(walHeaderSize, io.SeekStart); err != nil {
+		w.broken = err
+		return err
+	}
+	w.size = walHeaderSize
+	return w.f.Sync()
+}
+
+// restoreTail truncates the file back to the last clean record
+// boundary after a failed append; on failure the writer is poisoned.
+func (w *walWriter) restoreTail(cause error) {
+	if err := w.f.Truncate(w.size); err != nil {
+		w.broken = cause
+		return
+	}
+	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		w.broken = cause
+	}
+}
+
+// replayWAL scans an open WAL file from the start, invoking apply for
+// every intact record, and returns the byte offset of the end of the
+// last intact record. Any defect — short header, absurd length, short
+// payload, CRC mismatch, undecodable JSON, or an apply error — stops
+// the scan there and reports torn=true; the caller truncates. A file
+// shorter than the magic header counts as empty (torn if nonzero).
+func replayWAL(f *os.File, apply func(rec walRecord) error) (good int64, torn bool, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, false, err
+	}
+	r := bufio.NewReaderSize(f, 1<<16)
+	var magic [len(walMagic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		if err == io.EOF {
+			return 0, false, nil // empty file: fresh WAL
+		}
+		return 0, true, nil // torn header
+	}
+	if string(magic[:]) != walMagic {
+		return 0, false, fmt.Errorf("store: %s is not a WAL file (bad magic %q)", f.Name(), magic)
+	}
+	good = walHeaderSize
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return good, err != io.EOF, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxWALRecordBytes {
+			return good, true, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return good, true, nil
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			return good, true, nil
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return good, true, nil
+		}
+		if err := apply(rec); err != nil {
+			return good, true, nil
+		}
+		good += 8 + int64(length)
+	}
+}
+
+// openWAL opens (creating if needed) the WAL file, replays it through
+// apply, truncates any torn tail, and returns a writer positioned at
+// the end.
+func openWAL(path string, fsync bool, apply func(rec walRecord) error) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	good, torn, err := replayWAL(f, apply)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if good == 0 {
+		// Fresh (or torn-before-header) file: start it with the magic.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		good = walHeaderSize
+	} else if torn {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &walWriter{f: f, size: good, sync: fsync}
+	if torn || good == walHeaderSize {
+		// Make the truncation (or fresh header) itself durable.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
