@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench
+.PHONY: build test race vet check bench chaos
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection and degraded-operation suite under the race detector:
+# the errfs chaos sweeps, breaker/read-only lifecycle, torn-tail
+# accounting, row budgets, load shedding, and the error-status table.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestTornTail|TestNth|TestSticky|TestShort|TestSetFault' ./internal/store/...
+	$(GO) test -race -run 'TestBudget' ./internal/engine
+	$(GO) test -race -run 'TestErrorStatus|TestRelease|TestQueryBudget|TestLoadShedding|TestDegraded|TestRobustnessMetrics' ./internal/server
 
 vet:
 	$(GO) vet ./...

@@ -65,6 +65,8 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	maxRows := flag.Int("max-rows", 0, "cap on intermediate rows per query (exceeding fails with 422; 0 disables; ceiling for the max_rows request field)")
+	queueWait := flag.Duration("queue-wait", 0, "estimated worker-queue wait; saturated-pool requests with less remaining deadline are shed with 429 (0 disables)")
 	dataDir := flag.String("data", "", "durable store directory (WAL + checkpoints); empty serves in-memory only")
 	walFsync := flag.String("wal-fsync", "always", "WAL fsync policy: always (no acknowledged batch is ever lost) or never")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "checkpoint after this many mutation batches (<0 disables automatic checkpoints)")
@@ -104,6 +106,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxBodyBytes:   *maxBody,
+		MaxRows:        *maxRows,
+		QueueWait:      *queueWait,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

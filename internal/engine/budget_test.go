@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"lapushdb/internal/core"
+	"lapushdb/internal/cq"
+	"lapushdb/internal/plan"
+)
+
+// budgetDB builds a database whose join q :- R(x), S(x, y) materializes
+// n·m intermediate rows from n + m inputs.
+func budgetDB(n, m int) *DB {
+	db := NewDB()
+	R := db.CreateRelation("R", []string{"a"})
+	S := db.CreateRelation("S", []string{"a", "b"})
+	for i := 0; i < n; i++ {
+		R.Insert([]Value{1}, 0.5)
+	}
+	for j := 0; j < m; j++ {
+		S.Insert([]Value{1, Value(j + 2)}, 0.5)
+	}
+	return db
+}
+
+func evalWithBudget(db *DB, maxRows, workers int) error {
+	q := cq.MustParse("q() :- R(x), S(x, y)")
+	plans := core.MinimalPlans(q, nil)
+	return TrapCancel(func() {
+		EvalPlansCtx(nil, db, q, plans, Options{
+			MaxIntermediateRows: maxRows,
+			Workers:             workers,
+		})
+	})
+}
+
+func TestBudgetExceededIsTyped(t *testing.T) {
+	// The safe plan π{}(R ⋈ π{x}S) materializes ~302 rows here (two
+	// 100-row scans plus the join); a 150-row cap must abort it.
+	db := budgetDB(100, 100)
+	err := evalWithBudget(db, 150, 1)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestBudgetExceededParallel(t *testing.T) {
+	// The budget counter is shared across morsel helpers; the typed
+	// error must surface through forChunks' helper drain. Drive project
+	// directly with a pooled exec so the input spans several morsels and
+	// every fresh group charges from a helper goroutine.
+	n := 3 * morselSize
+	in := &Result{Cols: []cq.Var{"x"}}
+	for i := 0; i < n; i++ {
+		in.rows = append(in.rows, Value(i))
+		in.ids = append(in.ids, int32(i))
+		in.scores = append(in.scores, 0.5)
+	}
+	ex := &exec{
+		c:      &canceller{},
+		pool:   newPool(context.Background(), 4),
+		budget: newRowBudget(n / 2),
+	}
+	err := TrapCancel(func() { project(in, []cq.Var{"x"}, ex) })
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestBudgetDisabledByDefault(t *testing.T) {
+	db := budgetDB(50, 50)
+	if err := evalWithBudget(db, 0, 1); err != nil {
+		t.Fatalf("unbudgeted evaluation failed: %v", err)
+	}
+}
+
+func TestBudgetUnderLimitSucceedsAndMatches(t *testing.T) {
+	db := budgetDB(10, 10)
+	q := cq.MustParse("q() :- R(x), S(x, y)")
+	plans := core.MinimalPlans(q, nil)
+	free := EvalPlans(db, q, plans, Options{})
+	var capped *Result
+	err := TrapCancel(func() {
+		capped = EvalPlansCtx(nil, db, q, plans, Options{MaxIntermediateRows: 1 << 20})
+	})
+	if err != nil {
+		t.Fatalf("budgeted evaluation failed: %v", err)
+	}
+	if free.BooleanScore() != capped.BooleanScore() {
+		t.Fatalf("budget changed the score: %v vs %v", capped.BooleanScore(), free.BooleanScore())
+	}
+}
+
+func TestBudgetSpansAllPlans(t *testing.T) {
+	// One evaluation of the plan materializes ~302 rows — under a
+	// 450-row cap. Evaluating the same plan twice through EvalPlansCtx
+	// must fail: the budget bounds the query, not each plan.
+	db := budgetDB(100, 100)
+	q := cq.MustParse("q() :- R(x), S(x, y)")
+	plans := core.MinimalPlans(q, nil)
+	if len(plans) != 1 {
+		t.Fatalf("plans = %d, want 1", len(plans))
+	}
+	double := []plan.Node{plans[0], plans[0]}
+	err := TrapCancel(func() {
+		EvalPlansCtx(nil, db, q, double, Options{MaxIntermediateRows: 450})
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget across plans, got %v", err)
+	}
+	// Sanity: one plan alone fits the same cap.
+	err = TrapCancel(func() {
+		EvalPlansCtx(nil, db, q, plans, Options{MaxIntermediateRows: 450})
+	})
+	if err != nil {
+		t.Fatalf("single plan under the same cap failed: %v", err)
+	}
+}
+
+func TestBudgetErrorMentionsLimit(t *testing.T) {
+	db := budgetDB(100, 100)
+	err := evalWithBudget(db, 42, 1)
+	if err == nil || !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	if want := fmt.Sprintf("limit %d", 42); !containsStr(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

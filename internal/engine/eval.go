@@ -157,6 +157,11 @@ type Options struct {
 	// and join partitions processed) across the evaluation. Safe to share
 	// between concurrent evaluators.
 	Stats *EvalStats
+	// MaxIntermediateRows caps the total number of intermediate result
+	// rows one evaluation may materialize across all operators (scan
+	// outputs, join outputs, projection groups). Exceeding it aborts the
+	// evaluation with an error wrapping ErrBudget. <= 0 disables the cap.
+	MaxIntermediateRows int
 }
 
 // Evaluator evaluates plans over a database under the extensional score
@@ -169,12 +174,13 @@ type Evaluator struct {
 	cache   map[string]*Result
 	reduced map[string][]int32 // atom relation -> surviving row indices
 	cancel  canceller
-	pool    *pool // helper goroutines for morsel parallelism; nil = sequential
+	pool    *pool      // helper goroutines for morsel parallelism; nil = sequential
+	budget  *rowBudget // intermediate row budget; nil = unlimited
 }
 
 // ex returns the operator execution context for this evaluator.
 func (e *Evaluator) ex() *exec {
-	return &exec{c: &e.cancel, pool: e.pool, stats: e.opts.Stats}
+	return &exec{c: &e.cancel, pool: e.pool, stats: e.opts.Stats, budget: e.budget}
 }
 
 // NewEvaluator prepares an evaluator for one query evaluation. If
@@ -192,6 +198,7 @@ func NewEvaluatorCtx(ctx context.Context, db *DB, q *cq.Query, opts Options) *Ev
 	e := &Evaluator{db: db, opts: opts}
 	e.cancel.ctx = ctx
 	e.pool = newPool(ctx, opts.Workers)
+	e.budget = newRowBudget(opts.MaxIntermediateRows)
 	if opts.ReuseSubplans {
 		e.cache = map[string]*Result{}
 	}
@@ -259,8 +266,12 @@ func EvalPlans(db *DB, q *cq.Query, plans []plan.Node, opts Options) *Result {
 // EvalPlansCtx is EvalPlans bound to a context (see NewEvaluatorCtx).
 func EvalPlansCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan.Node, opts Options) *Result {
 	var out *Result
+	// One row budget spans every plan: MaxIntermediateRows bounds the
+	// query, not each of its (possibly many) minimal plans.
+	budget := newRowBudget(opts.MaxIntermediateRows)
 	for _, p := range plans {
 		e := NewEvaluatorCtx(ctx, db, q, opts)
+		e.budget = budget
 		r := e.Eval(p)
 		if out == nil {
 			out = r
@@ -302,6 +313,7 @@ func (e *Evaluator) scan(s *plan.Scan) *Result {
 		if !filter.ok(row) {
 			return
 		}
+		e.budget.charge(1)
 		vrow := rel.vidRow(i)
 		for _, j := range pos {
 			out.rows = append(out.rows, row[j])
@@ -500,6 +512,7 @@ func project(in *Result, onto []cq.Var, ex *exec) *Result {
 			}
 			gid, fresh := g.intern(key)
 			if fresh {
+				ex.charge(1)
 				lg.firstRow = append(lg.firstRow, int32(i))
 				lg.partial = append(lg.partial, 1)
 			}
@@ -660,6 +673,7 @@ func join(l, r *Result, ex *exec) *Result {
 					}
 				}
 				b.scores = append(b.scores, ls*rs)
+				ex.charge(1)
 			}
 		}
 	})
@@ -716,6 +730,7 @@ func combineMin(a, b *Result, ex *exec) *Result {
 			j := rowOf[gid]
 			out.scores[j] = math.Min(out.scores[j], b.scores[i])
 		} else {
+			ex.charge(1)
 			out.rows = append(out.rows, b.Row(i)...)
 			out.ids = append(out.ids, b.idRow(i)...)
 			out.scores = append(out.scores, b.scores[i])

@@ -65,13 +65,14 @@ func newPool(ctx context.Context, workers int) *pool {
 }
 
 // exec carries the per-operator execution context: the calling
-// goroutine's canceller, the (possibly nil) helper pool, and the
-// (possibly nil) stats sink. A nil exec runs sequentially and
-// uncancellably.
+// goroutine's canceller, the (possibly nil) helper pool, the (possibly
+// nil) stats sink, and the (possibly nil) intermediate row budget. A
+// nil exec runs sequentially, uncancellably, and unbudgeted.
 type exec struct {
-	c     *canceller
-	pool  *pool
-	stats *EvalStats
+	c      *canceller
+	pool   *pool
+	stats  *EvalStats
+	budget *rowBudget
 }
 
 func (ex *exec) canc() *canceller {
@@ -79,6 +80,15 @@ func (ex *exec) canc() *canceller {
 		return nil
 	}
 	return ex.c
+}
+
+// charge accounts n materialized intermediate rows against the
+// evaluation's budget (see budget.go). Safe from morsel helpers.
+func (ex *exec) charge(n int) {
+	if ex == nil {
+		return
+	}
+	ex.budget.charge(n)
 }
 
 // addPartitions records n partitioned work units in the stats sink.

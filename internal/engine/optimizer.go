@@ -38,6 +38,8 @@ func EvalPlansParallelCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan
 	// One morsel pool shared across plan workers keeps the total
 	// goroutine budget bounded by Workers regardless of plan count.
 	morselPool := newPool(ctx, opts.Workers)
+	// One row budget spans every plan worker (see EvalPlansCtx).
+	budget := newRowBudget(opts.MaxIntermediateRows)
 	results := make([]*Result, len(plans))
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -50,7 +52,7 @@ func EvalPlansParallelCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			err := TrapCancel(func() {
-				e := &Evaluator{db: db, opts: opts, reduced: reduced, pool: morselPool}
+				e := &Evaluator{db: db, opts: opts, reduced: reduced, pool: morselPool, budget: budget}
 				e.cancel.ctx = ctx
 				if opts.ReuseSubplans {
 					e.cache = map[string]*Result{}

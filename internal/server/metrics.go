@@ -27,6 +27,8 @@ type metrics struct {
 	panicsRecovered  atomic.Int64
 	requestsRejected atomic.Int64 // worker-pool admission failures
 	partitionsTotal  atomic.Int64 // morsel chunks + join partitions processed
+	shedTotal        atomic.Int64 // requests shed at admission (deadline < queue wait)
+	budgetExceeded   atomic.Int64 // queries aborted by their row budget
 
 	storeStats func() store.Stats // reads the store's counters at render time
 }
@@ -147,6 +149,10 @@ func (m *metrics) render(b *strings.Builder) {
 	fmt.Fprintf(b, "lapushd_requests_rejected_total %d\n", m.requestsRejected.Load())
 	b.WriteString("# TYPE lapushd_partitions_total counter\n")
 	fmt.Fprintf(b, "lapushd_partitions_total %d\n", m.partitionsTotal.Load())
+	b.WriteString("# TYPE lapushd_shed_total counter\n")
+	fmt.Fprintf(b, "lapushd_shed_total %d\n", m.shedTotal.Load())
+	b.WriteString("# TYPE lapushd_budget_exceeded_total counter\n")
+	fmt.Fprintf(b, "lapushd_budget_exceeded_total %d\n", m.budgetExceeded.Load())
 
 	if m.storeStats != nil {
 		st := m.storeStats()
@@ -158,9 +164,20 @@ func (m *metrics) render(b *strings.Builder) {
 		fmt.Fprintf(b, "lapushd_store_wal_bytes %d\n", st.WALBytes)
 		b.WriteString("# TYPE lapushd_store_checkpoints_total counter\n")
 		fmt.Fprintf(b, "lapushd_store_checkpoints_total %d\n", st.Checkpoints)
+		b.WriteString("# TYPE lapushd_store_wal_truncations_total counter\n")
+		fmt.Fprintf(b, "lapushd_store_wal_truncations_total %d\n", st.WALTruncations)
+		b.WriteString("# TYPE lapushd_store_readonly gauge\n")
+		fmt.Fprintf(b, "lapushd_store_readonly %d\n", boolGauge(st.ReadOnly))
 	}
 }
 
 func formatFloat(f float64) string {
 	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -61,6 +61,16 @@ type Config struct {
 	Parallelism int
 	// MaxParallelism caps per-request parallelism (default 32).
 	MaxParallelism int
+	// MaxRows bounds the intermediate rows one query may materialize
+	// (and is the ceiling for the per-request "max_rows" field). A query
+	// exceeding its budget fails with 422. 0 disables the server-wide
+	// bound; requests may still opt into one with "max_rows".
+	MaxRows int
+	// QueueWait is the estimated time a request spends waiting for a
+	// worker slot when the pool is saturated. Requests whose remaining
+	// deadline is below the estimate are shed immediately with 429
+	// instead of queueing toward a certain timeout. 0 disables shedding.
+	QueueWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +113,11 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 	start   time.Time
+
+	// testHookAfterAcquire, when non-nil, runs while a worker slot is
+	// held, between acquire and evaluation. Tests use it to inject a
+	// panic and assert the slot is still released.
+	testHookAfterAcquire func()
 }
 
 // New builds a server over a fixed database: db is wrapped in an
@@ -241,8 +256,28 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Conte
 	return context.WithTimeout(r.Context(), d)
 }
 
+// errOverloaded marks a request shed at admission: the worker pool was
+// saturated and the remaining deadline could not cover the estimated
+// queue wait, so queueing would only burn a slot's time on a request
+// already doomed to 504.
+var errOverloaded = errors.New("server: worker pool saturated and remaining deadline below the queue-wait estimate")
+
 // acquire takes a worker-pool slot, giving up when ctx expires first.
+// With QueueWait configured, a request that finds the pool saturated
+// and cannot possibly get a slot in time is shed immediately.
 func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.cfg.QueueWait > 0 {
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < s.cfg.QueueWait {
+			s.metrics.shedTotal.Add(1)
+			s.metrics.requestsRejected.Add(1)
+			return errOverloaded
+		}
+	}
 	select {
 	case s.sem <- struct{}{}:
 		return nil
@@ -253,6 +288,18 @@ func (s *Server) acquire(ctx context.Context) error {
 }
 
 func (s *Server) release() { <-s.sem }
+
+// rankWithSlot evaluates the prepared query while holding a worker
+// slot, releasing it by defer: a panic during evaluation is recovered
+// by instrument, and without the defer the slot would leak, silently
+// shrinking the pool for the life of the process.
+func (s *Server) rankWithSlot(ctx context.Context, v *store.Version, p *lapushdb.Prepared, opts *lapushdb.Options) ([]lapushdb.Answer, error) {
+	defer s.release()
+	if s.testHookAfterAcquire != nil {
+		s.testHookAfterAcquire()
+	}
+	return v.DB.RankPrepared(ctx, p, opts)
+}
 
 // cacheKey scopes a normalized query by method, schema-use flag, and
 // the pinned version's fingerprint. The fingerprint combines the schema
@@ -302,6 +349,10 @@ type queryRequest struct {
 	// count for this request (0 = server default), capped at the
 	// configured maximum. Scores are bit-identical across settings.
 	Parallelism int `json:"parallelism"`
+	// MaxRows caps the intermediate rows this query may materialize
+	// (0 = the server's -max-rows setting), capped at that setting when
+	// it is configured. Exceeding the budget fails the query with 422.
+	MaxRows int `json:"max_rows"`
 }
 
 type answerJSON struct {
@@ -356,12 +407,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_parallelism", "field \"parallelism\" must be >= 0")
 		return
 	}
+	if req.MaxRows < 0 {
+		writeError(w, http.StatusBadRequest, "bad_max_rows", "field \"max_rows\" must be >= 0")
+		return
+	}
 	parallelism := s.cfg.Parallelism
 	if req.Parallelism > 0 {
 		parallelism = req.Parallelism
 	}
 	if parallelism > s.cfg.MaxParallelism {
 		parallelism = s.cfg.MaxParallelism
+	}
+	maxRows := s.cfg.MaxRows
+	if req.MaxRows > 0 && (s.cfg.MaxRows <= 0 || req.MaxRows < s.cfg.MaxRows) {
+		maxRows = req.MaxRows
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
@@ -371,27 +430,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	v := s.store.Current()
 	stats := &lapushdb.RankStats{}
 	opts := &lapushdb.Options{
-		Method:       method,
-		MCSamples:    req.Samples,
-		Seed:         req.Seed,
-		IgnoreSchema: req.IgnoreSchema,
-		Workers:      parallelism,
-		Stats:        stats,
+		Method:              method,
+		MCSamples:           req.Samples,
+		Seed:                req.Seed,
+		IgnoreSchema:        req.IgnoreSchema,
+		Workers:             parallelism,
+		Stats:               stats,
+		MaxIntermediateRows: maxRows,
 	}
 	begin := time.Now()
 	p, hit, err := s.prepared(ctx, v, req.Method, req.Query, opts)
 	if err != nil {
-		s.writeQueryError(w, ctx, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	if err := s.acquire(ctx); err != nil {
-		s.writeQueryError(w, ctx, err)
+		s.writeQueryError(w, err)
 		return
 	}
-	answers, err := v.DB.RankPrepared(ctx, p, opts)
-	s.release()
+	answers, err := s.rankWithSlot(ctx, v, p, opts)
 	if err != nil {
-		s.writeQueryError(w, ctx, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	if req.Top > 0 && req.Top < len(answers) {
@@ -420,21 +479,47 @@ func cacheLabel(hit bool) string {
 	return "miss"
 }
 
-// writeQueryError maps evaluation errors to structured responses:
-// cancellation and deadline errors become 503/504 (and count in the
-// cancellation metric), everything else is a client-side query problem.
-func (s *Server) writeQueryError(w http.ResponseWriter, ctx context.Context, err error) {
+// retryAfterSeconds is the Retry-After hint attached to responses that
+// reject work the client should simply resubmit: shed requests (the
+// pool may drain within a second) and degraded-mode ingestion (the
+// store probes its directory about once a second).
+const retryAfterSeconds = "1"
+
+// errorStatus classifies a query-path error into its HTTP status,
+// machine-readable code, and message. Pure so the mapping is testable
+// without a server.
+func errorStatus(err error) (status int, code, msg string) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		s.metrics.queriesCancelled.Add(1)
-		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", "query deadline exceeded")
+		return http.StatusGatewayTimeout, "deadline_exceeded", "query deadline exceeded"
 	case errors.Is(err, context.Canceled):
-		s.metrics.queriesCancelled.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "cancelled", "query cancelled")
+		return http.StatusServiceUnavailable, "cancelled", "query cancelled"
+	case errors.Is(err, errOverloaded):
+		return http.StatusTooManyRequests, "overloaded", err.Error()
+	case errors.Is(err, lapushdb.ErrBudget):
+		return http.StatusUnprocessableEntity, "budget_exceeded", err.Error()
+	case errors.Is(err, store.ErrReadOnly):
+		return http.StatusServiceUnavailable, "read_only", err.Error()
+	case errors.Is(err, store.ErrDurability):
+		return http.StatusInternalServerError, "durability_failure", err.Error()
 	default:
-		writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		return http.StatusBadRequest, "bad_query", err.Error()
 	}
-	_ = ctx
+}
+
+// writeQueryError maps an evaluation error through errorStatus,
+// maintaining the per-class metrics and retry hints.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	status, code, msg := errorStatus(err)
+	switch code {
+	case "deadline_exceeded", "cancelled":
+		s.metrics.queriesCancelled.Add(1)
+	case "budget_exceeded":
+		s.metrics.budgetExceeded.Add(1)
+	case "overloaded":
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	writeError(w, status, code, msg)
 }
 
 type explainRequest struct {
@@ -466,7 +551,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	opts := &lapushdb.Options{IgnoreSchema: req.IgnoreSchema}
 	p, hit, err := s.prepared(ctx, v, "explain", req.Query, opts)
 	if err != nil {
-		s.writeQueryError(w, ctx, err)
+		s.writeQueryError(w, err)
 		return
 	}
 	ex := p.Explanation()
@@ -514,8 +599,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	for _, ri := range infos {
 		tuples += ri.Tuples
 	}
+	// A read-only store is degraded, not down: queries keep serving the
+	// last published version, so the endpoint stays 200 (a probe that
+	// evicted the instance would lose the surviving read capacity) and
+	// reports the state in the body instead.
+	status := "ok"
+	readOnly := s.store.ReadOnly()
+	if readOnly {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
+		"status":      status,
+		"read_only":   readOnly,
 		"uptime_s":    time.Since(s.start).Seconds(),
 		"relations":   len(infos),
 		"tuples":      tuples,
@@ -539,7 +634,9 @@ type ingestResponse struct {
 // response carries the new version's sequence number and fingerprint;
 // under the store's FsyncAlways policy a 200 means the batch is
 // durable. Validation failures leave the store untouched and return
-// 400; durability failures (the WAL itself failing) return 500.
+// 400; durability failures (the WAL itself failing) return 500; a store
+// that has tripped into read-only mode returns 503 with a Retry-After
+// hint while its probe works on re-arming the breaker.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req ingestRequest
 	if !decodeBody(w, r, &req) {
@@ -552,9 +649,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	begin := time.Now()
 	v, err := s.store.Apply(req.Mutations)
 	if err != nil {
-		if errors.Is(err, store.ErrDurability) {
+		switch {
+		case errors.Is(err, store.ErrReadOnly):
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeError(w, http.StatusServiceUnavailable, "read_only", err.Error())
+		case errors.Is(err, store.ErrDurability):
 			writeError(w, http.StatusInternalServerError, "durability_failure", err.Error())
-		} else {
+		default:
 			writeError(w, http.StatusBadRequest, "bad_mutation", err.Error())
 		}
 		return

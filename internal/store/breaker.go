@@ -1,0 +1,99 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Degraded read-only mode. After BreakerThreshold consecutive
+// durability failures (each already past its bounded in-Apply retries)
+// the store stops accepting mutations: the WAL's on-disk state is
+// still a clean prefix of acknowledged batches, the published version
+// keeps serving every reader, and Apply fails fast with ErrReadOnly
+// instead of burning a sick disk with doomed writes. This file holds
+// the half that un-trips the breaker: a probe goroutine that retries
+// with exponential backoff until the directory is writable again.
+
+// maxProbeBackoff caps the re-arm probe's exponential backoff.
+const maxProbeBackoff = time.Minute
+
+// probeLoop periodically attempts to re-arm the breaker, doubling its
+// delay after every failed probe. It exits when the probe succeeds or
+// the store closes.
+func (s *Store) probeLoop() {
+	backoff := s.opts.ProbeInterval
+	for {
+		select {
+		case <-s.probeStop:
+			return
+		case <-time.After(backoff):
+		}
+		if s.tryRearm() {
+			return
+		}
+		if backoff < maxProbeBackoff {
+			backoff *= 2
+			if backoff > maxProbeBackoff {
+				backoff = maxProbeBackoff
+			}
+		}
+	}
+}
+
+// tryRearm attempts to exit read-only mode. The probe is the real
+// write path, not a synthetic touch-file: it checkpoints the current
+// version (temp file, fsync, rename, directory fsync) and replaces the
+// possibly-poisoned WAL with a fresh one, so success proves every
+// syscall the store needs is working and leaves the directory in a
+// self-consistent state anchored at the published version. Returns
+// true when probing should stop (re-armed, or store closed).
+func (s *Store) tryRearm() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.probeRunning = false
+		return true
+	}
+	v := s.cur.Load()
+	if err := s.writeCheckpoint(v.DB, v.Seq); err != nil {
+		s.logf("store: re-arm probe: %v", err)
+		return false
+	}
+	if err := s.replaceWALLocked(); err != nil {
+		s.logf("store: re-arm probe: replace wal: %v", err)
+		return false
+	}
+	s.checkpointSeq = v.Seq
+	s.sinceCheckpoint = 0
+	s.removeStaleCheckpoints()
+	s.failures = 0
+	s.probeRunning = false
+	s.readOnly.Store(false)
+	s.logf("store: wal writable again, leaving read-only mode at version %d", v.Seq)
+	return true
+}
+
+// replaceWALLocked swaps the (possibly poisoned) WAL writer for a
+// fresh, empty, fsynced log. Only safe right after a successful
+// checkpoint of the current version: every batch the old WAL held is
+// at or below the manifest's sequence number by then. Caller holds
+// s.mu.
+func (s *Store) replaceWALLocked() error {
+	f, err := s.fs.OpenFile(filepath.Join(s.opts.Dir, walName), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	old := s.wal.f
+	s.wal = &walWriter{f: f, size: walHeaderSize, sync: s.opts.Fsync == FsyncAlways}
+	_ = old.Close()
+	return nil
+}

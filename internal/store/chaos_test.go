@@ -1,0 +1,372 @@
+package store_test
+
+// Chaos suite: sweep an injected syscall failure across every
+// filesystem operation the WAL and checkpoint protocols perform, and
+// assert the store's failure-domain invariant after each one — the
+// directory, reopened with a healthy filesystem, recovers bit-
+// identically to the last acknowledged version (or to the seed when
+// Open itself was refused), and a tripped breaker keeps serving reads
+// from the pinned version. This extends the byte-boundary crash test
+// (store_test.go) from "process death at offset k" to "syscall failure
+// at operation n". External test package: errfs imports store, so an
+// in-package test would cycle.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"lapushdb"
+	"lapushdb/internal/store"
+	"lapushdb/internal/store/errfs"
+)
+
+// quietLogf discards the store's operational log lines: the sweep
+// provokes hundreds of expected failures.
+func quietLogf(string, ...any) {}
+
+// chaosSeedDB builds the deterministic seed used by every sweep
+// iteration; identical insert order makes Save bytes comparable.
+func chaosSeedDB(t testing.TB) *lapushdb.DB {
+	t.Helper()
+	db := lapushdb.Open()
+	likes, err := db.CreateRelation("Likes", "user", "movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range [][2]string{{"ann", "heat"}, {"bob", "heat"}, {"ann", "casino"}} {
+		if err := likes.Insert(0.8, ins[0], ins[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func chaosSaveBytes(t testing.TB, db *lapushdb.DB) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := db.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func pfloat(p float64) *float64 { return &p }
+
+// chaosBatches is the mutation workload: enough batches to cross the
+// CheckpointEvery=3 threshold twice, touching every mutation kind.
+func chaosBatches() [][]store.Mutation {
+	return [][]store.Mutation{
+		{{Op: store.OpCreateRelation, Rel: "Stars", Cols: []string{"movie", "actor"}}},
+		{{Op: store.OpInsert, Rel: "Stars", Tuple: []string{"heat", "deniro"}, P: pfloat(0.9)}},
+		{{Op: store.OpInsert, Rel: "Stars", Tuple: []string{"heat", "pacino"}, P: pfloat(0.7)},
+			{Op: store.OpInsert, Rel: "Likes", Tuple: []string{"carl", "heat"}, P: pfloat(0.4)}},
+		{{Op: store.OpSetProb, Rel: "Likes", Tuple: []string{"ann", "heat"}, P: pfloat(0.95)}},
+		{{Op: store.OpDelete, Rel: "Likes", Tuple: []string{"bob", "heat"}}},
+		{{Op: store.OpScaleProbs, Factor: 0.5}},
+		{{Op: store.OpInsert, Rel: "Stars", Tuple: []string{"casino", "stone"}, P: pfloat(0.6)}},
+		{{Op: store.OpInsert, Rel: "Likes", Tuple: []string{"dora", "casino"}, P: pfloat(0.3)}},
+	}
+}
+
+// chaosResult is what one workload run acknowledged.
+type chaosResult struct {
+	acked    []byte // Save bytes of the last acknowledged version
+	ackedSeq uint64
+	openErr  error
+}
+
+// runChaosWorkload opens a store in dir over fs, applies the workload,
+// and reports the last state the store acknowledged. Apply failures
+// must be cleanly typed (ErrDurability or ErrReadOnly) — anything else
+// fails the test. Retries are disabled so a one-shot fault surfaces
+// instead of being absorbed; the breaker is disabled so the sweep
+// keeps exercising operations after a failure.
+func runChaosWorkload(t *testing.T, dir string, fs store.FS) chaosResult {
+	t.Helper()
+	st, err := store.Open(chaosSeedDB(t), store.Options{
+		Dir:              dir,
+		FS:               fs,
+		Fsync:            store.FsyncAlways,
+		CheckpointEvery:  3,
+		BreakerThreshold: -1,
+		RetryAttempts:    -1,
+		Logf:             quietLogf,
+	})
+	if err != nil {
+		return chaosResult{openErr: err}
+	}
+	defer st.Close()
+	res := chaosResult{
+		acked:    chaosSaveBytes(t, st.Current().DB),
+		ackedSeq: st.Current().Seq,
+	}
+	allPriorOK := true
+	for i, batch := range chaosBatches() {
+		v, err := st.Apply(batch)
+		if err == nil {
+			res.acked = chaosSaveBytes(t, v.DB)
+			res.ackedSeq = v.Seq
+			continue
+		}
+		// With an intact prefix the only legitimate failures are I/O
+		// ones, and they must be cleanly typed. After a failed batch,
+		// later batches may also fail validation (they can reference
+		// state the dropped batch would have created) — still a clean
+		// refusal, so only the no-publication invariant applies.
+		if allPriorOK && !errors.Is(err, store.ErrDurability) && !errors.Is(err, store.ErrReadOnly) {
+			t.Fatalf("apply batch %d: failure is not cleanly typed: %v", i, err)
+		}
+		allPriorOK = false
+		if got := st.Current().Seq; got != res.ackedSeq {
+			t.Fatalf("apply batch %d failed (%v) but published version %d (last acknowledged was %d)", i, err, got, res.ackedSeq)
+		}
+	}
+	// Exercise the manual checkpoint path too; its failure modes are
+	// covered by the same recovery invariant.
+	_ = st.Checkpoint()
+	return res
+}
+
+// verifyRecovery reopens dir with the real filesystem and asserts the
+// recovered state is bit-identical to want.
+func verifyRecovery(t *testing.T, dir string, want []byte, context string) {
+	t.Helper()
+	st, err := store.Open(chaosSeedDB(t), store.Options{Dir: dir, Logf: quietLogf})
+	if err != nil {
+		t.Fatalf("%s: reopen after fault failed: %v", context, err)
+	}
+	defer st.Close()
+	got := chaosSaveBytes(t, st.Current().DB)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: recovered state differs from last acknowledged state (%d vs %d bytes)", context, len(got), len(want))
+	}
+}
+
+// TestChaosFaultSweep injects one failure at every (operation kind,
+// occurrence) site the workload reaches — every write, fsync,
+// truncate, rename, close, and directory fsync of the WAL append and
+// checkpoint paths — and asserts the invariant: the store either kept
+// running past the fault or refused cleanly, and reopening recovers
+// exactly the acknowledged prefix.
+func TestChaosFaultSweep(t *testing.T) {
+	// Discovery pass: count the workload's operations per kind.
+	counting := errfs.New(store.OSFS, errfs.Fault{})
+	base := runChaosWorkload(t, t.TempDir(), counting)
+	if base.openErr != nil {
+		t.Fatalf("fault-free workload failed to open: %v", base.openErr)
+	}
+	seedBytes := chaosSaveBytes(t, chaosSeedDB(t))
+	counts := counting.Counts()
+	sweep := []errfs.Op{errfs.OpWrite, errfs.OpSync, errfs.OpTruncate, errfs.OpRename, errfs.OpClose, errfs.OpSyncDir}
+	for _, op := range sweep {
+		if counts[op] == 0 {
+			t.Fatalf("workload performed no %s operations; the sweep would be vacuous", op)
+		}
+	}
+	for _, op := range sweep {
+		for nth := 1; nth <= counts[op]; nth++ {
+			name := fmt.Sprintf("%s-%d", op, nth)
+			t.Run(name, func(t *testing.T) {
+				dir := t.TempDir()
+				fs := errfs.New(store.OSFS, errfs.Fault{Op: op, Nth: nth})
+				res := runChaosWorkload(t, dir, fs)
+				if fs.Fired() == 0 {
+					t.Fatalf("fault %s never fired", name)
+				}
+				want := res.acked
+				if res.openErr != nil {
+					// Open refused cleanly; a fresh boot must still
+					// land on the seed, whether or not the first-boot
+					// checkpoint had completed.
+					want = seedBytes
+				}
+				verifyRecovery(t, dir, want, name)
+			})
+		}
+	}
+}
+
+// TestChaosTornWriteSweep repeats the sweep over write operations with
+// torn (short) writes: half the buffer reaches the file before the
+// error, simulating partial I/O mid-record. Recovery must truncate the
+// torn bytes and still land on the acknowledged prefix.
+func TestChaosTornWriteSweep(t *testing.T) {
+	counting := errfs.New(store.OSFS, errfs.Fault{})
+	base := runChaosWorkload(t, t.TempDir(), counting)
+	if base.openErr != nil {
+		t.Fatalf("fault-free workload failed to open: %v", base.openErr)
+	}
+	seedBytes := chaosSaveBytes(t, chaosSeedDB(t))
+	writes := counting.Counts()[errfs.OpWrite]
+	for nth := 1; nth <= writes; nth++ {
+		name := fmt.Sprintf("torn-write-%d", nth)
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			fs := errfs.New(store.OSFS, errfs.Fault{Op: errfs.OpWrite, Nth: nth, Short: true})
+			res := runChaosWorkload(t, dir, fs)
+			want := res.acked
+			if res.openErr != nil {
+				want = seedBytes
+			}
+			verifyRecovery(t, dir, want, name)
+		})
+	}
+}
+
+// TestChaosBreakerReadOnlyAndRearm drives the full degraded-mode
+// lifecycle on a disk that "fills up": bounded retries are exhausted,
+// K consecutive failures trip the breaker, reads keep serving the
+// pinned version while Apply fails fast with ErrReadOnly, and once the
+// disk heals the probe re-arms the breaker and writes flow again.
+func TestChaosBreakerReadOnlyAndRearm(t *testing.T) {
+	dir := t.TempDir()
+	fs := errfs.New(store.OSFS, errfs.Fault{})
+	st, err := store.Open(chaosSeedDB(t), store.Options{
+		Dir:              dir,
+		FS:               fs,
+		Fsync:            store.FsyncAlways,
+		CheckpointEvery:  -1,
+		BreakerThreshold: 2,
+		RetryAttempts:    1,
+		RetryBackoff:     time.Millisecond,
+		ProbeInterval:    2 * time.Millisecond,
+		Logf:             quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	goodBatch := []store.Mutation{{Op: store.OpInsert, Rel: "Likes", Tuple: []string{"eve", "heat"}, P: pfloat(0.5)}}
+	v1, err := st.Apply(goodBatch)
+	if err != nil {
+		t.Fatalf("healthy apply: %v", err)
+	}
+	acked := chaosSaveBytes(t, v1.DB)
+
+	// The disk fills: every fsync fails from here on. Each Apply burns
+	// its one retry and fails; the second consecutive failure trips the
+	// breaker.
+	fs.SetFault(errfs.Fault{Op: errfs.OpSync, Nth: 1, Err: syscall.ENOSPC, Sticky: true})
+	failing := []store.Mutation{{Op: store.OpInsert, Rel: "Likes", Tuple: []string{"fred", "heat"}, P: pfloat(0.5)}}
+	for i := 0; i < 2; i++ {
+		if _, err := st.Apply(failing); !errors.Is(err, store.ErrDurability) {
+			t.Fatalf("apply %d under ENOSPC: want ErrDurability, got %v", i, err)
+		}
+	}
+	if !st.ReadOnly() {
+		t.Fatal("breaker did not trip after 2 consecutive durability failures")
+	}
+	if _, err := st.Apply(failing); !errors.Is(err, store.ErrReadOnly) {
+		t.Fatalf("apply in degraded mode: want ErrReadOnly, got %v", err)
+	}
+	if st.Stats().ReadOnly != true {
+		t.Fatal("Stats does not report read-only")
+	}
+	// Reads still serve the pinned (last acknowledged) version.
+	if got := chaosSaveBytes(t, st.Current().DB); !bytes.Equal(got, acked) {
+		t.Fatal("degraded store no longer serves the last acknowledged version")
+	}
+
+	// The disk heals; the probe must re-arm the breaker.
+	fs.Disarm()
+	deadline := time.Now().Add(5 * time.Second)
+	for st.ReadOnly() {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker did not re-arm within 5s of the disk healing")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	v2, err := st.Apply(failing)
+	if err != nil {
+		t.Fatalf("apply after re-arm: %v", err)
+	}
+	acked = chaosSaveBytes(t, v2.DB)
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	verifyRecovery(t, dir, acked, "post-rearm")
+}
+
+// TestTornTailTruncationCounted crashes a WAL mid-record (torn write,
+// then process death simulated by dropping the store without Close) and
+// asserts recovery reports the truncation through Stats — the counters
+// behind the lapushd_store_wal_truncations_total metric.
+func TestTornTailTruncationCounted(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(chaosSeedDB(t), store.Options{Dir: dir, Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []store.Mutation{{Op: store.OpInsert, Rel: "Likes", Tuple: []string{"gil", "heat"}, P: pfloat(0.5)}}
+	if _, err := st.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	acked := chaosSaveBytes(t, st.Current().DB)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-append: a partial record (plausible length prefix, short
+	// payload) lands at the WAL's tail.
+	torn := []byte{0x40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 'p', 'a', 'r', 't'}
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	st2, err := store.Open(chaosSeedDB(t), store.Options{Dir: dir, Logf: quietLogf})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	stats := st2.Stats()
+	if stats.WALTruncations != 1 {
+		t.Fatalf("WALTruncations = %d, want 1", stats.WALTruncations)
+	}
+	if stats.WALTruncatedBytes != int64(len(torn)) {
+		t.Fatalf("WALTruncatedBytes = %d, want %d", stats.WALTruncatedBytes, len(torn))
+	}
+	if got := chaosSaveBytes(t, st2.Current().DB); !bytes.Equal(got, acked) {
+		t.Fatal("recovery after torn tail lost the acknowledged prefix")
+	}
+}
+
+// TestChaosReadsDuringFailedApplies pins a version, then asserts it
+// stays bit-identical while a stream of Applies fails against a broken
+// disk — the failure domain of the writer must not leak into readers.
+func TestChaosReadsDuringFailedApplies(t *testing.T) {
+	dir := t.TempDir()
+	fs := errfs.New(store.OSFS, errfs.Fault{})
+	st, err := store.Open(chaosSeedDB(t), store.Options{
+		Dir:              dir,
+		FS:               fs,
+		BreakerThreshold: -1,
+		RetryAttempts:    -1,
+		Logf:             quietLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	pinned := st.Current()
+	want := chaosSaveBytes(t, pinned.DB)
+	fs.SetFault(errfs.Fault{Op: errfs.OpWrite, Nth: 1, Err: syscall.EIO, Sticky: true})
+	batch := []store.Mutation{{Op: store.OpScaleProbs, Factor: 0.9}}
+	for i := 0; i < 5; i++ {
+		if _, err := st.Apply(batch); !errors.Is(err, store.ErrDurability) {
+			t.Fatalf("apply %d: want ErrDurability, got %v", i, err)
+		}
+		if got := chaosSaveBytes(t, pinned.DB); !bytes.Equal(got, want) {
+			t.Fatalf("pinned version mutated after failed apply %d", i)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package errfs is a fault-injecting store.FS for chaos-testing the
+// store's WAL and checkpoint protocols. It wraps an inner filesystem,
+// counts every operation by kind, and fails the Nth occurrence of a
+// chosen kind — optionally as a torn (short) write, and optionally
+// sticky from that point on (disk-full semantics). A sweep first runs
+// a workload against a passive errfs to learn the operation counts,
+// then replays it once per (kind, occurrence) pair with a fault armed.
+package errfs
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"lapushdb/internal/store"
+)
+
+// Op identifies one class of filesystem operation for counting and
+// fault matching.
+type Op string
+
+const (
+	// OpOpen covers FS.OpenFile and FS.CreateTemp.
+	OpOpen Op = "open"
+	// OpWrite covers File.Write and File.WriteAt.
+	OpWrite Op = "write"
+	// OpSync covers File.Sync.
+	OpSync Op = "sync"
+	// OpTruncate covers File.Truncate.
+	OpTruncate Op = "truncate"
+	// OpClose covers File.Close. The inner file is still closed when
+	// the fault fires, so sweeps do not leak descriptors.
+	OpClose Op = "close"
+	// OpRename covers FS.Rename.
+	OpRename Op = "rename"
+	// OpRemove covers FS.Remove.
+	OpRemove Op = "remove"
+	// OpSyncDir covers FS.SyncDir.
+	OpSyncDir Op = "syncdir"
+)
+
+// Fault selects which operation fails. The zero value injects nothing
+// (pure counting mode).
+type Fault struct {
+	// Op is the operation kind to fail.
+	Op Op
+	// Nth is the 1-based occurrence of Op that fails, counted from the
+	// moment the fault was armed. 0 disables injection.
+	Nth int
+	// Err is the injected error. Nil selects a generic injected-fault
+	// error; set syscall.ENOSPC or similar for realistic errno tests.
+	Err error
+	// Short makes a faulted Write torn: half the buffer reaches the
+	// underlying file before the error returns, simulating a crash or
+	// partial I/O mid-record.
+	Short bool
+	// Sticky keeps every matching operation from the Nth on failing
+	// (a full disk stays full) instead of firing exactly once.
+	Sticky bool
+}
+
+// FS wraps an inner store.FS, counting operations and injecting the
+// configured fault. Safe for concurrent use.
+type FS struct {
+	inner store.FS
+
+	mu     sync.Mutex
+	fault  Fault
+	counts map[Op]int
+	base   map[Op]int // counts snapshot when the fault was armed
+	fired  int
+}
+
+// New wraps inner with the given fault armed. A zero Fault counts
+// operations without failing any.
+func New(inner store.FS, fault Fault) *FS {
+	return &FS{inner: inner, fault: fault, counts: map[Op]int{}, base: map[Op]int{}}
+}
+
+// Counts returns a copy of the per-operation counters, for discovering
+// a workload's sweep bounds.
+func (f *FS) Counts() map[Op]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[Op]int, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Fired returns how many operations failed by injection so far.
+func (f *FS) Fired() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// SetFault arms a new fault. Its Nth counts occurrences from this call,
+// not from New, so a healthy warm-up phase does not consume the budget.
+func (f *FS) SetFault(fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fault = fault
+	f.base = make(map[Op]int, len(f.counts))
+	for k, v := range f.counts {
+		f.base[k] = v
+	}
+}
+
+// Disarm clears the fault: every later operation succeeds.
+func (f *FS) Disarm() { f.SetFault(Fault{}) }
+
+// step counts one operation and returns the error to inject, if any.
+func (f *FS) step(op Op) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	fl := f.fault
+	if fl.Nth <= 0 || fl.Op != op {
+		return nil
+	}
+	n := f.counts[op] - f.base[op]
+	if n == fl.Nth || (fl.Sticky && n > fl.Nth) {
+		f.fired++
+		if fl.Err != nil {
+			return fl.Err
+		}
+		return fmt.Errorf("errfs: injected fault on %s #%d", op, n)
+	}
+	return nil
+}
+
+// short reports whether the armed fault tears writes.
+func (f *FS) short() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fault.Short
+}
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (store.File, error) {
+	if err := f.step(OpOpen); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{File: inner, fs: f}, nil
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (store.File, error) {
+	if err := f.step(OpOpen); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &file{File: inner, fs: f}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err := f.step(OpRename); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	if err := f.step(OpRemove); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+
+func (f *FS) Glob(pattern string) ([]string, error) { return f.inner.Glob(pattern) }
+
+func (f *FS) SyncDir(dir string) error {
+	if err := f.step(OpSyncDir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// file intercepts the mutating File operations; reads and seeks pass
+// through untouched.
+type file struct {
+	store.File
+	fs *FS
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	if err := f.fs.step(OpWrite); err != nil {
+		if f.fs.short() && len(p) > 1 {
+			n, _ := f.File.Write(p[:len(p)/2])
+			return n, err
+		}
+		return 0, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.fs.step(OpWrite); err != nil {
+		if f.fs.short() && len(p) > 1 {
+			n, _ := f.File.WriteAt(p[:len(p)/2], off)
+			return n, err
+		}
+		return 0, err
+	}
+	return f.File.WriteAt(p, off)
+}
+
+func (f *file) Sync() error {
+	if err := f.fs.step(OpSync); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+func (f *file) Truncate(size int64) error {
+	if err := f.fs.step(OpTruncate); err != nil {
+		return err
+	}
+	return f.File.Truncate(size)
+}
+
+func (f *file) Close() error {
+	if err := f.fs.step(OpClose); err != nil {
+		_ = f.File.Close() // release the descriptor regardless
+		return err
+	}
+	return f.File.Close()
+}

@@ -1,0 +1,89 @@
+package errfs_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"lapushdb/internal/store"
+	"lapushdb/internal/store/errfs"
+)
+
+func open(t *testing.T, fs store.FS, dir string) store.File {
+	t.Helper()
+	f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNthWriteFails(t *testing.T) {
+	fs := errfs.New(store.OSFS, errfs.Fault{Op: errfs.OpWrite, Nth: 2, Err: syscall.EIO})
+	f := open(t, fs, t.TempDir())
+	defer f.Close()
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("b")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("write 2: want EIO, got %v", err)
+	}
+	if _, err := f.Write([]byte("c")); err != nil {
+		t.Fatalf("write 3 (one-shot fault must not repeat): %v", err)
+	}
+	if fs.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1", fs.Fired())
+	}
+	if fs.Counts()[errfs.OpWrite] != 3 {
+		t.Fatalf("write count = %d, want 3", fs.Counts()[errfs.OpWrite])
+	}
+}
+
+func TestStickyFault(t *testing.T) {
+	fs := errfs.New(store.OSFS, errfs.Fault{Op: errfs.OpSync, Nth: 1, Err: syscall.ENOSPC, Sticky: true})
+	f := open(t, fs, t.TempDir())
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("sync %d: want ENOSPC, got %v", i, err)
+		}
+	}
+	fs.Disarm()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after disarm: %v", err)
+	}
+}
+
+func TestShortWriteReachesInnerFile(t *testing.T) {
+	dir := t.TempDir()
+	fs := errfs.New(store.OSFS, errfs.Fault{Op: errfs.OpWrite, Nth: 1, Short: true})
+	f := open(t, fs, dir)
+	if _, err := f.Write([]byte("abcdef")); err == nil {
+		t.Fatal("short write did not report an error")
+	}
+	f.Close()
+	got, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("inner file holds %q, want the torn half %q", got, "abc")
+	}
+}
+
+func TestSetFaultCountsFromArming(t *testing.T) {
+	fs := errfs.New(store.OSFS, errfs.Fault{})
+	f := open(t, fs, t.TempDir())
+	defer f.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := f.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.SetFault(errfs.Fault{Op: errfs.OpWrite, Nth: 1})
+	if _, err := f.Write([]byte("y")); err == nil {
+		t.Fatal("first write after arming should fail even though 5 writes preceded it")
+	}
+}

@@ -81,7 +81,7 @@ func FuzzWALReplay(f *testing.F) {
 		db := fuzzBaseDB(t).CloneCOW()
 		var accepted []walRecord
 		last := uint64(0)
-		w, err := openWAL(path, false, func(rec walRecord) error {
+		w, _, err := openWAL(OSFS, path, false, func(rec walRecord) error {
 			if rec.Seq <= 0 {
 				return nil
 			}
@@ -118,7 +118,7 @@ func FuzzWALReplay(f *testing.F) {
 		// replay accepts the same records and reports no tear.
 		count := 0
 		last = 0
-		w2, err := openWAL(path, false, func(rec walRecord) error {
+		w2, _, err := openWAL(OSFS, path, false, func(rec walRecord) error {
 			if rec.Seq <= 0 {
 				return nil
 			}

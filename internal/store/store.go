@@ -9,6 +9,16 @@
 // format, and crash recovery that loads the latest checkpoint, replays
 // the WAL, and truncates a torn tail instead of failing.
 //
+// Failure is a first-class state. Every filesystem call goes through
+// the FS interface (fs.go), so faults are injectable at each step of
+// the WAL and checkpoint protocols (see errfs and the chaos tests).
+// Transient WAL append failures are retried a bounded number of times
+// with exponential backoff; after BreakerThreshold consecutive
+// durability failures the store degrades to read-only mode — reads
+// keep serving the last published version, Apply returns ErrReadOnly,
+// and a probe goroutine re-arms the breaker (fresh checkpoint + fresh
+// WAL) once the directory is writable again.
+//
 // On-disk layout of a store directory:
 //
 //	MANIFEST              JSON {seq, checkpoint}: which checkpoint is live
@@ -27,10 +37,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lapushdb"
 )
@@ -44,6 +56,12 @@ const (
 // them from mutation validation errors: a validation error is the
 // client's fault, a durability error is the server's.
 var ErrDurability = errors.New("store: durability failure")
+
+// ErrReadOnly reports that the store has degraded to read-only mode
+// after repeated durability failures. Reads keep serving the last
+// published version; mutations are refused until the re-arm probe
+// finds the directory writable again.
+var ErrReadOnly = errors.New("store: read-only (degraded after durability failures)")
 
 // FsyncPolicy selects when the WAL is fsynced.
 type FsyncPolicy string
@@ -69,6 +87,28 @@ type Options struct {
 	// accumulated in the WAL (default 256; negative disables automatic
 	// checkpointing).
 	CheckpointEvery int
+	// FS is the filesystem the WAL and checkpointer use (default OSFS).
+	// Tests inject faults by passing an errfs.FS.
+	FS FS
+	// BreakerThreshold is the number of consecutive durability failures
+	// that flips the store into read-only mode (default 3; negative
+	// disables the breaker).
+	BreakerThreshold int
+	// RetryAttempts bounds how many times a failed WAL append is
+	// retried within one Apply before the failure is surfaced (default
+	// 2; negative disables retries). Retries stop early when the writer
+	// is poisoned — a rollback failure is not transient.
+	RetryAttempts int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt (default 5ms).
+	RetryBackoff time.Duration
+	// ProbeInterval is the delay before the first re-arm probe after
+	// the breaker trips, doubling per failed probe up to one minute
+	// (default 1s).
+	ProbeInterval time.Duration
+	// Logf receives operational log lines (torn-tail truncations,
+	// breaker transitions). Nil selects the standard logger.
+	Logf func(format string, args ...any)
 }
 
 // Version is one immutable published database version. DB must be
@@ -93,6 +133,18 @@ type Stats struct {
 	MutationsTotal      int64  `json:"mutations_total"`
 	BatchesTotal        int64  `json:"batches_total"`
 	LastCheckpointError string `json:"last_checkpoint_error,omitempty"`
+	// ReadOnly reports degraded mode: the breaker tripped and mutations
+	// are refused until the re-arm probe succeeds.
+	ReadOnly bool `json:"read_only"`
+	// ConsecutiveFailures is the current run of durability failures
+	// feeding the breaker (reset by any successful append).
+	ConsecutiveFailures int `json:"consecutive_durability_failures,omitempty"`
+	// WALTruncations counts torn-tail truncations performed during
+	// recovery since this store was opened.
+	WALTruncations int64 `json:"wal_truncations_total"`
+	// WALTruncatedBytes is the total torn-tail byte count discarded by
+	// those truncations.
+	WALTruncatedBytes int64 `json:"wal_truncated_bytes_total,omitempty"`
 }
 
 // manifest is the JSON sidecar naming the live checkpoint.
@@ -107,6 +159,9 @@ type manifest struct {
 type Store struct {
 	cur  atomic.Pointer[Version]
 	opts Options
+	fs   FS
+
+	readOnly atomic.Bool // breaker state; reads are lock-free
 
 	mu              sync.Mutex // serializes Apply, Checkpoint, Close, Stats
 	wal             *walWriter // nil in ephemeral mode
@@ -114,8 +169,13 @@ type Store struct {
 	checkpointSeq   uint64
 	sinceCheckpoint int
 	checkpoints     int64
+	failures        int // consecutive durability failures
+	probeRunning    bool
+	probeStop       chan struct{}
 	mutations       atomic.Int64
 	batches         atomic.Int64
+	truncations     atomic.Int64
+	truncatedBytes  atomic.Int64
 	lastCkptErr     string
 }
 
@@ -135,23 +195,38 @@ func Open(seed *lapushdb.DB, opts Options) (*Store, error) {
 	if opts.CheckpointEvery == 0 {
 		opts.CheckpointEvery = 256
 	}
+	if opts.FS == nil {
+		opts.FS = OSFS
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = 3
+	}
+	if opts.RetryAttempts == 0 {
+		opts.RetryAttempts = 2
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 5 * time.Millisecond
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = time.Second
+	}
 	if seed == nil {
 		seed = lapushdb.Open()
 	}
-	s := &Store{opts: opts}
+	s := &Store{opts: opts, fs: opts.FS, probeStop: make(chan struct{})}
 	if opts.Dir == "" {
 		s.publish(seed.CloneCOW(), 0)
 		return s, nil
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 
 	var db *lapushdb.DB
-	man, err := readManifest(filepath.Join(opts.Dir, manifestName))
+	man, err := readManifest(s.fs, filepath.Join(opts.Dir, manifestName))
 	switch {
 	case err == nil:
-		db, err = loadSnapshotFile(filepath.Join(opts.Dir, man.Checkpoint))
+		db, err = loadSnapshotFile(s.fs, filepath.Join(opts.Dir, man.Checkpoint))
 		if err != nil {
 			return nil, fmt.Errorf("store: load checkpoint %s: %w", man.Checkpoint, err)
 		}
@@ -188,9 +263,18 @@ func Open(seed *lapushdb.DB, opts Options) (*Store, error) {
 		replayed++
 		return nil
 	}
-	w, err := openWAL(filepath.Join(opts.Dir, walName), opts.Fsync == FsyncAlways, apply)
+	walPath := filepath.Join(opts.Dir, walName)
+	w, truncated, err := openWAL(s.fs, walPath, opts.Fsync == FsyncAlways, apply)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
+	}
+	if truncated > 0 {
+		// A torn tail is expected after a crash or syscall failure, but
+		// never silent: it is the store discarding unacknowledgeable
+		// bytes, and operators should be able to correlate it.
+		s.truncations.Add(1)
+		s.truncatedBytes.Add(truncated)
+		s.logf("store: wal %s: truncated %d bytes of torn tail during recovery", walPath, truncated)
 	}
 	s.wal = w
 	s.sinceCheckpoint = replayed
@@ -204,10 +288,15 @@ func Open(seed *lapushdb.DB, opts Options) (*Store, error) {
 // it, however many mutations are applied meanwhile.
 func (s *Store) Current() *Version { return s.cur.Load() }
 
+// ReadOnly reports whether the breaker has tripped: the store serves
+// reads from the last published version but refuses mutations.
+func (s *Store) ReadOnly() bool { return s.readOnly.Load() }
+
 // Apply atomically applies one mutation batch and publishes the
 // resulting version. The batch is all-or-nothing: any validation error
 // leaves the store unchanged. Under FsyncAlways the batch is durable
-// before Apply returns. Durability failures wrap ErrDurability.
+// before Apply returns. Durability failures wrap ErrDurability; in
+// degraded mode Apply fails fast with ErrReadOnly.
 func (s *Store) Apply(muts []Mutation) (*Version, error) {
 	if len(muts) == 0 {
 		return nil, errors.New("store: empty mutation batch")
@@ -216,6 +305,9 @@ func (s *Store) Apply(muts []Mutation) (*Version, error) {
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, errors.New("store: closed")
+	}
+	if s.readOnly.Load() {
+		return nil, ErrReadOnly
 	}
 	cur := s.cur.Load()
 	next := cur.DB.CloneCOW()
@@ -228,9 +320,11 @@ func (s *Store) Apply(muts []Mutation) (*Version, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: encode batch: %v", ErrDurability, err)
 		}
-		if err := s.wal.append(payload); err != nil {
+		if err := s.appendWithRetry(payload); err != nil {
+			s.noteDurabilityFailureLocked()
 			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
 		}
+		s.failures = 0
 	}
 	v := s.publish(next, seq)
 	s.mutations.Add(int64(len(muts)))
@@ -249,8 +343,39 @@ func (s *Store) Apply(muts []Mutation) (*Version, error) {
 	return v, nil
 }
 
+// appendWithRetry appends one WAL record, retrying transient failures
+// up to RetryAttempts times with exponential backoff. A poisoned writer
+// (rollback failed, file state unknown) is not transient, so retries
+// stop there. Caller holds s.mu; backoffs are small by construction.
+func (s *Store) appendWithRetry(payload []byte) error {
+	err := s.wal.append(payload)
+	backoff := s.opts.RetryBackoff
+	for attempt := 0; err != nil && attempt < s.opts.RetryAttempts && s.wal.broken == nil; attempt++ {
+		time.Sleep(backoff)
+		backoff *= 2
+		err = s.wal.append(payload)
+	}
+	return err
+}
+
+// noteDurabilityFailureLocked advances the breaker: after
+// BreakerThreshold consecutive durability failures the store flips to
+// read-only and the re-arm probe starts. Caller holds s.mu.
+func (s *Store) noteDurabilityFailureLocked() {
+	s.failures++
+	if s.opts.BreakerThreshold <= 0 || s.failures < s.opts.BreakerThreshold || s.readOnly.Load() {
+		return
+	}
+	s.readOnly.Store(true)
+	s.logf("store: entering read-only mode after %d consecutive durability failures", s.failures)
+	if !s.probeRunning {
+		s.probeRunning = true
+		go s.probeLoop()
+	}
+}
+
 // Checkpoint forces a checkpoint of the current version and truncates
-// the WAL. A no-op in ephemeral mode.
+// the WAL. A no-op in ephemeral mode; refused in degraded mode.
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -259,6 +384,9 @@ func (s *Store) Checkpoint() error {
 	}
 	if s.wal == nil {
 		return nil
+	}
+	if s.readOnly.Load() {
+		return ErrReadOnly
 	}
 	return s.checkpointLocked(s.cur.Load())
 }
@@ -277,6 +405,10 @@ func (s *Store) Stats() Stats {
 		MutationsTotal:      s.mutations.Load(),
 		BatchesTotal:        s.batches.Load(),
 		LastCheckpointError: s.lastCkptErr,
+		ReadOnly:            s.readOnly.Load(),
+		ConsecutiveFailures: s.failures,
+		WALTruncations:      s.truncations.Load(),
+		WALTruncatedBytes:   s.truncatedBytes.Load(),
 	}
 	if s.wal != nil {
 		st.Fsync = string(s.opts.Fsync)
@@ -285,7 +417,8 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// Close releases the WAL file. Published versions stay readable.
+// Close releases the WAL file and stops the re-arm probe. Published
+// versions stay readable.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -293,6 +426,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.probeStop)
 	if s.wal != nil {
 		return s.wal.f.Close()
 	}
@@ -303,6 +437,14 @@ func (s *Store) publish(db *lapushdb.DB, seq uint64) *Version {
 	v := &Version{DB: db, Seq: seq, Fingerprint: fmt.Sprintf("%s@%d", db.SchemaFingerprint(), seq)}
 	s.cur.Store(v)
 	return v
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // checkpointLocked runs the checkpoint protocol for version v and
@@ -325,14 +467,14 @@ func (s *Store) checkpointLocked(v *Version) error {
 // temp file + rename).
 func (s *Store) writeCheckpoint(db *lapushdb.DB, seq uint64) error {
 	name := fmt.Sprintf("checkpoint-%09d.lpd", seq)
-	if err := writeFileDurable(s.opts.Dir, name, func(f *os.File) error { return db.Save(f) }); err != nil {
+	if err := writeFileDurable(s.fs, s.opts.Dir, name, func(f File) error { return db.Save(f) }); err != nil {
 		return fmt.Errorf("%w: write checkpoint: %v", ErrDurability, err)
 	}
 	buf, err := json.Marshal(manifest{Seq: seq, Checkpoint: name})
 	if err != nil {
 		return fmt.Errorf("%w: encode manifest: %v", ErrDurability, err)
 	}
-	err = writeFileDurable(s.opts.Dir, manifestName, func(f *os.File) error {
+	err = writeFileDurable(s.fs, s.opts.Dir, manifestName, func(f File) error {
 		_, err := f.Write(buf)
 		return err
 	})
@@ -348,13 +490,13 @@ func (s *Store) writeCheckpoint(db *lapushdb.DB, seq uint64) error {
 // checkpoint). Best effort.
 func (s *Store) removeStaleCheckpoints() {
 	live := fmt.Sprintf("checkpoint-%09d.lpd", s.checkpointSeq)
-	matches, err := filepath.Glob(filepath.Join(s.opts.Dir, "checkpoint-*.lpd"))
+	matches, err := s.fs.Glob(filepath.Join(s.opts.Dir, "checkpoint-*.lpd"))
 	if err != nil {
 		return
 	}
 	for _, m := range matches {
 		if filepath.Base(m) != live {
-			_ = os.Remove(m)
+			_ = s.fs.Remove(m)
 		}
 	}
 }
@@ -362,12 +504,12 @@ func (s *Store) removeStaleCheckpoints() {
 // writeFileDurable writes dir/name via a temp file: write, fsync,
 // close, rename, fsync the directory. The file either exists complete
 // or not at all.
-func writeFileDurable(dir, name string, write func(f *os.File) error) error {
-	tmp, err := os.CreateTemp(dir, name+".tmp*")
+func writeFileDurable(fs FS, dir, name string, write func(f File) error) error {
+	tmp, err := fs.CreateTemp(dir, name+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fs.Remove(tmp.Name()) // no-op after a successful rename
 	if err := write(tmp); err != nil {
 		tmp.Close()
 		return err
@@ -379,23 +521,14 @@ func writeFileDurable(dir, name string, write func(f *os.File) error) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+	if err := fs.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return fs.SyncDir(dir)
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
-}
-
-func readManifest(path string) (manifest, error) {
-	buf, err := os.ReadFile(path)
+func readManifest(fs FS, path string) (manifest, error) {
+	buf, err := fs.ReadFile(path)
 	if err != nil {
 		return manifest{}, err
 	}
@@ -409,8 +542,8 @@ func readManifest(path string) (manifest, error) {
 	return m, nil
 }
 
-func loadSnapshotFile(path string) (*lapushdb.DB, error) {
-	f, err := os.Open(path)
+func loadSnapshotFile(fs FS, path string) (*lapushdb.DB, error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return nil, err
 	}

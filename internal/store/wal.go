@@ -10,6 +10,10 @@ import (
 	"os"
 )
 
+// All WAL I/O goes through the store's FS interface (see fs.go), never
+// os.* directly, so the chaos tests can fail any individual write,
+// fsync, or truncate and assert the recovery invariants.
+
 // Write-ahead log. The file starts with an 8-byte magic header; each
 // record is
 //
@@ -41,7 +45,7 @@ type walRecord struct {
 
 // walWriter appends records to an open WAL file.
 type walWriter struct {
-	f      *os.File
+	f      File
 	size   int64 // current file size = offset of the next record
 	sync   bool  // fsync after every append
 	broken error // first unrecoverable write error; poisons the writer
@@ -117,7 +121,7 @@ func (w *walWriter) restoreTail(cause error) {
 // payload, CRC mismatch, undecodable JSON, or an apply error — stops
 // the scan there and reports torn=true; the caller truncates. A file
 // shorter than the magic header counts as empty (torn if nonzero).
-func replayWAL(f *os.File, apply func(rec walRecord) error) (good int64, torn bool, err error) {
+func replayWAL(f File, apply func(rec walRecord) error) (good int64, torn bool, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, false, err
 	}
@@ -163,45 +167,54 @@ func replayWAL(f *os.File, apply func(rec walRecord) error) (good int64, torn bo
 
 // openWAL opens (creating if needed) the WAL file, replays it through
 // apply, truncates any torn tail, and returns a writer positioned at
-// the end.
-func openWAL(path string, fsync bool, apply func(rec walRecord) error) (*walWriter, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// the end plus the number of torn trailing bytes that were discarded
+// (0 when the file was clean or fresh).
+func openWAL(fs FS, path string, fsync bool, apply func(rec walRecord) error) (w *walWriter, truncated int64, err error) {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
 	}
 	good, torn, err := replayWAL(f, apply)
 	if err != nil {
 		f.Close()
-		return nil, err
+		return nil, 0, err
+	}
+	if torn {
+		truncated = end - good
 	}
 	if good == 0 {
 		// Fresh (or torn-before-header) file: start it with the magic.
 		if err := f.Truncate(0); err != nil {
 			f.Close()
-			return nil, err
+			return nil, 0, err
 		}
 		if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
 			f.Close()
-			return nil, err
+			return nil, 0, err
 		}
 		good = walHeaderSize
 	} else if torn {
 		if err := f.Truncate(good); err != nil {
 			f.Close()
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
 		f.Close()
-		return nil, err
+		return nil, 0, err
 	}
-	w := &walWriter{f: f, size: good, sync: fsync}
+	w = &walWriter{f: f, size: good, sync: fsync}
 	if torn || good == walHeaderSize {
 		// Make the truncation (or fresh header) itself durable.
 		if err := f.Sync(); err != nil {
 			f.Close()
-			return nil, err
+			return nil, 0, err
 		}
 	}
-	return w, nil
+	return w, truncated, nil
 }

@@ -190,6 +190,13 @@ type Options struct {
 	// CostBasedJoins orders k-ary joins with a Selinger-style dynamic
 	// program over cardinality estimates instead of the greedy heuristic.
 	CostBasedJoins bool
+	// MaxIntermediateRows caps the total number of intermediate result
+	// rows one Rank evaluation may materialize (Dissociation method
+	// only): scan outputs, join outputs, and projection groups, summed
+	// across all plans of the query. Exceeding the cap aborts the query
+	// with an error wrapping ErrBudget instead of exhausting memory.
+	// <= 0 disables the cap.
+	MaxIntermediateRows int
 	// MCSamples is the sample count for MonteCarlo (default 1000).
 	MCSamples int
 	// Seed seeds the MonteCarlo sampler.
@@ -197,6 +204,11 @@ type Options struct {
 	// ExactBudget bounds the exact solver's work (default 50M nodes).
 	ExactBudget int
 }
+
+// ErrBudget is the typed error wrapped by Rank's failure when an
+// evaluation exceeds Options.MaxIntermediateRows. Classify with
+// errors.Is(err, lapushdb.ErrBudget).
+var ErrBudget = engine.ErrBudget
 
 // Answer is one query answer: its head values (decoded to strings, in
 // the order of the sorted head variables) and its probability score.
@@ -286,10 +298,11 @@ func (d *DB) schema(q *cq.Query, opts *Options) *core.Schema {
 
 func (d *DB) rankDissociation(ctx context.Context, q *cq.Query, pre *Prepared, opts *Options) ([]Answer, error) {
 	eopts := engine.Options{
-		ReuseSubplans:  !opts.DisableOpt2,
-		SemiJoin:       !opts.DisableOpt3,
-		CostBasedJoins: opts.CostBasedJoins,
-		Workers:        opts.Workers,
+		ReuseSubplans:       !opts.DisableOpt2,
+		SemiJoin:            !opts.DisableOpt3,
+		CostBasedJoins:      opts.CostBasedJoins,
+		Workers:             opts.Workers,
+		MaxIntermediateRows: opts.MaxIntermediateRows,
 	}
 	var stats *engine.EvalStats
 	if opts.Stats != nil {
