@@ -7,6 +7,7 @@ package lapushdb
 // -scale flags to cmd/experiments for the full sweeps.
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -347,4 +348,56 @@ func BenchmarkRank(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRankBatch compares a loop of standalone Rank calls against
+// RankBatch on overlapping chain queries (the full 3-chain, its prefix
+// and suffix, and a duplicate). The batch variant must report
+// cross-query shared-subplan hits — the benchmark fails otherwise, so
+// a regression that silently disables sharing cannot hide behind the
+// timings.
+func BenchmarkRankBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	edb, q := workload.Chain(3, 10000, 1500, 0.5, rng)
+	var buf bytes.Buffer
+	if err := edb.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	db, err := Load(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := []string{
+		q.String(),
+		"q(x0, x2) :- R1(x0, x1), R2(x1, x2)",
+		"q(x1, x3) :- R2(x1, x2), R3(x2, x3)",
+		q.String(),
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, query := range queries {
+				if _, err := db.Rank(query, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		var shared int64
+		for i := 0; i < b.N; i++ {
+			stats := &RankStats{}
+			results := db.RankBatch(queries, &Options{Stats: stats})
+			for _, r := range results {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+			shared = stats.SharedSubplanHits
+		}
+		b.StopTimer()
+		if shared == 0 {
+			b.Fatal("no cross-query shared-subplan hits")
+		}
+		b.ReportMetric(float64(shared), "shared-hits")
+	})
 }

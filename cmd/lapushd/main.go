@@ -16,8 +16,9 @@
 //
 // Endpoints:
 //
-//	POST /v1/query     evaluate a conjunctive query and rank its answers
-//	POST /v1/explain   show minimal plans and dissociations
+//	POST /v1/query      evaluate a conjunctive query and rank its answers
+//	POST /v1/rank_batch evaluate several queries against one pinned version
+//	POST /v1/explain    show minimal plans and dissociations
 //	POST /v1/ingest    apply a mutation batch, publish a new version
 //	GET  /v1/relations list the live version's relations
 //	GET  /v1/store     store version, WAL bytes, checkpoint progress
@@ -61,6 +62,8 @@ func main() {
 	workers := flag.Int("workers", 8, "max queries evaluating concurrently")
 	parallelism := flag.Int("parallelism", 1, "default intra-query worker count (morsel parallelism; requests may override via the parallelism field)")
 	cacheSize := flag.Int("cache", 256, "plan cache capacity (entries)")
+	resultCacheSize := flag.Int("result-cache", 512, "result cache capacity (entries); repeated identical requests at an unchanged store version are served without re-evaluation")
+	maxBatch := flag.Int("max-batch", 64, "max queries per /v1/rank_batch request")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
@@ -100,14 +103,16 @@ func main() {
 	defer st.Close()
 
 	srv := server.NewWithStore(st, server.Config{
-		Workers:        *workers,
-		Parallelism:    *parallelism,
-		CacheSize:      *cacheSize,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxBodyBytes:   *maxBody,
-		MaxRows:        *maxRows,
-		QueueWait:      *queueWait,
+		Workers:         *workers,
+		Parallelism:     *parallelism,
+		CacheSize:       *cacheSize,
+		ResultCacheSize: *resultCacheSize,
+		MaxBatchQueries: *maxBatch,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxBodyBytes:    *maxBody,
+		MaxRows:         *maxRows,
+		QueueWait:       *queueWait,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -162,6 +162,11 @@ type Options struct {
 	// outputs, join outputs, projection groups). Exceeding it aborts the
 	// evaluation with an error wrapping ErrBudget. <= 0 disables the cap.
 	MaxIntermediateRows int
+	// Memo, when non-nil, shares canonicalized subplan results across
+	// the evaluators of one batch (see batch.go). When the memo carries
+	// a row budget it replaces MaxIntermediateRows: the budget spans the
+	// whole batch instead of one evaluation.
+	Memo *BatchMemo
 }
 
 // Evaluator evaluates plans over a database under the extensional score
@@ -176,6 +181,8 @@ type Evaluator struct {
 	cancel  canceller
 	pool    *pool      // helper goroutines for morsel parallelism; nil = sequential
 	budget  *rowBudget // intermediate row budget; nil = unlimited
+	memo    *BatchMemo // cross-query subplan memo; nil outside batches
+	redFP   map[string]string
 }
 
 // ex returns the operator execution context for this evaluator.
@@ -199,6 +206,7 @@ func NewEvaluatorCtx(ctx context.Context, db *DB, q *cq.Query, opts Options) *Ev
 	e.cancel.ctx = ctx
 	e.pool = newPool(ctx, opts.Workers)
 	e.budget = newRowBudget(opts.MaxIntermediateRows)
+	e.bindMemo()
 	if opts.ReuseSubplans {
 		e.cache = map[string]*Result{}
 	}
@@ -217,8 +225,23 @@ func (e *Evaluator) WithContext(ctx context.Context) *Evaluator {
 	return e
 }
 
+// bindMemo attaches the batch memo from the evaluator's options, and —
+// when the memo carries the batch-wide row budget — replaces the
+// per-evaluation budget with it.
+func (e *Evaluator) bindMemo() {
+	m := e.opts.Memo
+	if m == nil {
+		return
+	}
+	e.memo = m
+	if m.budget != nil {
+		e.budget = m.budget
+	}
+}
+
 // Eval evaluates a plan and returns its result. The result's columns are
-// the plan's head variables in sorted order.
+// the plan's head variables in sorted order. With a batch memo attached
+// the result is shared across the batch's evaluators (see batch.go).
 func (e *Evaluator) Eval(p plan.Node) *Result {
 	e.cancel.checkNow()
 	if e.cache != nil {
@@ -226,6 +249,21 @@ func (e *Evaluator) Eval(p plan.Node) *Result {
 			return r
 		}
 	}
+	var out *Result
+	if e.memo != nil && e.memo.share {
+		out = e.memo.getOrCompute(e.memoKey(p), func() *Result { return e.evalNode(p) })
+	} else {
+		out = e.evalNode(p)
+	}
+	if e.cache != nil {
+		e.cache[p.Key()] = out
+	}
+	return out
+}
+
+// evalNode computes one plan node, recursing through Eval so children
+// hit the caches.
+func (e *Evaluator) evalNode(p plan.Node) *Result {
 	var out *Result
 	switch t := p.(type) {
 	case *plan.Scan:
@@ -250,9 +288,6 @@ func (e *Evaluator) Eval(p plan.Node) *Result {
 	default:
 		panic("engine: unknown plan node")
 	}
-	if e.cache != nil {
-		e.cache[p.Key()] = out
-	}
 	return out
 }
 
@@ -267,8 +302,12 @@ func EvalPlans(db *DB, q *cq.Query, plans []plan.Node, opts Options) *Result {
 func EvalPlansCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan.Node, opts Options) *Result {
 	var out *Result
 	// One row budget spans every plan: MaxIntermediateRows bounds the
-	// query, not each of its (possibly many) minimal plans.
+	// query, not each of its (possibly many) minimal plans. A batch
+	// memo's budget wins — it spans the whole batch.
 	budget := newRowBudget(opts.MaxIntermediateRows)
+	if opts.Memo != nil && opts.Memo.budget != nil {
+		budget = opts.Memo.budget
+	}
 	for _, p := range plans {
 		e := NewEvaluatorCtx(ctx, db, q, opts)
 		e.budget = budget

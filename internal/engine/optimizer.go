@@ -54,6 +54,7 @@ func EvalPlansParallelCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan
 			err := TrapCancel(func() {
 				e := &Evaluator{db: db, opts: opts, reduced: reduced, pool: morselPool, budget: budget}
 				e.cancel.ctx = ctx
+				e.bindMemo()
 				if opts.ReuseSubplans {
 					e.cache = map[string]*Result{}
 				}

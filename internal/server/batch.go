@@ -1,0 +1,245 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"lapushdb"
+	"lapushdb/internal/store"
+)
+
+// POST /v1/rank_batch: evaluate several queries against one pinned
+// store version. The batch shares three things a loop of /v1/query
+// calls cannot:
+//
+//   - one snapshot — every query sees the same version, so the answers
+//     are mutually consistent even under concurrent ingestion;
+//   - one evaluation memo — canonicalized subplan results are reused
+//     across the batch's queries (the cross-query extension of the
+//     paper's Opt2), with one deadline and one intermediate-row budget
+//     spanning the whole batch; and
+//   - the result cache — queries already answered at this version are
+//     served without taking a worker slot at all.
+//
+// Queries fail independently: a parse error, budget exhaustion, or
+// deadline in one query yields an error object in that slot of the 200
+// envelope, never a batch-wide 5xx. Only batch-level problems (empty
+// or oversized batch, invalid shared options, admission failure before
+// any evaluation) fail the whole request.
+
+// errEmptyBatch and errBatchTooLarge are batch admission failures,
+// mapped by errorStatus like every other request-level error.
+var (
+	errEmptyBatch    = errors.New(`server: field "queries" must hold at least one query`)
+	errBatchTooLarge = errors.New("server: batch exceeds the configured query limit")
+)
+
+// batchQueryJSON is one query of a batch. Everything but the query
+// text and its top-k cutoff is shared batch-wide: per-query methods or
+// seeds would defeat subplan sharing and are deliberately absent.
+type batchQueryJSON struct {
+	Query string `json:"query"`
+	Top   int    `json:"top"`
+}
+
+type batchRequest struct {
+	Queries      []batchQueryJSON `json:"queries"`
+	Method       string           `json:"method"`
+	Samples      int              `json:"samples"`
+	Seed         int64            `json:"seed"`
+	TimeoutMS    int64            `json:"timeout_ms"`
+	IgnoreSchema bool             `json:"ignore_schema"`
+	Parallelism  int              `json:"parallelism"`
+	// MaxRows bounds the intermediate rows the whole batch may
+	// materialize — one budget across all queries, not one per query.
+	MaxRows int `json:"max_rows"`
+}
+
+// batchResultJSON is one query's slot in the response: answers on
+// success (with "cache" reporting whether the result cache served
+// them), or an error object with the same codes /v1/query would map to
+// an HTTP status.
+type batchResultJSON struct {
+	Answers []answerJSON `json:"answers,omitempty"`
+	Count   int          `json:"count"`
+	Safe    bool         `json:"safe"`
+	Cache   string       `json:"cache,omitempty"` // result cache: "hit" or "miss"
+	Error   *apiError    `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results     []batchResultJSON `json:"results"`
+	Count       int               `json:"count"`
+	Version     uint64            `json:"version"`
+	Fingerprint string            `json:"fingerprint"`
+	// SharedSubplanHits counts subplan evaluations served from another
+	// query's memoized work within this batch.
+	SharedSubplanHits int64   `json:"shared_subplan_hits"`
+	ElapsedMS         float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeQueryError(w, errEmptyBatch)
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatchQueries {
+		s.writeQueryError(w, fmt.Errorf("%w: %d queries, limit %d",
+			errBatchTooLarge, len(req.Queries), s.cfg.MaxBatchQueries))
+		return
+	}
+	if req.Method == "" {
+		req.Method = "diss"
+	}
+	ep, ok := s.evalParams(w, req.Method, req.Samples, req.TimeoutMS, req.Parallelism, req.MaxRows)
+	if !ok {
+		return
+	}
+	s.metrics.batchQueriesTotal.Add(int64(len(req.Queries)))
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	// Pin one version for the whole batch; its fingerprint scopes both
+	// cache lookups, so every answer — cached or evaluated — reflects
+	// exactly this snapshot.
+	v := s.store.Current()
+	begin := time.Now()
+
+	results := make([]batchResultJSON, len(req.Queries))
+	// Pass 1, before taking a worker slot: validate each query, then try
+	// the result cache. A batch whose queries were all answered at this
+	// version responds without ever entering the admission queue.
+	var todo []pendingBatchQuery
+	for i, bq := range req.Queries {
+		if strings.TrimSpace(bq.Query) == "" {
+			results[i] = batchResultJSON{Error: &apiError{Code: "missing_query", Message: `field "query" is required`}}
+			continue
+		}
+		if bq.Top < 0 {
+			results[i] = batchResultJSON{Error: &apiError{Code: "bad_top", Message: `field "top" must be >= 0`}}
+			continue
+		}
+		normalized, err := v.DB.NormalizeQuery(bq.Query)
+		if err != nil {
+			results[i] = s.batchErrResult(err)
+			continue
+		}
+		key := resultCacheKey(v.Fingerprint, req.Method, normalized, req.IgnoreSchema, ep.samples, req.Seed)
+		if c, ok := s.results.get(key); ok {
+			s.metrics.resultCacheHits.Add(1)
+			results[i] = cachedBatchResult(c, bq.Top, "hit")
+			continue
+		}
+		todo = append(todo, pendingBatchQuery{i: i, normalized: normalized, key: key})
+	}
+
+	var sharedHits int64
+	if len(todo) > 0 {
+		if err := s.acquire(ctx); err != nil {
+			// Nothing was evaluated; fail the whole request the same way
+			// /v1/query would (429/504), rather than faking per-query
+			// results that are really one admission failure.
+			s.writeQueryError(w, err)
+			return
+		}
+		sharedHits = s.runBatch(ctx, v, &req, ep, todo, results)
+	}
+
+	done := 0
+	for _, res := range results {
+		if res.Error == nil {
+			done++
+		}
+	}
+	writeJSON(w, http.StatusOK, batchResponse{
+		Results:           results,
+		Count:             done,
+		Version:           v.Seq,
+		Fingerprint:       v.Fingerprint,
+		SharedSubplanHits: sharedHits,
+		ElapsedMS:         float64(time.Since(begin).Microseconds()) / 1000,
+	})
+}
+
+// pendingBatchQuery is one query that missed the result cache in pass
+// 1 and still needs evaluation.
+type pendingBatchQuery struct {
+	i          int    // index into the request's queries / results
+	normalized string // canonical query text
+	key        string // result-cache key
+}
+
+// runBatch evaluates the batch's result-cache misses while holding a
+// worker slot (released by defer — see rankWithSlot for why). One
+// lapushdb.Batch spans all of them, so subplan results flow across
+// queries and one row budget covers the batch.
+func (s *Server) runBatch(ctx context.Context, v *store.Version, req *batchRequest, ep evalParams, todo []pendingBatchQuery, results []batchResultJSON) int64 {
+	defer s.release()
+	if s.testHookAfterAcquire != nil {
+		s.testHookAfterAcquire()
+	}
+	stats := &lapushdb.RankStats{}
+	opts := &lapushdb.Options{
+		Method:              ep.method,
+		MCSamples:           ep.samples,
+		Seed:                req.Seed,
+		IgnoreSchema:        req.IgnoreSchema,
+		Workers:             ep.parallelism,
+		Stats:               stats,
+		MaxIntermediateRows: ep.maxRows,
+	}
+	batch := v.DB.NewBatch(opts)
+	for _, pq := range todo {
+		bq := req.Queries[pq.i]
+		// A duplicate earlier in the batch (or a concurrent request) may
+		// have filled the entry since pass 1.
+		if c, ok := s.results.get(pq.key); ok {
+			s.metrics.resultCacheHits.Add(1)
+			results[pq.i] = cachedBatchResult(c, bq.Top, "hit")
+			continue
+		}
+		s.metrics.resultCacheMisses.Add(1)
+		p, _, err := s.preparedNorm(ctx, v, req.Method, bq.Query, pq.normalized, opts)
+		if err != nil {
+			results[pq.i] = s.batchErrResult(err)
+			continue
+		}
+		answers, err := batch.RankPrepared(ctx, p)
+		if err != nil {
+			results[pq.i] = s.batchErrResult(err)
+			continue
+		}
+		s.metrics.partitionsTotal.Add(stats.Partitions)
+		entry := &cachedResult{answers: toAnswerJSON(answers), safe: p.Safe()}
+		s.results.put(pq.key, entry)
+		results[pq.i] = cachedBatchResult(entry, bq.Top, "miss")
+	}
+	bs := batch.Stats()
+	s.metrics.sharedSubplanHits.Add(bs.SharedSubplanHits)
+	return bs.SharedSubplanHits
+}
+
+// cachedBatchResult renders one cached (or just-cached) result into
+// its response slot, applying the query's top-k cutoff.
+func cachedBatchResult(c *cachedResult, top int, label string) batchResultJSON {
+	answers := c.top(top)
+	return batchResultJSON{Answers: answers, Count: len(answers), Safe: c.safe, Cache: label}
+}
+
+// batchErrResult maps one query's failure into its in-envelope error
+// object. The batch responds 200 with partial results, so the
+// per-query code carries what a standalone request would put in the
+// HTTP status; the per-class metrics are maintained identically.
+func (s *Server) batchErrResult(err error) batchResultJSON {
+	_, code, msg := errorStatus(err)
+	s.noteQueryError(code)
+	return batchResultJSON{Error: &apiError{Code: code, Message: msg}}
+}

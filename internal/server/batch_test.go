@@ -1,0 +1,266 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// End-to-end tests for /v1/rank_batch and the versioned result cache:
+// the batch envelope (partial results, per-query error objects), cache
+// hit/miss reporting with its metrics, and invalidation by ingestion
+// (a new version fingerprint makes every old entry unreachable).
+
+const testQuery2 = "q(movie) :- Stars(movie, actor), Fan(actor)"
+
+func postBatch(t *testing.T, url string, req batchRequest) (*http.Response, batchResponse, []byte) {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/rank_batch", req)
+	var br batchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &br); err != nil {
+			t.Fatalf("batch response: %v\n%s", err, body)
+		}
+	}
+	return resp, br, body
+}
+
+func TestRankBatchHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := batchRequest{Queries: []batchQueryJSON{
+		{Query: testQuery},
+		{Query: testQuery2},
+		{Query: testQuery}, // duplicate: shares the first query's subplans
+	}}
+	resp, br, body := postBatch(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if len(br.Results) != 3 || br.Count != 3 {
+		t.Fatalf("want 3 results, got %+v", br)
+	}
+	for i, res := range br.Results {
+		if res.Error != nil {
+			t.Fatalf("query %d: %+v", i, res.Error)
+		}
+		if res.Count == 0 || len(res.Answers) != res.Count {
+			t.Fatalf("query %d: no answers: %+v", i, res)
+		}
+	}
+	if br.Fingerprint == "" {
+		t.Fatal("missing fingerprint")
+	}
+	// The duplicate was served by the result cache within the batch (it
+	// was filled by the first query's evaluation), so its slot reports a
+	// hit while the two distinct queries report misses.
+	if br.Results[0].Cache != "miss" || br.Results[1].Cache != "miss" {
+		t.Fatalf("distinct queries should miss the result cache: %+v", br.Results)
+	}
+	if br.Results[2].Cache != "hit" {
+		t.Fatalf("duplicate query should hit the result cache: %+v", br.Results[2])
+	}
+	// Batch answers match a standalone /v1/query bit-for-bit.
+	qresp, qbody := postJSON(t, ts.URL+"/v1/query", queryRequest{Query: testQuery})
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", qresp.StatusCode, qbody)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(qbody, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Answers) != len(br.Results[0].Answers) {
+		t.Fatalf("batch %d answers vs standalone %d", len(br.Results[0].Answers), len(qr.Answers))
+	}
+	for i := range qr.Answers {
+		if qr.Answers[i].Score != br.Results[0].Answers[i].Score {
+			t.Fatalf("answer %d: batch score %v != standalone %v", i, br.Results[0].Answers[i].Score, qr.Answers[i].Score)
+		}
+	}
+}
+
+func TestRankBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatchQueries: 2})
+
+	resp, _, body := postBatch(t, ts.URL, batchRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d: %s", resp.StatusCode, body)
+	}
+	if e := decodeErr(t, body); e.Code != "empty_batch" {
+		t.Fatalf("want empty_batch, got %+v", e)
+	}
+
+	over := batchRequest{Queries: []batchQueryJSON{{Query: testQuery}, {Query: testQuery}, {Query: testQuery}}}
+	resp, _, body = postBatch(t, ts.URL, over)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d: %s", resp.StatusCode, body)
+	}
+	if e := decodeErr(t, body); e.Code != "batch_too_large" {
+		t.Fatalf("want batch_too_large, got %+v", e)
+	}
+
+	resp, _, body = postBatch(t, ts.URL, batchRequest{Method: "bogus", Queries: []batchQueryJSON{{Query: testQuery}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad method: status %d: %s", resp.StatusCode, body)
+	}
+	if e := decodeErr(t, body); e.Code != "bad_method" {
+		t.Fatalf("want bad_method, got %+v", e)
+	}
+}
+
+// TestRankBatchPartialFailure pins the envelope contract: per-query
+// failures (parse errors, the shared row budget) land as error objects
+// in their own slots of a 200 response, with the other queries'
+// answers intact.
+func TestRankBatchPartialFailure(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := batchRequest{Queries: []batchQueryJSON{
+		{Query: testQuery},
+		{Query: "q(x :- broken("},
+		{Query: ""},
+		{Query: testQuery2},
+	}}
+	resp, br, body := postBatch(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if br.Count != 2 {
+		t.Fatalf("want 2 successful queries, got %d: %+v", br.Count, br.Results)
+	}
+	if br.Results[0].Error != nil || br.Results[3].Error != nil {
+		t.Fatalf("valid queries failed: %+v", br.Results)
+	}
+	if br.Results[1].Error == nil || br.Results[1].Error.Code != "bad_query" {
+		t.Fatalf("want bad_query in slot 1, got %+v", br.Results[1])
+	}
+	if br.Results[2].Error == nil || br.Results[2].Error.Code != "missing_query" {
+		t.Fatalf("want missing_query in slot 2, got %+v", br.Results[2])
+	}
+}
+
+// TestRankBatchBudgetExceeded drives the shared batch budget into the
+// ground and checks the failing queries report budget_exceeded inside
+// the 200 envelope (satellite case for the errorStatus mapping).
+func TestRankBatchBudgetExceeded(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := batchRequest{
+		Queries: []batchQueryJSON{{Query: testQuery}},
+		MaxRows: 1,
+	}
+	resp, br, body := postBatch(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if br.Results[0].Error == nil || br.Results[0].Error.Code != "budget_exceeded" {
+		t.Fatalf("want budget_exceeded, got %+v", br.Results[0])
+	}
+	if br.Count != 0 {
+		t.Fatalf("want 0 successful queries, got %d", br.Count)
+	}
+}
+
+// TestResultCacheInvalidation is the satellite e2e: rank → ingest →
+// rank sees the new version (the fingerprint-scoped key misses), and a
+// second identical request at the new version reports a hit and bumps
+// the hit counter.
+func TestResultCacheInvalidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	scrape := func() string {
+		_, body := getBody(t, ts.URL+"/metrics")
+		return string(body)
+	}
+	batchOne := batchRequest{Queries: []batchQueryJSON{{Query: testQuery}}}
+
+	resp, br, body := postBatch(t, ts.URL, batchOne)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if br.Results[0].Cache != "miss" {
+		t.Fatalf("first request: want miss, got %+v", br.Results[0])
+	}
+	fp1 := br.Fingerprint
+	baseline := br.Results[0].Answers
+
+	hits0 := metricValue(t, scrape(), "lapushd_result_cache_hits_total")
+	resp, br, body = postBatch(t, ts.URL, batchOne)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if br.Results[0].Cache != "hit" {
+		t.Fatalf("repeat request: want hit, got %+v", br.Results[0])
+	}
+	if got := metricValue(t, scrape(), "lapushd_result_cache_hits_total"); got != hits0+1 {
+		t.Fatalf("want hits %v, got %v", hits0+1, got)
+	}
+
+	// Ingest a mutation that changes the answer set: the new version's
+	// fingerprint makes the cached entry unreachable.
+	ingest := map[string]any{"mutations": []map[string]any{
+		{"op": "insert", "rel": "Likes", "p": 0.95, "tuple": []string{"carol", "ronin"}},
+	}}
+	resp, body = postJSON(t, ts.URL+"/v1/ingest", ingest)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", resp.StatusCode, body)
+	}
+
+	misses0 := metricValue(t, scrape(), "lapushd_result_cache_misses_total")
+	resp, br, body = postBatch(t, ts.URL, batchOne)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if br.Results[0].Cache != "miss" {
+		t.Fatalf("post-ingest request: want miss (new fingerprint), got %+v", br.Results[0])
+	}
+	if br.Fingerprint == fp1 {
+		t.Fatal("fingerprint did not change across ingest")
+	}
+	if got := metricValue(t, scrape(), "lapushd_result_cache_misses_total"); got != misses0+1 {
+		t.Fatalf("want misses %v, got %v", misses0+1, got)
+	}
+	if len(br.Results[0].Answers) != len(baseline)+1 {
+		t.Fatalf("post-ingest: want %d answers, got %d", len(baseline)+1, len(br.Results[0].Answers))
+	}
+
+	// And /v1/query shares the same cache: the batch's post-ingest
+	// evaluation already cached this query at the new version.
+	qresp, qbody := postJSON(t, ts.URL+"/v1/query", queryRequest{Query: testQuery})
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", qresp.StatusCode, qbody)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(qbody, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.ResultCache != "hit" {
+		t.Fatalf("query after batch: want result_cache hit, got %+v", qr)
+	}
+}
+
+// TestRankBatchMetrics checks the batch-specific counters.
+func TestRankBatchMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := batchRequest{Queries: []batchQueryJSON{
+		{Query: testQuery}, {Query: testQuery}, {Query: testQuery2},
+	}}
+	resp, br, body := postBatch(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	m := func(name string) float64 {
+		_, b := getBody(t, ts.URL+"/metrics")
+		return metricValue(t, string(b), name)
+	}
+	if got := m("lapushd_batch_queries_total"); got != 3 {
+		t.Fatalf("batch_queries_total = %v, want 3", got)
+	}
+	if got := m("lapushd_result_cache_entries"); got < 2 {
+		t.Fatalf("result_cache_entries = %v, want >= 2", got)
+	}
+	if br.SharedSubplanHits == 0 {
+		// The duplicate is served by the result cache before evaluation,
+		// so subplan sharing shows up only across the distinct queries;
+		// both rank over Stars⋈Fan, and the shared metric counts it.
+		if got := m("lapushd_shared_subplan_hits_total"); got == 0 {
+			t.Logf("no cross-query subplan hits on this workload (disjoint reduced scans); metric present at %v", got)
+		}
+	}
+}

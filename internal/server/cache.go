@@ -7,18 +7,22 @@ import (
 	"lapushdb"
 )
 
-// planCache is a bounded LRU cache of prepared statements. The cached
-// value is a *lapushdb.Prepared — the parsed query with its minimal
-// plans and merged single plan already enumerated — because plan search
-// is the expensive lifted-inference step; answer probabilities are
-// always computed fresh against the data. Keys combine the normalized
-// query, the method, and the database's schema fingerprint (see
-// Server.cacheKey), so a schema change or reload naturally invalidates
-// every entry.
+// Bounded LRU caches. The server runs two of them over the same
+// implementation:
 //
-// Prepared values are immutable, so a single entry may be handed to any
-// number of concurrent requests.
-type planCache struct {
+//   - the plan cache, holding *lapushdb.Prepared values — the parsed
+//     query with its minimal plans and merged single plan already
+//     enumerated, because plan search is the expensive lifted-inference
+//     step; and
+//   - the result cache, holding *cachedResult values — fully evaluated
+//     answer lists, so a repeated identical request skips evaluation
+//     entirely.
+//
+// Keys for both are scoped by the pinned store version's fingerprint
+// (see cacheKey and resultCacheKey), so every ingested mutation batch
+// invalidates stale entries naturally. Cached values are immutable and
+// may be handed to any number of concurrent requests.
+type lruCache[V any] struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
@@ -27,55 +31,62 @@ type planCache struct {
 	onEvict func() // metrics hook, called with mu held
 }
 
-type cacheEntry struct {
+type lruEntry[V any] struct {
 	key string
-	p   *lapushdb.Prepared
+	val V
 }
 
-func newPlanCache(capacity int) *planCache {
+func newLRU[V any](capacity int) *lruCache[V] {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &planCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+	return &lruCache[V]{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
 }
 
-// get returns the cached statement and promotes it to most recent.
-func (c *planCache) get(key string) (*lapushdb.Prepared, bool) {
+// get returns the cached value and promotes it to most recent.
+func (c *lruCache[V]) get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).p, true
+	return el.Value.(*lruEntry[V]).val, true
 }
 
-// put inserts a statement, evicting the least recently used entry when
-// the cache is full. Re-inserting an existing key refreshes its value
-// and recency.
-func (c *planCache) put(key string, p *lapushdb.Prepared) {
+// put inserts a value, evicting the least recently used entry when the
+// cache is full. Re-inserting an existing key refreshes its value and
+// recency.
+func (c *lruCache[V]) put(key string, v V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).p = p
+		el.Value.(*lruEntry[V]).val = v
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, p: p})
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: v})
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		delete(c.items, oldest.Value.(*lruEntry[V]).key)
 		if c.onEvict != nil {
 			c.onEvict()
 		}
 	}
 }
 
-// len returns the number of cached statements.
-func (c *planCache) len() int {
+// len returns the number of cached entries.
+func (c *lruCache[V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// planCache is the prepared-statement LRU (see the package comment
+// above for what it stores and why).
+type planCache = lruCache[*lapushdb.Prepared]
+
+func newPlanCache(capacity int) *planCache { return newLRU[*lapushdb.Prepared](capacity) }

@@ -23,6 +23,14 @@ type metrics struct {
 	cacheEvictions atomic.Int64
 	cacheEntries   func() int // reads the cache size at render time
 
+	resultCacheHits      atomic.Int64
+	resultCacheMisses    atomic.Int64
+	resultCacheEvictions atomic.Int64
+	resultCacheEntries   func() int // reads the result cache size at render time
+
+	batchQueriesTotal atomic.Int64 // queries received via /v1/rank_batch
+	sharedSubplanHits atomic.Int64 // cross-query subplan reuses within batches
+
 	queriesCancelled atomic.Int64
 	panicsRecovered  atomic.Int64
 	requestsRejected atomic.Int64 // worker-pool admission failures
@@ -140,6 +148,22 @@ func (m *metrics) render(b *strings.Builder) {
 	fmt.Fprintf(b, "lapushd_plan_cache_evictions_total %d\n", m.cacheEvictions.Load())
 	b.WriteString("# TYPE lapushd_plan_cache_entries gauge\n")
 	fmt.Fprintf(b, "lapushd_plan_cache_entries %d\n", m.cacheEntries())
+
+	b.WriteString("# TYPE lapushd_result_cache_hits_total counter\n")
+	fmt.Fprintf(b, "lapushd_result_cache_hits_total %d\n", m.resultCacheHits.Load())
+	b.WriteString("# TYPE lapushd_result_cache_misses_total counter\n")
+	fmt.Fprintf(b, "lapushd_result_cache_misses_total %d\n", m.resultCacheMisses.Load())
+	b.WriteString("# TYPE lapushd_result_cache_evictions_total counter\n")
+	fmt.Fprintf(b, "lapushd_result_cache_evictions_total %d\n", m.resultCacheEvictions.Load())
+	if m.resultCacheEntries != nil {
+		b.WriteString("# TYPE lapushd_result_cache_entries gauge\n")
+		fmt.Fprintf(b, "lapushd_result_cache_entries %d\n", m.resultCacheEntries())
+	}
+
+	b.WriteString("# TYPE lapushd_batch_queries_total counter\n")
+	fmt.Fprintf(b, "lapushd_batch_queries_total %d\n", m.batchQueriesTotal.Load())
+	b.WriteString("# TYPE lapushd_shared_subplan_hits_total counter\n")
+	fmt.Fprintf(b, "lapushd_shared_subplan_hits_total %d\n", m.sharedSubplanHits.Load())
 
 	b.WriteString("# TYPE lapushd_queries_cancelled_total counter\n")
 	fmt.Fprintf(b, "lapushd_queries_cancelled_total %d\n", m.queriesCancelled.Load())

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+
+	"lapushdb"
+)
+
+// Result cache. A cachedResult is one query's fully evaluated, ranked
+// answer list against one store version. Entries are immutable: the
+// answers slice is never mutated after insertion, and per-request "top"
+// truncation slices a view instead of copying. Because the cache key
+// starts with the pinned version's fingerprint — which changes on every
+// ingested mutation batch — ingestion invalidates the whole cache
+// naturally, with stale entries aging out of the LRU.
+type cachedResult struct {
+	answers []answerJSON
+	safe    bool
+}
+
+// top returns the first n answers (all of them when n <= 0). The
+// returned slice aliases the cached one; callers must not modify it.
+func (c *cachedResult) top(n int) []answerJSON {
+	if n > 0 && n < len(c.answers) {
+		return c.answers[:n]
+	}
+	return c.answers
+}
+
+// resultCacheKey derives the result-cache key for one query: the pinned
+// version's fingerprint, the method, every request knob that can change
+// the answer bytes (schema use, sample count, sampler seed), and the
+// normalized query. Fields are joined with NUL — which cannot appear in
+// a method name, a formatted integer, or a normalized query — so two
+// requests collide exactly when they are semantically equal: same
+// version, same method and options, same query up to the parser's
+// canonicalization. Workers/parallelism is deliberately absent (scores
+// are bit-identical across worker counts), as is "top" (the cache holds
+// the full answer list; truncation happens per request).
+func resultCacheKey(fingerprint, method, normalized string, ignoreSchema bool, samples int, seed int64) string {
+	flag := "s"
+	if ignoreSchema {
+		flag = "n"
+	}
+	var b strings.Builder
+	b.Grow(len(fingerprint) + len(method) + len(normalized) + 32)
+	b.WriteString(fingerprint)
+	b.WriteByte(0)
+	b.WriteString(method)
+	b.WriteByte(0)
+	b.WriteString(flag)
+	b.WriteByte(0)
+	b.WriteString(strconv.Itoa(samples))
+	b.WriteByte(0)
+	b.WriteString(strconv.FormatInt(seed, 10))
+	b.WriteByte(0)
+	b.WriteString(normalized)
+	return b.String()
+}
+
+// toAnswerJSON converts ranked answers to their JSON form once, for
+// both the response and the cache entry.
+func toAnswerJSON(answers []lapushdb.Answer) []answerJSON {
+	out := make([]answerJSON, len(answers))
+	for i, a := range answers {
+		out[i] = answerJSON{Values: a.Values, Score: a.Score}
+	}
+	return out
+}

@@ -6,9 +6,10 @@
 //
 // Endpoints:
 //
-//	POST /v1/query     {"query", "method", "top", "samples", "seed", "timeout_ms", "ignore_schema"}
-//	POST /v1/explain   {"query", "ignore_schema", "timeout_ms"}
-//	POST /v1/ingest    {"mutations": [{"op", "rel", ...}, ...]}
+//	POST /v1/query      {"query", "method", "top", "samples", "seed", "timeout_ms", "ignore_schema"}
+//	POST /v1/rank_batch {"queries": [{"query", "top"}, ...], "method", "samples", "seed", "timeout_ms", ...}
+//	POST /v1/explain    {"query", "ignore_schema", "timeout_ms"}
+//	POST /v1/ingest     {"mutations": [{"op", "rel", ...}, ...]}
 //	GET  /v1/relations
 //	GET  /v1/store
 //	GET  /healthz
@@ -44,6 +45,15 @@ type Config struct {
 	Workers int
 	// CacheSize bounds the plan cache's entry count (default 256).
 	CacheSize int
+	// ResultCacheSize bounds the result cache's entry count (default
+	// 512). The result cache serves repeated identical requests against
+	// an unchanged store version without re-evaluation; ingestion
+	// invalidates it naturally because keys embed the version
+	// fingerprint.
+	ResultCacheSize int
+	// MaxBatchQueries caps the number of queries one /v1/rank_batch
+	// request may carry (default 64).
+	MaxBatchQueries int
 	// DefaultTimeout applies when a request carries no timeout_ms
 	// (default 30s).
 	DefaultTimeout time.Duration
@@ -80,6 +90,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 256
 	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 512
+	}
+	if c.MaxBatchQueries <= 0 {
+		c.MaxBatchQueries = 64
+	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
 	}
@@ -109,6 +125,7 @@ type Server struct {
 	store   *store.Store
 	cfg     Config
 	cache   *planCache
+	results *lruCache[*cachedResult]
 	sem     chan struct{} // worker-pool slots
 	metrics *metrics
 	mux     *http.ServeMux
@@ -140,17 +157,21 @@ func New(db *lapushdb.DB, cfg Config) *Server {
 func NewWithStore(st *store.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		store: st,
-		cfg:   cfg,
-		cache: newPlanCache(cfg.CacheSize),
-		sem:   make(chan struct{}, cfg.Workers),
-		start: time.Now(),
+		store:   st,
+		cfg:     cfg,
+		cache:   newPlanCache(cfg.CacheSize),
+		results: newLRU[*cachedResult](cfg.ResultCacheSize),
+		sem:     make(chan struct{}, cfg.Workers),
+		start:   time.Now(),
 	}
-	s.metrics = newMetrics([]string{"query", "explain", "ingest", "relations", "store", "healthz", "metrics"}, s.cache.len)
+	s.metrics = newMetrics([]string{"query", "rank_batch", "explain", "ingest", "relations", "store", "healthz", "metrics"}, s.cache.len)
 	s.metrics.storeStats = st.Stats
+	s.metrics.resultCacheEntries = s.results.len
 	s.cache.onEvict = func() { s.metrics.cacheEvictions.Add(1) }
+	s.results.onEvict = func() { s.metrics.resultCacheEvictions.Add(1) }
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/query", s.instrument("query", http.MethodPost, s.handleQuery))
+	s.mux.HandleFunc("/v1/rank_batch", s.instrument("rank_batch", http.MethodPost, s.handleRankBatch))
 	s.mux.HandleFunc("/v1/explain", s.instrument("explain", http.MethodPost, s.handleExplain))
 	s.mux.HandleFunc("/v1/ingest", s.instrument("ingest", http.MethodPost, s.handleIngest))
 	s.mux.HandleFunc("/v1/relations", s.instrument("relations", http.MethodGet, s.handleRelations))
@@ -323,6 +344,13 @@ func (s *Server) prepared(ctx context.Context, v *store.Version, methodLabel, qu
 	if err != nil {
 		return nil, false, err
 	}
+	return s.preparedNorm(ctx, v, methodLabel, query, normalized, opts)
+}
+
+// preparedNorm is prepared for callers that already normalized the
+// query (the batch path normalizes once for the result-cache key and
+// reuses it here).
+func (s *Server) preparedNorm(ctx context.Context, v *store.Version, methodLabel, query, normalized string, opts *lapushdb.Options) (*lapushdb.Prepared, bool, error) {
 	key := s.cacheKey(v, methodLabel, normalized, opts.IgnoreSchema)
 	if p, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
@@ -361,16 +389,71 @@ type answerJSON struct {
 }
 
 type queryResponse struct {
-	Answers   []answerJSON `json:"answers"`
-	Count     int          `json:"count"`
-	Method    string       `json:"method"`
-	Safe      bool         `json:"safe"`
-	Cache     string       `json:"cache"` // "hit" or "miss"
-	ElapsedMS float64      `json:"elapsed_ms"`
+	Answers []answerJSON `json:"answers"`
+	Count   int          `json:"count"`
+	Method  string       `json:"method"`
+	Safe    bool         `json:"safe"`
+	Cache   string       `json:"cache"` // plan cache: "hit" or "miss"
+	// ResultCache reports whether the fully evaluated answer list was
+	// served from the result cache ("hit") or computed ("miss").
+	ResultCache string  `json:"result_cache"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
 	// Partitions is the number of morsel chunks and join partitions the
 	// query's operators processed (dissociation method only; 0 when
 	// every operator input fit in one chunk).
 	Partitions int64 `json:"partitions"`
+}
+
+// evalParams are the evaluation knobs shared by /v1/query and
+// /v1/rank_batch, validated and resolved against the server's limits.
+type evalParams struct {
+	method      lapushdb.Method
+	samples     int
+	parallelism int // resolved: request override capped at MaxParallelism
+	maxRows     int // resolved: request bound may only tighten -max-rows
+}
+
+// evalParams validates a request's shared evaluation fields, writing
+// the 400 response and returning ok=false on the first invalid one.
+// The error codes match /v1/query's historical responses.
+func (s *Server) evalParams(w http.ResponseWriter, methodLabel string, samples int, timeoutMS int64, parallelism, maxRows int) (evalParams, bool) {
+	var ep evalParams
+	method, err := lapushdb.MethodFromString(methodLabel)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_method", err.Error())
+		return ep, false
+	}
+	if samples < 0 || samples > s.cfg.MaxSamples {
+		writeError(w, http.StatusBadRequest, "bad_samples",
+			fmt.Sprintf("field \"samples\" must be in [0, %d]", s.cfg.MaxSamples))
+		return ep, false
+	}
+	if timeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "bad_timeout", "field \"timeout_ms\" must be >= 0")
+		return ep, false
+	}
+	if parallelism < 0 {
+		writeError(w, http.StatusBadRequest, "bad_parallelism", "field \"parallelism\" must be >= 0")
+		return ep, false
+	}
+	if maxRows < 0 {
+		writeError(w, http.StatusBadRequest, "bad_max_rows", "field \"max_rows\" must be >= 0")
+		return ep, false
+	}
+	ep.method = method
+	ep.samples = samples
+	ep.parallelism = s.cfg.Parallelism
+	if parallelism > 0 {
+		ep.parallelism = parallelism
+	}
+	if ep.parallelism > s.cfg.MaxParallelism {
+		ep.parallelism = s.cfg.MaxParallelism
+	}
+	ep.maxRows = s.cfg.MaxRows
+	if maxRows > 0 && (s.cfg.MaxRows <= 0 || maxRows < s.cfg.MaxRows) {
+		ep.maxRows = maxRows
+	}
+	return ep, true
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -385,42 +468,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Method == "" {
 		req.Method = "diss"
 	}
-	method, err := lapushdb.MethodFromString(req.Method)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_method", err.Error())
-		return
-	}
 	if req.Top < 0 {
 		writeError(w, http.StatusBadRequest, "bad_top", "field \"top\" must be >= 0")
 		return
 	}
-	if req.Samples < 0 || req.Samples > s.cfg.MaxSamples {
-		writeError(w, http.StatusBadRequest, "bad_samples",
-			fmt.Sprintf("field \"samples\" must be in [0, %d]", s.cfg.MaxSamples))
+	ep, ok := s.evalParams(w, req.Method, req.Samples, req.TimeoutMS, req.Parallelism, req.MaxRows)
+	if !ok {
 		return
-	}
-	if req.TimeoutMS < 0 {
-		writeError(w, http.StatusBadRequest, "bad_timeout", "field \"timeout_ms\" must be >= 0")
-		return
-	}
-	if req.Parallelism < 0 {
-		writeError(w, http.StatusBadRequest, "bad_parallelism", "field \"parallelism\" must be >= 0")
-		return
-	}
-	if req.MaxRows < 0 {
-		writeError(w, http.StatusBadRequest, "bad_max_rows", "field \"max_rows\" must be >= 0")
-		return
-	}
-	parallelism := s.cfg.Parallelism
-	if req.Parallelism > 0 {
-		parallelism = req.Parallelism
-	}
-	if parallelism > s.cfg.MaxParallelism {
-		parallelism = s.cfg.MaxParallelism
-	}
-	maxRows := s.cfg.MaxRows
-	if req.MaxRows > 0 && (s.cfg.MaxRows <= 0 || req.MaxRows < s.cfg.MaxRows) {
-		maxRows = req.MaxRows
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
@@ -430,20 +484,46 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	v := s.store.Current()
 	stats := &lapushdb.RankStats{}
 	opts := &lapushdb.Options{
-		Method:              method,
-		MCSamples:           req.Samples,
+		Method:              ep.method,
+		MCSamples:           ep.samples,
 		Seed:                req.Seed,
 		IgnoreSchema:        req.IgnoreSchema,
-		Workers:             parallelism,
+		Workers:             ep.parallelism,
 		Stats:               stats,
-		MaxIntermediateRows: maxRows,
+		MaxIntermediateRows: ep.maxRows,
 	}
 	begin := time.Now()
-	p, hit, err := s.prepared(ctx, v, req.Method, req.Query, opts)
+	normalized, err := v.DB.NormalizeQuery(req.Query)
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
 	}
+	p, hit, err := s.preparedNorm(ctx, v, req.Method, req.Query, normalized, opts)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	// Result cache: a repeat of this exact request against an unchanged
+	// version is served without a worker slot or re-evaluation. Checked
+	// after the plan cache so the plan-cache metrics keep their meaning
+	// (a normalized query's plans were or weren't cached), and reported
+	// in its own response field for the same reason.
+	rkey := resultCacheKey(v.Fingerprint, req.Method, normalized, req.IgnoreSchema, ep.samples, req.Seed)
+	if c, ok := s.results.get(rkey); ok {
+		s.metrics.resultCacheHits.Add(1)
+		answers := c.top(req.Top)
+		writeJSON(w, http.StatusOK, queryResponse{
+			Answers:     answers,
+			Count:       len(answers),
+			Method:      req.Method,
+			Safe:        c.safe,
+			Cache:       cacheLabel(hit),
+			ResultCache: "hit",
+			ElapsedMS:   float64(time.Since(begin).Microseconds()) / 1000,
+		})
+		return
+	}
+	s.metrics.resultCacheMisses.Add(1)
 	if err := s.acquire(ctx); err != nil {
 		s.writeQueryError(w, err)
 		return
@@ -453,23 +533,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeQueryError(w, err)
 		return
 	}
-	if req.Top > 0 && req.Top < len(answers) {
-		answers = answers[:req.Top]
-	}
 	s.metrics.partitionsTotal.Add(stats.Partitions)
-	resp := queryResponse{
-		Answers:    make([]answerJSON, len(answers)),
-		Count:      len(answers),
-		Method:     req.Method,
-		Safe:       p.Safe(),
-		Cache:      cacheLabel(hit),
-		ElapsedMS:  float64(time.Since(begin).Microseconds()) / 1000,
-		Partitions: stats.Partitions,
-	}
-	for i, a := range answers {
-		resp.Answers[i] = answerJSON{Values: a.Values, Score: a.Score}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	entry := &cachedResult{answers: toAnswerJSON(answers), safe: p.Safe()}
+	s.results.put(rkey, entry)
+	top := entry.top(req.Top)
+	writeJSON(w, http.StatusOK, queryResponse{
+		Answers:     top,
+		Count:       len(top),
+		Method:      req.Method,
+		Safe:        p.Safe(),
+		Cache:       cacheLabel(hit),
+		ResultCache: "miss",
+		ElapsedMS:   float64(time.Since(begin).Microseconds()) / 1000,
+		Partitions:  stats.Partitions,
+	})
 }
 
 func cacheLabel(hit bool) string {
@@ -496,6 +573,10 @@ func errorStatus(err error) (status int, code, msg string) {
 		return http.StatusServiceUnavailable, "cancelled", "query cancelled"
 	case errors.Is(err, errOverloaded):
 		return http.StatusTooManyRequests, "overloaded", err.Error()
+	case errors.Is(err, errEmptyBatch):
+		return http.StatusBadRequest, "empty_batch", err.Error()
+	case errors.Is(err, errBatchTooLarge):
+		return http.StatusBadRequest, "batch_too_large", err.Error()
 	case errors.Is(err, lapushdb.ErrBudget):
 		return http.StatusUnprocessableEntity, "budget_exceeded", err.Error()
 	case errors.Is(err, store.ErrReadOnly):
@@ -507,16 +588,24 @@ func errorStatus(err error) (status int, code, msg string) {
 	}
 }
 
-// writeQueryError maps an evaluation error through errorStatus,
-// maintaining the per-class metrics and retry hints.
-func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
-	status, code, msg := errorStatus(err)
+// noteQueryError maintains the per-class failure metrics for one
+// query's error code, whether it surfaces as an HTTP status or as an
+// in-envelope error object in a batch response.
+func (s *Server) noteQueryError(code string) {
 	switch code {
 	case "deadline_exceeded", "cancelled":
 		s.metrics.queriesCancelled.Add(1)
 	case "budget_exceeded":
 		s.metrics.budgetExceeded.Add(1)
-	case "overloaded":
+	}
+}
+
+// writeQueryError maps an evaluation error through errorStatus,
+// maintaining the per-class metrics and retry hints.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	status, code, msg := errorStatus(err)
+	s.noteQueryError(code)
+	if code == "overloaded" {
 		w.Header().Set("Retry-After", retryAfterSeconds)
 	}
 	writeError(w, status, code, msg)

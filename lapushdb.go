@@ -203,6 +203,12 @@ type Options struct {
 	Seed int64
 	// ExactBudget bounds the exact solver's work (default 50M nodes).
 	ExactBudget int
+
+	// memo, when non-nil, shares canonicalized subplan results and one
+	// intermediate-row budget across the queries of a batch. It is set
+	// internally by Batch (see batch.go); the zero value evaluates
+	// standalone.
+	memo *engine.BatchMemo
 }
 
 // ErrBudget is the typed error wrapped by Rank's failure when an
@@ -227,6 +233,13 @@ type RankStats struct {
 	Partitions int64
 	// ParallelOps is the number of operator phases that ran partitioned.
 	ParallelOps int64
+	// SharedSubplanHits and SharedSubplanMisses count cross-query
+	// subplan memo lookups during batch evaluation (see RankBatch):
+	// hits were served from another query's work, misses were computed
+	// and shared. Both report the batch's running totals at the time of
+	// the call, and stay zero outside batch evaluation.
+	SharedSubplanHits   int64
+	SharedSubplanMisses int64
 }
 
 // Rank evaluates the query and returns its answers ordered by descending
@@ -244,6 +257,15 @@ func (d *DB) RankContext(ctx context.Context, query string, opts *Options) ([]An
 	if opts == nil {
 		opts = &Options{}
 	}
+	q, err := parseChecked(d, query)
+	if err != nil {
+		return nil, err
+	}
+	return d.rank(ctx, q, nil, opts)
+}
+
+// parseChecked parses a query and validates it against the schema.
+func parseChecked(d *DB, query string) (*cq.Query, error) {
 	q, err := cq.Parse(query)
 	if err != nil {
 		return nil, err
@@ -251,7 +273,7 @@ func (d *DB) RankContext(ctx context.Context, query string, opts *Options) ([]An
 	if err := d.checkQuery(q); err != nil {
 		return nil, err
 	}
-	return d.rank(ctx, q, nil, opts)
+	return q, nil
 }
 
 // rank dispatches a parsed query to its method's evaluation path. When
@@ -303,6 +325,7 @@ func (d *DB) rankDissociation(ctx context.Context, q *cq.Query, pre *Prepared, o
 		CostBasedJoins:      opts.CostBasedJoins,
 		Workers:             opts.Workers,
 		MaxIntermediateRows: opts.MaxIntermediateRows,
+		Memo:                opts.memo,
 	}
 	var stats *engine.EvalStats
 	if opts.Stats != nil {
@@ -340,6 +363,10 @@ func (d *DB) rankDissociation(ctx context.Context, q *cq.Query, pre *Prepared, o
 	if stats != nil {
 		opts.Stats.Partitions = stats.Partitions()
 		opts.Stats.ParallelOps = stats.ParallelOps()
+		if opts.memo != nil {
+			opts.Stats.SharedSubplanHits = opts.memo.SharedHits()
+			opts.Stats.SharedSubplanMisses = opts.memo.SharedMisses()
+		}
 	}
 	return d.toAnswers(res), nil
 }
