@@ -17,7 +17,7 @@ race:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestTornTail|TestNth|TestSticky|TestShort|TestSetFault' ./internal/store/...
 	$(GO) test -race -run 'TestBudget' ./internal/engine
-	$(GO) test -race -run 'TestErrorStatus|TestRelease|TestQueryBudget|TestLoadShedding|TestDegraded|TestRobustnessMetrics' ./internal/server
+	$(GO) test -race -run 'TestErrorStatus|TestRelease|TestQueryBudget|TestLoadShedding|TestDegraded|TestRobustnessMetrics|TestAnytime' ./internal/server
 
 vet:
 	$(GO) vet ./...
@@ -50,3 +50,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz='^FuzzMorselDifferential$$' -fuzztime=$(FUZZTIME) ./internal/engine
 	$(GO) test -run=^$$ -fuzz='^FuzzWALReplay$$' -fuzztime=$(FUZZTIME) ./internal/store
 	$(GO) test -run=^$$ -fuzz='^FuzzRankBatchRequest$$' -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run=^$$ -fuzz='^FuzzAnytimeRequest$$' -fuzztime=$(FUZZTIME) ./internal/server

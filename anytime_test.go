@@ -1,0 +1,308 @@
+package lapushdb
+
+// Property tests of the anytime evaluator at the public-API level: on
+// the chain/star/TPC-H differential shapes, every refinement snapshot
+// must sandwich the exact probability (lower <= exact <= upper),
+// intervals may only tighten from one snapshot to the next, and results
+// are bit-identical across Workers settings. Run under -race these also
+// exercise the staged evaluation for data races.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lapushdb/internal/anytime"
+	"lapushdb/internal/engine"
+	"lapushdb/internal/workload"
+)
+
+// exactByValues ranks the query exactly and indexes the probabilities
+// by answer values, as the reference for the sandwich property.
+func exactByValues(t *testing.T, db *DB, query string) map[string]float64 {
+	t.Helper()
+	answers, err := db.Rank(query, &Options{Method: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := make(map[string]float64, len(answers))
+	for _, a := range answers {
+		m[stringsKey(a.Values)] = a.Score
+	}
+	return m
+}
+
+// sandwichWorkload runs the anytime evaluation on one workload shape
+// and asserts, at every refinement snapshot: intervals are well-formed,
+// they contain the exact probability, and they only tighten.
+func sandwichWorkload(t *testing.T, label string, edb *engine.DB, query string, eps float64) {
+	t.Helper()
+	db := fromEngineDB(t, edb)
+	exact := exactByValues(t, db, query)
+
+	type iv struct{ lo, hi float64 }
+	prev := map[string]iv{}
+	snapshots := 0
+	// The MC cap keeps the sampling stage cheap; the exact stage then
+	// collapses whatever sampling left wide, so convergence still holds.
+	opts := &AnytimeOptions{Epsilon: eps, Seed: 11, MCMaxSamples: 2048}
+	opts.onStage = func(s anytime.Snapshot) {
+		snapshots++
+		for _, a := range s.Answers {
+			key := stringsKey(db.decode(a.Key))
+			ex, ok := exact[key]
+			if !ok {
+				t.Fatalf("%s: stage %s produced unknown answer %v", label, s.Stage, db.decode(a.Key))
+			}
+			if a.Lower < 0 || a.Upper > 1 || a.Lower > a.Upper+1e-12 {
+				t.Fatalf("%s: stage %s: malformed interval [%g, %g]", label, s.Stage, a.Lower, a.Upper)
+			}
+			if a.Lower > ex+1e-9 || ex > a.Upper+1e-9 {
+				t.Fatalf("%s: stage %s: sandwich violated: exact %g outside [%g, %g]", label, s.Stage, ex, a.Lower, a.Upper)
+			}
+			if p, ok := prev[key]; ok && (a.Lower < p.lo-1e-12 || a.Upper > p.hi+1e-12) {
+				t.Fatalf("%s: stage %s: interval widened: [%g, %g] after [%g, %g]", label, s.Stage, a.Lower, a.Upper, p.lo, p.hi)
+			}
+			prev[key] = iv{a.Lower, a.Upper}
+		}
+	}
+	res, err := db.RankAnytime(query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapshots == 0 {
+		t.Fatalf("%s: no refinement snapshots observed", label)
+	}
+	if !res.Converged || res.Degraded != "" {
+		t.Fatalf("%s: expected convergence, got converged=%v degraded=%q width=%g", label, res.Converged, res.Degraded, res.Width)
+	}
+	if len(res.Answers) != len(exact) {
+		t.Fatalf("%s: %d interval answers vs %d exact", label, len(res.Answers), len(exact))
+	}
+	for _, a := range res.Answers {
+		if a.Upper-a.Lower > eps+1e-12 {
+			t.Fatalf("%s: answer %v not within epsilon: [%g, %g]", label, a.Values, a.Lower, a.Upper)
+		}
+		ex := exact[stringsKey(a.Values)]
+		if a.Lower > ex+1e-9 || ex > a.Upper+1e-9 {
+			t.Fatalf("%s: final sandwich violated for %v: exact %g outside [%g, %g]", label, a.Values, ex, a.Lower, a.Upper)
+		}
+	}
+}
+
+func TestAnytimeSandwich(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	t.Run("chain3", func(t *testing.T) {
+		edb, q := workload.Chain(3, 500, 70, 0.5, rng)
+		sandwichWorkload(t, "chain3", edb, q.String(), 0.05)
+	})
+	t.Run("star3", func(t *testing.T) {
+		// The star query is Boolean: its single answer's lineage is one
+		// hard DNF over the whole instance, and both the exact reference
+		// and the collapse stage are exponential in the worst case — keep
+		// the instance small.
+		edb, q := workload.Star(3, 40, 12, 0.5, rng)
+		sandwichWorkload(t, "star3", edb, q.String(), 0.05)
+	})
+	t.Run("tpch", func(t *testing.T) {
+		tp := workload.NewTPCH(0.01, 0.1, rng)
+		sandwichWorkload(t, "tpch", tp.DB, tp.Query(tp.Suppliers, "%red%").String(), 0.05)
+	})
+}
+
+// TestAnytimeWorkerDeterminism pins the bit-identity contract: the
+// whole anytime result — values, bounds, convergence flags, stage
+// stats — is identical at Workers 1 and 4 for a fixed seed, because
+// sampler streams are derived from answer keys, not iteration order.
+func TestAnytimeWorkerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	edb, q := workload.Chain(3, 1200, 150, 0.5, rng)
+	db := fromEngineDB(t, edb)
+	query := q.String()
+	base, err := db.RankAnytime(query, &AnytimeOptions{Epsilon: 0.02, Workers: 1, Seed: 99, MCMaxSamples: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	res, err := db.RankAnytime(query, &AnytimeOptions{Epsilon: 0.02, Workers: 4, Seed: 99, MCMaxSamples: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged != base.Converged || res.Width != base.Width || res.MCSamples != base.MCSamples {
+		t.Fatalf("result metadata differs across workers: %+v vs %+v", res, base)
+	}
+	if len(res.Answers) != len(base.Answers) {
+		t.Fatalf("%d answers vs %d", len(res.Answers), len(base.Answers))
+	}
+	for i := range base.Answers {
+		b, r := base.Answers[i], res.Answers[i]
+		if b.Lower != r.Lower || b.Upper != r.Upper || b.Converged != r.Converged {
+			t.Fatalf("answer %d differs: [%v, %v] vs [%v, %v]", i, r.Lower, r.Upper, b.Lower, b.Upper)
+		}
+		for j := range b.Values {
+			if b.Values[j] != r.Values[j] {
+				t.Fatalf("answer %d values differ: %v vs %v", i, r.Values, b.Values)
+			}
+		}
+	}
+}
+
+// TestAnytimeDeadlineDegrades forces the deadline to fire after the
+// first refinement step: the evaluation must return the best-so-far
+// intervals with Degraded="deadline" instead of an error.
+func TestAnytimeDeadlineDegrades(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	edb, q := workload.Chain(3, 900, 120, 0.5, rng)
+	db := fromEngineDB(t, edb)
+	// Warm up lazily built indexes so the first refinement step reliably
+	// fits inside the deadline below.
+	if _, err := db.RankAnytime(q.String(), &AnytimeOptions{Epsilon: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	opts := &AnytimeOptions{Epsilon: 0.0001, Seed: 1}
+	slept := false
+	opts.onStage = func(anytime.Snapshot) {
+		if !slept {
+			slept = true
+			time.Sleep(500 * time.Millisecond) // outlive the deadline after step one
+		}
+	}
+	res, err := db.RankAnytimeContext(ctx, q.String(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded != "deadline" || res.Converged {
+		t.Fatalf("want degraded deadline, got converged=%v degraded=%q", res.Converged, res.Degraded)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("degraded result lost its answers")
+	}
+	for _, a := range res.Answers {
+		if a.Lower < 0 || a.Upper > 1 || a.Lower > a.Upper {
+			t.Fatalf("malformed degraded interval [%g, %g]", a.Lower, a.Upper)
+		}
+	}
+}
+
+// TestAnytimeCancelErrors pins the complementary contract: plain
+// cancellation means the caller no longer wants the result, so it is a
+// hard error even after refinement steps completed.
+func TestAnytimeCancelErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	edb, q := workload.Chain(3, 900, 120, 0.5, rng)
+	db := fromEngineDB(t, edb)
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := &AnytimeOptions{Epsilon: 0.0001, Seed: 1}
+	opts.onStage = func(anytime.Snapshot) { cancel() }
+	res, err := db.RankAnytimeContext(ctx, q.String(), opts)
+	if err == nil {
+		t.Fatalf("want cancellation error, got result converged=%v degraded=%q", res.Converged, res.Degraded)
+	}
+}
+
+// TestAnytimeBudgetDegrades finds, by bisection, the smallest row
+// budget at which the first refinement step completes — there, a later
+// plan must exhaust the budget and the evaluation must degrade with
+// valid intervals rather than fail.
+func TestAnytimeBudgetDegrades(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	edb, q := workload.Chain(3, 900, 120, 0.5, rng)
+	db := fromEngineDB(t, edb)
+	query := q.String()
+	// Small MC caps keep the bisection's many full evaluations cheap; the
+	// property under test is the budget handling, not bound quality.
+	eval := func(budget int) (*AnytimeResult, error) {
+		return db.RankAnytime(query, &AnytimeOptions{Epsilon: 0.0001, Seed: 1, MaxIntermediateRows: budget, MCBatch: 64, MCMaxSamples: 256})
+	}
+	lo, hi := 1, 1<<22 // lo always fails, hi always completes
+	if _, err := eval(lo); err == nil {
+		t.Fatal("budget of 1 row unexpectedly succeeded")
+	}
+	if res, err := eval(hi); err != nil || res.Degraded != "" {
+		t.Fatalf("unbudgeted run: err=%v degraded=%q", err, res.Degraded)
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if _, err := eval(mid); err != nil {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	res, err := eval(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded != "budget" || res.Converged {
+		t.Fatalf("minimal viable budget %d: want degraded budget, got converged=%v degraded=%q (plans %d/%d)",
+			hi, res.Converged, res.Degraded, res.PlansEvaluated, res.PlansTotal)
+	}
+	if res.PlansEvaluated < 1 {
+		t.Fatalf("degraded without a completed refinement step: %+v", res)
+	}
+	for _, a := range res.Answers {
+		if a.Lower < 0 || a.Upper > 1 || a.Lower > a.Upper {
+			t.Fatalf("malformed degraded interval [%g, %g]", a.Lower, a.Upper)
+		}
+	}
+}
+
+// TestRankTopKAnytime checks the bound-pruning top-k: with a tight
+// epsilon the surviving answers must be exactly RankTopK's exact top-k,
+// in the same order.
+func TestRankTopKAnytime(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	edb, q := workload.Chain(3, 900, 120, 0.5, rng)
+	db := fromEngineDB(t, edb)
+	query := q.String()
+	const k = 5
+	want, err := db.RankTopK(query, k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.RankTopKAnytime(context.Background(), query, k, &AnytimeOptions{Epsilon: 0.0001, Seed: 3, MCBatch: 64, MCMaxSamples: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("top-k did not converge: width %g", res.Width)
+	}
+	if len(res.Answers) != len(want) {
+		t.Fatalf("%d answers vs %d", len(res.Answers), len(want))
+	}
+	for i, a := range res.Answers {
+		if stringsKey(a.Values) != stringsKey(want[i].Values) {
+			t.Fatalf("rank %d: %v vs exact top-k %v", i, a.Values, want[i].Values)
+		}
+		if want[i].Score < a.Lower-1e-9 || want[i].Score > a.Upper+1e-9 {
+			t.Fatalf("rank %d: exact %g outside [%g, %g]", i, want[i].Score, a.Lower, a.Upper)
+		}
+	}
+}
+
+// TestValidateEpsilon pins the shared epsilon validation used by both
+// the library and the server.
+func TestValidateEpsilon(t *testing.T) {
+	for _, eps := range []float64{0, 0.001, 0.5, 0.999} {
+		if err := ValidateEpsilon(eps); err != nil {
+			t.Fatalf("ValidateEpsilon(%v) = %v", eps, err)
+		}
+	}
+	bad := []float64{-0.001, 1, 1.5}
+	bad = append(bad, nan())
+	for _, eps := range bad {
+		if err := ValidateEpsilon(eps); err == nil {
+			t.Fatalf("ValidateEpsilon(%v) accepted", eps)
+		}
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}

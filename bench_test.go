@@ -401,3 +401,35 @@ func BenchmarkRankBatch(b *testing.B) {
 		b.ReportMetric(float64(shared), "shared-hits")
 	})
 }
+
+// BenchmarkAnytime measures time-to-epsilon of the anytime evaluator on
+// the unsafe 3-chain: a loose target stops after the dissociation plan
+// bounds, tighter ones pay for Monte Carlo rounds and, at the tight
+// end, exact collapse of the residual answers. The reported extra
+// metrics record how much refinement each target bought.
+func BenchmarkAnytime(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	edb, q := workload.Chain(3, 900, 120, 0.5, rng)
+	db := fromEngineDB(b, edb)
+	query := q.String()
+	for _, eps := range []float64{0.2, 0.05, 0.01, 0.001} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			var res *AnytimeResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				// The MC cap hands the tight targets over to exact collapse
+				// instead of grinding sampling to the default per-answer cap.
+				res, err = db.RankAnytime(query, &AnytimeOptions{Epsilon: eps, Seed: 7, MCMaxSamples: 8192})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Converged {
+					b.Fatalf("eps=%g did not converge: width %g", eps, res.Width)
+				}
+			}
+			b.ReportMetric(float64(res.PlansEvaluated), "plans")
+			b.ReportMetric(float64(res.MCSamples), "mc-samples")
+			b.ReportMetric(res.Width, "width")
+		})
+	}
+}

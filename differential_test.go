@@ -116,7 +116,7 @@ func TestDifferentialPublicAPI(t *testing.T) {
 // fromEngineDB round-trips a generated engine.DB into the public DB via
 // the snapshot format (the only conversion path, and it exercises
 // persistence of the interned value ids too).
-func fromEngineDB(t *testing.T, edb *engine.DB) *DB {
+func fromEngineDB(t testing.TB, edb *engine.DB) *DB {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := edb.Save(&buf); err != nil {

@@ -1,0 +1,593 @@
+// Package anytime evaluates a query as a monotonically tightening
+// [lower, upper] probability interval, exploiting the paper's central
+// asymmetry: every minimal dissociation plan's propagation score is a
+// guaranteed upper bound on the true probability (Corollary 19), while
+// lineage-based Monte Carlo and partial exact expansion bound it from
+// below. Refinement proceeds in stages —
+//
+//	plans: evaluate minimal plans cheapest-first (engine.PlanCost);
+//	       upper = min over plan scores, which only decreases. Safe
+//	       queries collapse immediately (the plan score is exact).
+//	mc:    Karp–Luby sampling of the semi-join-reduced lineage with a
+//	       resumable per-answer sampler; lower rises to the one-sided
+//	       confidence bound estimate − z·stderr, never past upper.
+//	exact: budgeted weighted model counting over a growing prefix of
+//	       the lineage clauses (heaviest first). P(prefix) is a
+//	       deterministic lower bound by monotonicity; covering every
+//	       clause collapses the interval to the exact probability.
+//
+// — stopping as soon as every answer's width reaches epsilon, the
+// context's deadline fires, or the row budget is exhausted. The
+// best-so-far interval is always returned: a deadline or budget after
+// at least one completed refinement step degrades the result (Degraded
+// marks why) instead of discarding the work.
+package anytime
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"lapushdb/internal/cq"
+	"lapushdb/internal/engine"
+	"lapushdb/internal/exact"
+	"lapushdb/internal/mc"
+	"lapushdb/internal/plan"
+)
+
+// Defaults for Config's refinement knobs.
+const (
+	DefaultMCBatch      = 256
+	DefaultMCMaxSamples = 1 << 16
+	// DefaultMCZ is the z of the MC stage's one-sided confidence lower
+	// bound (estimate − z·stderr). 6 sigma puts the per-bound violation
+	// probability near 1e-9: the bound is evaluated once per answer per
+	// round, and the sandwich property test asserts lower <= exact over
+	// thousands of such evaluations — at z=4 (p ≈ 3e-5) a fixed seed can
+	// land on a violation.
+	DefaultMCZ         = 6.0
+	DefaultExactBudget = 2_000_000
+	DefaultExactPrefix = 8
+)
+
+// Config parameterizes one anytime evaluation.
+type Config struct {
+	// Epsilon is the target interval width: refinement stops once every
+	// answer's upper − lower <= Epsilon. Zero demands exact collapse.
+	Epsilon float64
+	// Engine options for the plan stage, mirroring lapushdb.Options.
+	Workers             int
+	CostBasedJoins      bool
+	ReuseSubplans       bool
+	SemiJoin            bool
+	MaxIntermediateRows int
+	// Safe marks the query safe: its single plan computes the exact
+	// probability, so the interval collapses after the first plan.
+	Safe bool
+	// Memo, when non-nil, shares subplan results (and the batch row
+	// budget) with other evaluations of one batch. When nil a private
+	// memo scoped by Scope spans this evaluation's own stages.
+	Memo  *engine.BatchMemo
+	Scope string
+	// MC stage: samples per refinement round (doubling up to 8192),
+	// per-answer sample cap, and the z of the confidence lower bound.
+	MCBatch      int
+	MCMaxSamples int
+	MCZ          float64
+	// Exact stage: solver node budget per answer and the initial clause
+	// prefix length (quadrupling each round).
+	ExactBudget int
+	ExactPrefix int
+	// Seed derives the per-answer sampler seeds (seed ^ FNV of the
+	// answer key), keeping sampling independent of iteration and worker
+	// order so results stay bit-identical across Workers settings.
+	Seed int64
+	// TopK, when positive, prunes answers whose upper bound falls below
+	// the running k-th largest lower bound — they cannot reach the top
+	// k, so refining them is wasted work.
+	TopK int
+	// OnStage, when non-nil, observes the interval state after every
+	// refinement step (one plan, one MC round, one exact round). The
+	// snapshot's answers are copies; the callback must not retain or
+	// race — it is called synchronously.
+	OnStage func(Snapshot)
+}
+
+// Answer is one query answer with its probability interval.
+type Answer struct {
+	Key   []engine.Value
+	Lower float64
+	Upper float64
+	// Converged reports width <= epsilon for this answer.
+	Converged bool
+	// Pruned marks answers eliminated by TopK bound pruning; their
+	// interval is valid but no longer refined.
+	Pruned bool
+}
+
+// StageStats reports one refinement stage's work.
+type StageStats struct {
+	Name  string // "plans", "mc", "exact"
+	Steps int    // refinement steps completed (plans, MC rounds, exact rounds)
+}
+
+// Snapshot is the interval state handed to Config.OnStage.
+type Snapshot struct {
+	Stage   string
+	Answers []Answer
+}
+
+// Result is the outcome of one anytime evaluation.
+type Result struct {
+	Cols    []cq.Var
+	Answers []Answer
+	// Converged reports whether every non-pruned answer reached epsilon.
+	Converged bool
+	// Degraded is "" for a run that refined to its natural end,
+	// "deadline" when the context's deadline fired mid-refinement, and
+	// "budget" when the intermediate-row budget was exhausted — in both
+	// cases after at least one completed refinement step, so the
+	// intervals are valid, just wider than requested.
+	Degraded       string
+	Stages         []StageStats
+	PlansTotal     int
+	PlansEvaluated int
+	MCSamples      int
+}
+
+// Width returns the widest non-pruned answer interval (0 when there are
+// no answers).
+func (r *Result) Width() float64 {
+	w := 0.0
+	for _, a := range r.Answers {
+		if a.Pruned {
+			continue
+		}
+		if d := a.Upper - a.Lower; d > w {
+			w = d
+		}
+	}
+	return w
+}
+
+// ansState is the per-answer refinement state.
+type ansState struct {
+	key        []engine.Value
+	lower      float64
+	upper      float64
+	converged  bool
+	pruned     bool
+	clauses    [][]int32 // lineage, sorted heaviest clause first
+	sampler    *mc.KarpLubySampler
+	exactStuck bool // exact solver exceeded its budget on this answer
+}
+
+func (a *ansState) width() float64 { return a.upper - a.lower }
+
+// setLower raises the lower bound, clamped to [current lower, upper] so
+// intervals only tighten and stay well-formed.
+func (a *ansState) setLower(lb float64) {
+	if lb > a.upper {
+		lb = a.upper
+	}
+	if lb > a.lower {
+		a.lower = lb
+	}
+}
+
+// evaluation is one run's full state.
+type evaluation struct {
+	ctx     context.Context
+	db      *engine.DB
+	q       *cq.Query
+	cfg     Config
+	reduced map[string][]int32
+	cols    []cq.Var
+	answers []*ansState
+	res     *Result
+	err     error // hard failure (cancellation): discard the result
+}
+
+// Evaluate runs the staged anytime refinement of q over db. plans are
+// the query's minimal plans (any order; they are re-ordered cheapest
+// first). The error is non-nil only when no refinement step completed —
+// once a first plan has been evaluated, deadline and budget failures
+// degrade the result instead.
+func Evaluate(ctx context.Context, db *engine.DB, q *cq.Query, plans []plan.Node, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.MCBatch <= 0 {
+		cfg.MCBatch = DefaultMCBatch
+	}
+	if cfg.MCMaxSamples <= 0 {
+		cfg.MCMaxSamples = DefaultMCMaxSamples
+	}
+	if cfg.MCZ <= 0 {
+		cfg.MCZ = DefaultMCZ
+	}
+	if cfg.ExactBudget <= 0 {
+		cfg.ExactBudget = DefaultExactBudget
+	}
+	if cfg.ExactPrefix <= 0 {
+		cfg.ExactPrefix = DefaultExactPrefix
+	}
+	if cfg.Memo == nil {
+		// A private memo makes the row budget span every stage of this
+		// evaluation and shares subplans between its plan rounds.
+		cfg.Memo = engine.NewBatchMemo(cfg.Scope, cfg.MaxIntermediateRows, cfg.ReuseSubplans)
+	}
+	ev := &evaluation{ctx: ctx, db: db, q: q, cfg: cfg, res: &Result{PlansTotal: len(plans)}}
+
+	if err := ev.stagePlans(plans); err != nil {
+		return nil, err
+	}
+	if ev.res.Degraded == "" && ev.err == nil && !ev.done() {
+		ev.stageMC()
+	}
+	if ev.res.Degraded == "" && ev.err == nil && !ev.done() {
+		ev.stageExact()
+	}
+	if ev.err != nil {
+		return nil, ev.err
+	}
+	return ev.finish(), nil
+}
+
+// degradeClass maps an evaluation error to the Degraded label, or ""
+// for errors that must propagate (cancellation, internal failures).
+func degradeClass(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, engine.ErrBudget):
+		return "budget"
+	}
+	return ""
+}
+
+// stagePlans evaluates the minimal plans cheapest-first, tightening the
+// upper bound with each one. The first plan must succeed (otherwise
+// there is no interval to return); later failures degrade.
+func (ev *evaluation) stagePlans(plans []plan.Node) error {
+	costs := make([]float64, len(plans))
+	idx := make([]int, len(plans))
+	for i, p := range plans {
+		costs[i] = engine.PlanCost(ev.db, p)
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return costs[idx[i]] < costs[idx[j]] })
+	ordered := make([]plan.Node, len(plans))
+	for i, j := range idx {
+		ordered[i] = plans[j]
+	}
+
+	eopts := engine.Options{
+		ReuseSubplans:  ev.cfg.ReuseSubplans,
+		CostBasedJoins: ev.cfg.CostBasedJoins,
+		Workers:        ev.cfg.Workers,
+		Memo:           ev.cfg.Memo,
+	}
+	stage := StageStats{Name: "plans"}
+	for _, p := range ordered {
+		var r *engine.Result
+		err := engine.TrapCancel(func() {
+			if ev.reduced == nil && ev.cfg.SemiJoin {
+				ev.reduced = engine.SemiJoinReduceCtx(ev.ctx, ev.db, ev.q)
+			}
+			o := eopts
+			o.Reduced = ev.reduced
+			r = engine.NewEvaluatorCtx(ev.ctx, ev.db, ev.q, o).Eval(p)
+		})
+		if err != nil {
+			if stage.Steps == 0 {
+				return err
+			}
+			if class := degradeClass(err); class != "" {
+				ev.res.Degraded = class
+				break
+			}
+			return err
+		}
+		if ev.answers == nil {
+			ev.cols = r.Cols
+			ev.answers = make([]*ansState, r.Len())
+			for i := 0; i < r.Len(); i++ {
+				key := append([]engine.Value(nil), r.Row(i)...)
+				ev.answers[i] = &ansState{key: key, lower: 0, upper: r.Score(i)}
+			}
+		} else {
+			for _, a := range ev.answers {
+				if s, ok := r.ScoreOf(a.key); ok && s < a.upper {
+					a.upper = s
+					if a.lower > a.upper {
+						a.lower = a.upper
+					}
+				}
+			}
+		}
+		if ev.cfg.Safe {
+			// A safe plan's score is the exact probability.
+			for _, a := range ev.answers {
+				a.lower = a.upper
+			}
+		}
+		stage.Steps++
+		ev.res.PlansEvaluated++
+		ev.afterStep("plans")
+		if ev.done() {
+			break
+		}
+	}
+	ev.res.Stages = append(ev.res.Stages, stage)
+	return nil
+}
+
+// stageMC raises the lower bounds by Karp–Luby sampling of the
+// semi-join-reduced lineage, in rounds of a doubling sample batch.
+func (ev *evaluation) stageMC() {
+	var lin *engine.Lineage
+	err := engine.TrapCancel(func() {
+		if ev.reduced == nil && ev.cfg.SemiJoin {
+			ev.reduced = engine.SemiJoinReduceCtx(ev.ctx, ev.db, ev.q)
+		}
+		lin = engine.EvalLineageCtx(ev.ctx, ev.db, ev.q, ev.reduced)
+	})
+	if err != nil {
+		if class := degradeClass(err); class != "" {
+			ev.res.Degraded = class
+		} else {
+			ev.err = err // cancellation: the caller no longer wants the result
+		}
+		return
+	}
+	clausesByKey := make(map[string][][]int32, lin.Len())
+	for i := 0; i < lin.Len(); i++ {
+		clausesByKey[string(keyBytes(lin.Key(i)))] = lin.Clauses(i)
+	}
+	probs := ev.db.VarProbs()
+	stage := StageStats{Name: "mc"}
+	for _, a := range ev.answers {
+		a.clauses = sortClausesByWeight(clausesByKey[string(keyBytes(a.key))], probs)
+		if a.pruned || a.converged || len(a.clauses) == 0 {
+			continue
+		}
+		rng := rand.New(rand.NewSource(ev.cfg.Seed ^ keySeed(a.key)))
+		a.sampler = mc.NewKarpLubySampler(a.clauses, probs, rng)
+		if a.sampler.Exact() {
+			// Trivial lineage: the sampler's value is exact.
+			p := a.sampler.Estimate()
+			if p > a.upper {
+				p = a.upper
+			}
+			if p < a.lower {
+				p = a.lower
+			}
+			a.lower, a.upper = p, p
+		}
+	}
+	batch := ev.cfg.MCBatch
+	for {
+		active := false
+		for _, a := range ev.answers {
+			if a.pruned || a.converged || a.sampler == nil || a.sampler.Exact() {
+				continue
+			}
+			if a.sampler.Samples() >= ev.cfg.MCMaxSamples {
+				continue
+			}
+			active = true
+			if err := a.sampler.Sample(ev.ctx, batch); err != nil {
+				if class := degradeClass(err); class != "" {
+					ev.res.Degraded = class
+				} else {
+					ev.err = err
+				}
+				for _, b := range ev.answers {
+					if b.sampler != nil {
+						ev.res.MCSamples += b.sampler.Samples()
+					}
+				}
+				ev.res.Stages = append(ev.res.Stages, stage)
+				return
+			}
+			a.setLower(a.sampler.LowerBound(ev.cfg.MCZ))
+		}
+		if !active {
+			break
+		}
+		stage.Steps++
+		ev.afterStep("mc")
+		if ev.done() {
+			break
+		}
+		if batch < 8192 {
+			batch *= 2
+		}
+	}
+	for _, a := range ev.answers {
+		if a.sampler != nil {
+			ev.res.MCSamples += a.sampler.Samples()
+		}
+	}
+	ev.res.Stages = append(ev.res.Stages, stage)
+}
+
+// stageExact raises the lower bounds by exact model counting over a
+// growing prefix of each answer's lineage clauses, heaviest first:
+// P(any prefix of a monotone DNF) <= P(the full DNF), so every prefix
+// probability is a deterministic lower bound, and the full set collapses
+// the interval.
+func (ev *evaluation) stageExact() {
+	probs := ev.db.VarProbs()
+	stage := StageStats{Name: "exact"}
+	defer func() { ev.res.Stages = append(ev.res.Stages, stage) }()
+	m := ev.cfg.ExactPrefix
+	for {
+		progress := false
+		for _, a := range ev.answers {
+			if a.pruned || a.converged || a.exactStuck || len(a.clauses) == 0 {
+				continue
+			}
+			if err := ev.ctx.Err(); err != nil {
+				// The plans stage already completed at least one step,
+				// so a deadline here degrades rather than fails.
+				if class := degradeClass(err); class != "" {
+					ev.res.Degraded = class
+				} else {
+					ev.err = err
+				}
+				return
+			}
+			k := m
+			if k > len(a.clauses) {
+				k = len(a.clauses)
+			}
+			p, err := exact.ProbBudget(a.clauses[:k], probs, ev.cfg.ExactBudget)
+			if err != nil {
+				a.exactStuck = true
+				continue
+			}
+			if k == len(a.clauses) {
+				// Exact probability: collapse, clamped into the current
+				// interval so bounds never move the wrong way.
+				if p > a.upper {
+					p = a.upper
+				}
+				if p < a.lower {
+					p = a.lower
+				}
+				a.lower, a.upper = p, p
+			} else {
+				a.setLower(p)
+				progress = true
+			}
+		}
+		stage.Steps++
+		ev.afterStep("exact")
+		if ev.done() || !progress {
+			return
+		}
+		m *= 4
+	}
+}
+
+// afterStep updates convergence flags, applies top-k pruning, and
+// notifies the observer.
+func (ev *evaluation) afterStep(stageName string) {
+	for _, a := range ev.answers {
+		if !a.converged && a.width() <= ev.cfg.Epsilon {
+			a.converged = true
+		}
+	}
+	if k := ev.cfg.TopK; k > 0 && len(ev.answers) > k {
+		lowers := make([]float64, 0, len(ev.answers))
+		for _, a := range ev.answers {
+			if !a.pruned {
+				lowers = append(lowers, a.lower)
+			}
+		}
+		if len(lowers) > k {
+			sort.Sort(sort.Reverse(sort.Float64Slice(lowers)))
+			kth := lowers[k-1]
+			for _, a := range ev.answers {
+				if !a.pruned && a.upper < kth {
+					a.pruned = true
+				}
+			}
+		}
+	}
+	if ev.cfg.OnStage != nil {
+		ev.cfg.OnStage(Snapshot{Stage: stageName, Answers: ev.snapshotAnswers()})
+	}
+}
+
+// done reports whether every non-pruned answer has converged.
+func (ev *evaluation) done() bool {
+	if ev.answers == nil {
+		return false
+	}
+	for _, a := range ev.answers {
+		if !a.pruned && !a.converged {
+			return false
+		}
+	}
+	return true
+}
+
+func (ev *evaluation) snapshotAnswers() []Answer {
+	out := make([]Answer, len(ev.answers))
+	for i, a := range ev.answers {
+		out[i] = Answer{
+			Key:       a.key,
+			Lower:     a.lower,
+			Upper:     a.upper,
+			Converged: a.converged,
+			Pruned:    a.pruned,
+		}
+	}
+	return out
+}
+
+func (ev *evaluation) finish() *Result {
+	ev.res.Cols = ev.cols
+	ev.res.Answers = ev.snapshotAnswers()
+	ev.res.Converged = ev.done()
+	return ev.res
+}
+
+// sortClausesByWeight orders clauses by descending probability weight
+// (∏ of their variables' marginals), stably so equal weights keep the
+// lineage order — a deterministic order for the exact stage's prefixes.
+func sortClausesByWeight(clauses [][]int32, probs []float64) [][]int32 {
+	if len(clauses) == 0 {
+		return clauses
+	}
+	out := make([][]int32, len(clauses))
+	copy(out, clauses)
+	weight := func(c []int32) float64 {
+		w := 1.0
+		for _, v := range c {
+			w *= probs[v]
+		}
+		return w
+	}
+	ws := make([]float64, len(out))
+	for i, c := range out {
+		ws[i] = weight(c)
+	}
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return ws[idx[i]] > ws[idx[j]] })
+	sorted := make([][]int32, len(out))
+	for i, j := range idx {
+		sorted[i] = out[j]
+	}
+	return sorted
+}
+
+// keyBytes encodes an answer key for map lookup, matching the engine's
+// 8-byte little-endian value encoding.
+func keyBytes(vals []engine.Value) []byte {
+	b := make([]byte, 0, len(vals)*8)
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		b = append(b, buf[:]...)
+	}
+	return b
+}
+
+// keySeed derives a per-answer seed component from the answer key, so
+// sampling streams are a function of the answer alone — independent of
+// iteration order, worker count, and which other answers converge first.
+func keySeed(vals []engine.Value) int64 {
+	h := fnv.New64a()
+	h.Write(keyBytes(vals))
+	return int64(h.Sum64())
+}

@@ -142,6 +142,12 @@ type Options struct {
 	// SemiJoin applies the full deterministic semi-join reduction of
 	// Optimization 3 to the scanned relations before evaluation.
 	SemiJoin bool
+	// Reduced, when non-nil, supplies a precomputed semi-join reduction
+	// (as produced by SemiJoinReduce) instead of recomputing it, letting
+	// staged evaluations — the anytime refiner's plan rounds, MC
+	// sampling, and exact expansion all read the same reduced lineage —
+	// share one reduction. It takes precedence over SemiJoin.
+	Reduced map[string][]int32
 	// CostBasedJoins orders k-ary joins with a Selinger-style dynamic
 	// program over System R cardinality estimates instead of the default
 	// greedy smallest-connected-input heuristic.
@@ -210,7 +216,9 @@ func NewEvaluatorCtx(ctx context.Context, db *DB, q *cq.Query, opts Options) *Ev
 	if opts.ReuseSubplans {
 		e.cache = map[string]*Result{}
 	}
-	if opts.SemiJoin && q != nil {
+	if opts.Reduced != nil {
+		e.reduced = opts.Reduced
+	} else if opts.SemiJoin && q != nil {
 		e.reduced = semiJoinReduce(db, q, &e.cancel)
 	}
 	return e

@@ -32,7 +32,9 @@ func EvalPlansParallelCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan
 	}
 	root := &canceller{ctx: ctx}
 	var reduced map[string][]int32
-	if opts.SemiJoin && q != nil {
+	if opts.Reduced != nil {
+		reduced = opts.Reduced
+	} else if opts.SemiJoin && q != nil {
 		reduced = semiJoinReduce(db, q, root)
 	}
 	// One morsel pool shared across plan workers keeps the total

@@ -3,7 +3,6 @@ package mc
 import (
 	"context"
 	"math/rand"
-	"sort"
 )
 
 // KarpLuby estimates the probability of a monotone DNF with the
@@ -27,109 +26,14 @@ func KarpLuby(clauses [][]int32, probs []float64, samples int, rng *rand.Rand) f
 // KarpLubyCtx is KarpLuby with cooperative cancellation: the sampling
 // loop polls ctx every pollInterval rounds and returns its error when it
 // is done. A nil ctx never cancels.
+//
+// It is a one-shot convenience over KarpLubySampler, drawing the same
+// RNG stream: KarpLubyCtx(ctx, c, p, n, rng) equals building a sampler
+// and calling Sample(ctx, n) once.
 func KarpLubyCtx(ctx context.Context, clauses [][]int32, probs []float64, samples int, rng *rand.Rand) (float64, error) {
-	if len(clauses) == 0 {
-		return 0, nil
+	s := NewKarpLubySampler(clauses, probs, rng)
+	if err := s.Sample(ctx, samples); err != nil {
+		return 0, err
 	}
-	// Normalize: drop duplicate variables inside clauses; an empty
-	// clause makes the formula true.
-	norm := make([][]int32, 0, len(clauses))
-	for _, c := range clauses {
-		cc := append([]int32(nil), c...)
-		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
-		uniq := cc[:0]
-		for i, v := range cc {
-			if i == 0 || cc[i-1] != v {
-				uniq = append(uniq, v)
-			}
-		}
-		if len(uniq) == 0 {
-			return 1, nil
-		}
-		norm = append(norm, uniq)
-	}
-	// Clause weights and their prefix sums for sampling i ∝ P(c_i).
-	weights := make([]float64, len(norm))
-	total := 0.0
-	for i, c := range norm {
-		w := 1.0
-		for _, v := range c {
-			w *= probs[v]
-		}
-		weights[i] = w
-		total += w
-	}
-	if total == 0 {
-		return 0, nil
-	}
-	prefix := make([]float64, len(norm))
-	acc := 0.0
-	for i, w := range weights {
-		acc += w
-		prefix[i] = acc
-	}
-	// Local dense variable ids.
-	varIdx := map[int32]int{}
-	var order []int32
-	for _, c := range norm {
-		for _, v := range c {
-			if _, ok := varIdx[v]; !ok {
-				varIdx[v] = len(order)
-				order = append(order, v)
-			}
-		}
-	}
-	local := make([][]int32, len(norm))
-	for i, c := range norm {
-		lc := make([]int32, len(c))
-		for j, v := range c {
-			lc[j] = int32(varIdx[v])
-		}
-		local[i] = lc
-	}
-	p := make([]float64, len(order))
-	for i, v := range order {
-		p[i] = probs[v]
-	}
-
-	truth := make([]bool, len(order))
-	sum := 0.0
-	for s := 0; s < samples; s++ {
-		if ctx != nil && s%pollInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return 0, err
-			}
-		}
-		// Sample clause i with probability weights[i]/total.
-		r := rng.Float64() * total
-		i := sort.SearchFloat64s(prefix, r)
-		if i >= len(norm) {
-			i = len(norm) - 1
-		}
-		// Sample a world conditioned on clause i true: its variables are
-		// true, the rest drawn from their marginals.
-		for j := range truth {
-			truth[j] = rng.Float64() < p[j]
-		}
-		for _, v := range local[i] {
-			truth[v] = true
-		}
-		// Count satisfied clauses.
-		n := 0
-		for _, c := range local {
-			sat := true
-			for _, v := range c {
-				if !truth[v] {
-					sat = false
-					break
-				}
-			}
-			if sat {
-				n++
-			}
-		}
-		// Clause i is satisfied by construction, so n >= 1.
-		sum += 1.0 / float64(n)
-	}
-	return total * sum / float64(samples), nil
+	return s.Estimate(), nil
 }

@@ -1,0 +1,241 @@
+package mc
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// KarpLubySampler is the Karp–Luby–Madras estimator as a resumable
+// object: construction precomputes the clause weights and dense local
+// variable ids once, and successive Sample calls draw further sample
+// batches from the same RNG stream, refining the running estimate
+// without re-touching earlier samples. This is what an anytime
+// evaluator needs — a lower bound that tightens monotonically in
+// wall-clock time, with the sampler's state (including the RNG
+// position) carried across refinement rounds so that k calls of
+// Sample(n) are bit-identical to one call of Sample(k·n).
+//
+// Alongside the point estimate the sampler tracks the sample variance,
+// from which LowerBound derives a one-sided confidence bound
+// estimate − z·stderr, clamped to [0, 1]. Trivial formulas (empty,
+// tautological, or zero-weight) are detected at construction and
+// reported exactly with zero error.
+type KarpLubySampler struct {
+	local  [][]int32 // clauses over dense local variable ids
+	probs  []float64 // marginals, indexed by local id
+	prefix []float64 // prefix sums of clause weights
+	total  float64   // Σ_i P(clause_i), the estimator's scale
+	truth  []bool    // scratch world, reused across samples
+	rng    *rand.Rand
+
+	n     int     // samples drawn so far
+	sum   float64 // Σ 1/N(x) over samples
+	sumSq float64 // Σ (1/N(x))² over samples
+
+	done  bool    // trivial formula: estimate is exact, no sampling
+	exact float64 // the trivial formula's probability
+}
+
+// NewKarpLubySampler prepares a resumable estimator for the monotone
+// DNF over probs, drawing from rng. The rng is owned by the sampler
+// from here on: its stream position is part of the resumable state.
+func NewKarpLubySampler(clauses [][]int32, probs []float64, rng *rand.Rand) *KarpLubySampler {
+	s := &KarpLubySampler{rng: rng}
+	if len(clauses) == 0 {
+		s.done = true
+		return s
+	}
+	// Normalize: drop duplicate variables inside clauses; an empty
+	// clause makes the formula true.
+	norm := make([][]int32, 0, len(clauses))
+	for _, c := range clauses {
+		cc := append([]int32(nil), c...)
+		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+		uniq := cc[:0]
+		for i, v := range cc {
+			if i == 0 || cc[i-1] != v {
+				uniq = append(uniq, v)
+			}
+		}
+		if len(uniq) == 0 {
+			s.done = true
+			s.exact = 1
+			return s
+		}
+		norm = append(norm, uniq)
+	}
+	// Clause weights and their prefix sums for sampling i ∝ P(c_i).
+	weights := make([]float64, len(norm))
+	total := 0.0
+	for i, c := range norm {
+		w := 1.0
+		for _, v := range c {
+			w *= probs[v]
+		}
+		weights[i] = w
+		total += w
+	}
+	if total == 0 {
+		s.done = true
+		return s
+	}
+	s.total = total
+	s.prefix = make([]float64, len(norm))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		s.prefix[i] = acc
+	}
+	// Local dense variable ids.
+	varIdx := map[int32]int{}
+	var order []int32
+	for _, c := range norm {
+		for _, v := range c {
+			if _, ok := varIdx[v]; !ok {
+				varIdx[v] = len(order)
+				order = append(order, v)
+			}
+		}
+	}
+	s.local = make([][]int32, len(norm))
+	for i, c := range norm {
+		lc := make([]int32, len(c))
+		for j, v := range c {
+			lc[j] = int32(varIdx[v])
+		}
+		s.local[i] = lc
+	}
+	s.probs = make([]float64, len(order))
+	for i, v := range order {
+		s.probs[i] = probs[v]
+	}
+	s.truth = make([]bool, len(order))
+	return s
+}
+
+// Exact reports whether the formula was trivial (empty, tautological,
+// or zero-weight): the estimate is its exact probability and sampling
+// is a no-op.
+func (s *KarpLubySampler) Exact() bool { return s.done }
+
+// Samples returns the number of samples drawn so far.
+func (s *KarpLubySampler) Samples() int { return s.n }
+
+// Sample draws n further samples, polling ctx every pollInterval
+// samples (counted over the sampler's lifetime, matching KarpLubyCtx)
+// and returning its error when it is done. A nil ctx never cancels;
+// trivial formulas return immediately.
+func (s *KarpLubySampler) Sample(ctx context.Context, n int) error {
+	if s.done {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if ctx != nil && s.n%pollInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		// Sample clause i with probability weights[i]/total.
+		r := s.rng.Float64() * s.total
+		ci := sort.SearchFloat64s(s.prefix, r)
+		if ci >= len(s.local) {
+			ci = len(s.local) - 1
+		}
+		// Sample a world conditioned on clause ci true: its variables
+		// are true, the rest drawn from their marginals.
+		for j := range s.truth {
+			s.truth[j] = s.rng.Float64() < s.probs[j]
+		}
+		for _, v := range s.local[ci] {
+			s.truth[v] = true
+		}
+		// Count satisfied clauses.
+		sat := 0
+		for _, c := range s.local {
+			hit := true
+			for _, v := range c {
+				if !s.truth[v] {
+					hit = false
+					break
+				}
+			}
+			if hit {
+				sat++
+			}
+		}
+		// Clause ci is satisfied by construction, so sat >= 1.
+		x := 1.0 / float64(sat)
+		s.sum += x
+		s.sumSq += x * x
+		s.n++
+	}
+	return nil
+}
+
+// Estimate returns the current probability estimate: total · mean of
+// the 1/N(x) draws, whose expectation is exactly P(F). Before any
+// sample it returns 0 (the trivial cases return their exact value).
+func (s *KarpLubySampler) Estimate() float64 {
+	if s.done {
+		return s.exact
+	}
+	if s.n == 0 {
+		return 0
+	}
+	return s.total * s.sum / float64(s.n)
+}
+
+// StdErr returns the standard error of Estimate (total · √(var/n)
+// with the biased sample variance, 0 before the second sample).
+func (s *KarpLubySampler) StdErr() float64 {
+	if s.done || s.n < 2 {
+		return 0
+	}
+	n := float64(s.n)
+	mean := s.sum / n
+	v := s.sumSq/n - mean*mean
+	if v < 0 {
+		v = 0 // floating-point cancellation on near-constant draws
+	}
+	return s.total * math.Sqrt(v/n)
+}
+
+// LowerBound returns a one-sided confidence lower bound on the
+// probability: estimate − z·stderr, clamped to [0, 1]. Trivial
+// formulas return their exact probability; with no samples drawn the
+// bound is 0. The bound holds with the confidence of a z-sigma normal
+// tail — it is statistical, unlike the deterministic bounds the
+// dissociation and partial-expansion stages produce.
+func (s *KarpLubySampler) LowerBound(z float64) float64 {
+	if s.done {
+		return s.exact
+	}
+	if s.n == 0 {
+		return 0
+	}
+	// With a single clause every draw is 1/1: the estimate is the
+	// clause's exact probability and the variance is legitimately 0.
+	lb := s.Estimate() - z*s.StdErr()
+	if len(s.local) > 1 && s.StdErr() == 0 {
+		// Multi-clause formula whose draws happened to be constant so
+		// far: the variance estimate is degenerate, not zero. Retreat
+		// to the largest single clause weight, a deterministic lower
+		// bound (P(F) >= max_i P(clause_i) by monotonicity).
+		maxW := s.prefix[0]
+		for i := 1; i < len(s.prefix); i++ {
+			if w := s.prefix[i] - s.prefix[i-1]; w > maxW {
+				maxW = w
+			}
+		}
+		lb = maxW
+	}
+	if lb < 0 {
+		return 0
+	}
+	if lb > 1 {
+		return 1
+	}
+	return lb
+}

@@ -1,0 +1,203 @@
+package mc
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// exactDNF computes the probability of a small monotone DNF by
+// enumerating all assignments of its variables.
+func exactDNF(clauses [][]int32, probs []float64) float64 {
+	vars := map[int32]bool{}
+	var order []int32
+	for _, c := range clauses {
+		for _, v := range c {
+			if !vars[v] {
+				vars[v] = true
+				order = append(order, v)
+			}
+		}
+	}
+	n := len(order)
+	total := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		truth := map[int32]bool{}
+		p := 1.0
+		for i, v := range order {
+			if mask&(1<<i) != 0 {
+				truth[v] = true
+				p *= probs[v]
+			} else {
+				p *= 1 - probs[v]
+			}
+		}
+		sat := false
+		for _, c := range clauses {
+			all := true
+			for _, v := range c {
+				if !truth[v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			total += p
+		}
+	}
+	return total
+}
+
+func TestSamplerResumable(t *testing.T) {
+	clauses := [][]int32{{0, 1}, {1, 2}, {3}, {0, 4}}
+	probs := []float64{0.3, 0.7, 0.5, 0.1, 0.9}
+
+	one := NewKarpLubySampler(clauses, probs, rand.New(rand.NewSource(42)))
+	if err := one.Sample(context.Background(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	split := NewKarpLubySampler(clauses, probs, rand.New(rand.NewSource(42)))
+	for _, n := range []int{300, 1, 699} {
+		if err := split.Sample(context.Background(), n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if one.Samples() != 1000 || split.Samples() != 1000 {
+		t.Fatalf("samples: %d vs %d", one.Samples(), split.Samples())
+	}
+	if one.Estimate() != split.Estimate() {
+		t.Fatalf("split sampling not bit-identical: %v vs %v", one.Estimate(), split.Estimate())
+	}
+	if one.StdErr() != split.StdErr() {
+		t.Fatalf("stderr diverged: %v vs %v", one.StdErr(), split.StdErr())
+	}
+}
+
+func TestSamplerMatchesKarpLubyCtx(t *testing.T) {
+	clauses := [][]int32{{0, 1}, {1, 2}, {3}}
+	probs := []float64{0.3, 0.7, 0.5, 0.1}
+	want, err := KarpLubyCtx(context.Background(), clauses, probs, 500, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewKarpLubySampler(clauses, probs, rand.New(rand.NewSource(7)))
+	if err := s.Sample(context.Background(), 500); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Estimate(); got != want {
+		t.Fatalf("sampler %v != KarpLubyCtx %v", got, want)
+	}
+}
+
+func TestSamplerLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		nv := 2 + rng.Intn(6)
+		probs := make([]float64, nv)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		nc := 1 + rng.Intn(5)
+		clauses := make([][]int32, nc)
+		for i := range clauses {
+			w := 1 + rng.Intn(3)
+			c := make([]int32, w)
+			for j := range c {
+				c[j] = int32(rng.Intn(nv))
+			}
+			clauses[i] = c
+		}
+		exact := exactDNF(clauses, probs)
+		s := NewKarpLubySampler(clauses, probs, rand.New(rand.NewSource(int64(trial))))
+		if err := s.Sample(context.Background(), 400); err != nil {
+			t.Fatal(err)
+		}
+		lb := s.LowerBound(4)
+		if lb > exact+1e-9 {
+			t.Fatalf("trial %d: lower bound %v above exact %v (clauses %v probs %v)", trial, lb, exact, clauses, probs)
+		}
+		if lb < 0 || lb > 1 {
+			t.Fatalf("trial %d: bound %v outside [0,1]", trial, lb)
+		}
+	}
+}
+
+func TestSamplerStdErrShrinks(t *testing.T) {
+	clauses := [][]int32{{0, 1}, {1, 2}, {2, 3}}
+	probs := []float64{0.4, 0.6, 0.5, 0.3}
+	s := NewKarpLubySampler(clauses, probs, rand.New(rand.NewSource(9)))
+	if err := s.Sample(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	early := s.StdErr()
+	if err := s.Sample(context.Background(), 10_000); err != nil {
+		t.Fatal(err)
+	}
+	late := s.StdErr()
+	if early == 0 {
+		t.Fatal("expected non-zero stderr after 100 samples")
+	}
+	if late >= early {
+		t.Fatalf("stderr did not shrink: %v -> %v", early, late)
+	}
+}
+
+func TestSamplerTrivial(t *testing.T) {
+	probs := []float64{0.5, 0}
+	cases := []struct {
+		name    string
+		clauses [][]int32
+		want    float64
+	}{
+		{"empty formula", nil, 0},
+		{"tautology", [][]int32{{0}, {}}, 1},
+		{"zero weight", [][]int32{{1}}, 0},
+	}
+	for _, tc := range cases {
+		s := NewKarpLubySampler(tc.clauses, probs, rand.New(rand.NewSource(1)))
+		if !s.Exact() {
+			t.Fatalf("%s: expected trivial", tc.name)
+		}
+		if err := s.Sample(context.Background(), 100); err != nil {
+			t.Fatal(err)
+		}
+		if s.Estimate() != tc.want || s.LowerBound(4) != tc.want {
+			t.Fatalf("%s: estimate %v bound %v, want %v", tc.name, s.Estimate(), s.LowerBound(4), tc.want)
+		}
+		if s.StdErr() != 0 {
+			t.Fatalf("%s: trivial stderr %v", tc.name, s.StdErr())
+		}
+	}
+}
+
+func TestSamplerSingleClauseExact(t *testing.T) {
+	// One clause: every draw is 1/1, the estimate is the clause weight
+	// exactly, and the legitimate zero variance must not spook the bound.
+	clauses := [][]int32{{0, 1}}
+	probs := []float64{0.3, 0.5}
+	s := NewKarpLubySampler(clauses, probs, rand.New(rand.NewSource(2)))
+	if err := s.Sample(context.Background(), 50); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Estimate()-0.15) > 1e-12 {
+		t.Fatalf("estimate %v, want 0.15", s.Estimate())
+	}
+	if lb := s.LowerBound(4); math.Abs(lb-0.15) > 1e-12 {
+		t.Fatalf("lower bound %v, want 0.15", lb)
+	}
+}
+
+func TestSamplerCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := NewKarpLubySampler([][]int32{{0}, {1}}, []float64{0.5, 0.5}, rand.New(rand.NewSource(3)))
+	if err := s.Sample(ctx, 10_000); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}

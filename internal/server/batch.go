@@ -57,6 +57,11 @@ type batchRequest struct {
 	// MaxRows bounds the intermediate rows the whole batch may
 	// materialize — one budget across all queries, not one per query.
 	MaxRows int `json:"max_rows"`
+	// Epsilon switches the whole batch to anytime evaluation (method
+	// "diss" only), exactly as on /v1/query: per-tuple [lower, upper]
+	// intervals refined to the target width, sharing the batch memo and
+	// row budget across queries and refinement stages alike.
+	Epsilon *float64 `json:"epsilon"`
 }
 
 // batchResultJSON is one query's slot in the response: answers on
@@ -69,6 +74,12 @@ type batchResultJSON struct {
 	Safe    bool         `json:"safe"`
 	Cache   string       `json:"cache,omitempty"` // result cache: "hit" or "miss"
 	Error   *apiError    `json:"error,omitempty"`
+	// Anytime fields, present only when the batch carried an epsilon;
+	// per-query, since refinement may converge for one query and be cut
+	// short for its neighbor. See queryResponse for the semantics.
+	Converged *bool    `json:"converged,omitempty"`
+	Degraded  string   `json:"degraded,omitempty"`
+	Width     *float64 `json:"width,omitempty"`
 }
 
 type batchResponse struct {
@@ -103,6 +114,16 @@ func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	eps, isAnytime, err := validateEpsilon(req.Epsilon)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	if isAnytime && req.Method != "diss" {
+		writeError(w, http.StatusBadRequest, "bad_method",
+			`field "epsilon" requires method "diss" (anytime refinement of the dissociation bounds)`)
+		return
+	}
 	s.metrics.batchQueriesTotal.Add(int64(len(req.Queries)))
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
@@ -133,9 +154,16 @@ func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		key := resultCacheKey(v.Fingerprint, req.Method, normalized, req.IgnoreSchema, ep.samples, req.Seed)
-		if c, ok := s.results.get(key); ok {
+		if isAnytime {
+			key = resultCacheKey(v.Fingerprint, "anytime", normalized, req.IgnoreSchema, anytimeMCMax(req.Samples), req.Seed)
+		}
+		if c, ok := s.results.get(key); ok && (!isAnytime || (c.anytime && c.width <= eps)) {
 			s.metrics.resultCacheHits.Add(1)
-			results[i] = cachedBatchResult(c, bq.Top, "hit")
+			if isAnytime {
+				results[i] = s.anytimeBatchResult(c, bq.Top, eps, "hit", "")
+			} else {
+				results[i] = cachedBatchResult(c, bq.Top, "hit")
+			}
 			continue
 		}
 		todo = append(todo, pendingBatchQuery{i: i, normalized: normalized, key: key})
@@ -150,7 +178,7 @@ func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 			s.writeQueryError(w, err)
 			return
 		}
-		sharedHits = s.runBatch(ctx, v, &req, ep, todo, results)
+		sharedHits = s.runBatch(ctx, v, &req, ep, eps, isAnytime, todo, results)
 	}
 
 	done := 0
@@ -181,7 +209,7 @@ type pendingBatchQuery struct {
 // worker slot (released by defer — see rankWithSlot for why). One
 // lapushdb.Batch spans all of them, so subplan results flow across
 // queries and one row budget covers the batch.
-func (s *Server) runBatch(ctx context.Context, v *store.Version, req *batchRequest, ep evalParams, todo []pendingBatchQuery, results []batchResultJSON) int64 {
+func (s *Server) runBatch(ctx context.Context, v *store.Version, req *batchRequest, ep evalParams, eps float64, isAnytime bool, todo []pendingBatchQuery, results []batchResultJSON) int64 {
 	defer s.release()
 	if s.testHookAfterAcquire != nil {
 		s.testHookAfterAcquire()
@@ -199,6 +227,10 @@ func (s *Server) runBatch(ctx context.Context, v *store.Version, req *batchReque
 	batch := v.DB.NewBatch(opts)
 	for _, pq := range todo {
 		bq := req.Queries[pq.i]
+		if isAnytime {
+			results[pq.i] = s.runBatchAnytime(ctx, v, batch, req, ep, eps, pq, bq)
+			continue
+		}
 		// A duplicate earlier in the batch (or a concurrent request) may
 		// have filled the entry since pass 1.
 		if c, ok := s.results.get(pq.key); ok {
@@ -225,6 +257,57 @@ func (s *Server) runBatch(ctx context.Context, v *store.Version, req *batchReque
 	bs := batch.Stats()
 	s.metrics.sharedSubplanHits.Add(bs.SharedSubplanHits)
 	return bs.SharedSubplanHits
+}
+
+// runBatchAnytime fills one anytime slot of a running batch. Queries
+// degrade independently: a deadline or budget exhaustion mid-refinement
+// yields a non-converged interval in this slot (Degraded set) rather
+// than an error, and the remaining slots still run — they may be served
+// from already-memoized subplans even with the budget gone.
+func (s *Server) runBatchAnytime(ctx context.Context, v *store.Version, batch *lapushdb.Batch, req *batchRequest, ep evalParams, eps float64, pq pendingBatchQuery, bq batchQueryJSON) batchResultJSON {
+	if c, ok := s.results.get(pq.key); ok && c.anytime && c.width <= eps {
+		s.metrics.resultCacheHits.Add(1)
+		return s.anytimeBatchResult(c, bq.Top, eps, "hit", "")
+	}
+	s.metrics.resultCacheMisses.Add(1)
+	popts := &lapushdb.Options{IgnoreSchema: req.IgnoreSchema}
+	p, _, err := s.preparedNorm(ctx, v, req.Method, bq.Query, pq.normalized, popts)
+	if err != nil {
+		return s.batchErrResult(err)
+	}
+	res, err := batch.RankAnytimePrepared(ctx, p, &lapushdb.AnytimeOptions{
+		Epsilon:             eps,
+		IgnoreSchema:        req.IgnoreSchema,
+		Workers:             ep.parallelism,
+		MaxIntermediateRows: ep.maxRows,
+		MCMaxSamples:        anytimeMCMax(req.Samples),
+		Seed:                req.Seed,
+	})
+	if err != nil {
+		return s.batchErrResult(err)
+	}
+	entry := anytimeEntry(res)
+	entry.safe = p.Safe()
+	s.putTighter(pq.key, entry)
+	return s.anytimeBatchResult(entry, bq.Top, eps, "miss", res.Degraded)
+}
+
+// anytimeBatchResult renders one anytime slot from a cache entry,
+// recomputing per-answer convergence against the requested epsilon.
+func (s *Server) anytimeBatchResult(c *cachedResult, top int, eps float64, label, degraded string) batchResultJSON {
+	answers, all := c.anytimeTop(top, eps)
+	converged := all && degraded == ""
+	width := c.width
+	s.noteAnytime(converged, degraded, width)
+	return batchResultJSON{
+		Answers:   answers,
+		Count:     len(answers),
+		Safe:      c.safe,
+		Cache:     label,
+		Converged: &converged,
+		Degraded:  degraded,
+		Width:     &width,
+	}
 }
 
 // cachedBatchResult renders one cached (or just-cached) result into

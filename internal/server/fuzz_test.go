@@ -108,3 +108,61 @@ func FuzzRankBatchRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAnytimeRequest fuzzes the /v1/query anytime path: arbitrary
+// bodies — epsilon variants included — must never panic the handler,
+// and every 200 response that carries intervals must carry well-formed
+// ones: 0 <= lower <= upper <= 1, score echoing the upper bound, and a
+// non-negative width no wider than 1.
+func FuzzAnytimeRequest(f *testing.F) {
+	f.Add(`{"query":"q(user) :- Likes(user, movie), Stars(movie, actor), Fan(actor)","epsilon":0.1}`)
+	f.Add(`{"query":"q(a) :- Fan(a)","epsilon":0}`)
+	f.Add(`{"query":"q(a) :- Fan(a)","epsilon":0.5,"samples":10,"seed":3,"top":1}`)
+	f.Add(`{"query":"q(a) :- Fan(a)","epsilon":1}`)
+	f.Add(`{"query":"q(a) :- Fan(a)","epsilon":-1}`)
+	f.Add(`{"query":"q(a) :- Fan(a)","epsilon":null}`)
+	f.Add(`{"query":"q(a) :- Fan(a)","epsilon":"0.1"}`)
+	f.Add(`{"query":"q(a) :- Fan(a)","epsilon":1e308}`)
+	f.Add(`{"query":"q(a) :- Fan(a)","epsilon":0.2,"method":"mc"}`)
+	f.Add(`{"query":"q(a) :- Fan(a)","epsilon":0.2,"max_rows":1,"timeout_ms":1}`)
+	f.Add(`{"query":"q(x :- broken(","epsilon":0.3}`)
+
+	db := fuzzDB()
+	s := New(db, Config{
+		MaxBodyBytes:   4096,
+		DefaultTimeout: 200 * time.Millisecond,
+		MaxTimeout:     200 * time.Millisecond,
+	})
+
+	f.Fuzz(func(t *testing.T, body string) {
+		before := s.metrics.panicsRecovered.Load()
+		r := httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, r)
+		if got := s.metrics.panicsRecovered.Load(); got != before {
+			t.Fatalf("handler panicked on body %q", body)
+		}
+		if w.Code != http.StatusOK {
+			return
+		}
+		var qr queryResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &qr); err != nil {
+			t.Fatalf("200 response is not valid JSON for body %q: %v", body, err)
+		}
+		for i, a := range qr.Answers {
+			if a.Interval == nil {
+				continue
+			}
+			iv := a.Interval
+			if iv.Lower < 0 || iv.Upper > 1 || iv.Lower > iv.Upper {
+				t.Fatalf("malformed interval [%g, %g] at answer %d (body %q)", iv.Lower, iv.Upper, i, body)
+			}
+			if a.Score != iv.Upper {
+				t.Fatalf("score %g != upper %g at answer %d (body %q)", a.Score, iv.Upper, i, body)
+			}
+		}
+		if qr.Width != nil && (*qr.Width < 0 || *qr.Width > 1) {
+			t.Fatalf("width %g out of range (body %q)", *qr.Width, body)
+		}
+	})
+}

@@ -31,6 +31,10 @@ type metrics struct {
 	batchQueriesTotal atomic.Int64 // queries received via /v1/rank_batch
 	sharedSubplanHits atomic.Int64 // cross-query subplan reuses within batches
 
+	anytimeConverged atomic.Int64   // anytime responses whose every interval met epsilon
+	anytimeDegraded  atomic.Int64   // anytime responses served best-so-far after deadline/budget/shed
+	anytimeWidth     widthHistogram // interval width of every served anytime response
+
 	queriesCancelled atomic.Int64
 	panicsRecovered  atomic.Int64
 	requestsRejected atomic.Int64 // worker-pool admission failures
@@ -43,6 +47,33 @@ type metrics struct {
 
 // latencyBuckets are the histogram upper bounds in seconds.
 var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// widthBuckets are the interval-width histogram upper bounds. A width
+// is a probability difference, so 1 is the natural +Inf-adjacent bound.
+var widthBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+
+// widthHistogram records the achieved interval width of every served
+// anytime response: the operational view of how tight the bounds the
+// server is actually handing out are.
+type widthHistogram struct {
+	mu      sync.Mutex
+	buckets [10]int64 // one per widthBuckets entry
+	sum     float64
+	count   int64
+}
+
+func (h *widthHistogram) observe(w float64) {
+	h.mu.Lock()
+	for i, ub := range widthBuckets {
+		if w <= ub {
+			h.buckets[i]++
+			break
+		}
+	}
+	h.sum += w
+	h.count++
+	h.mu.Unlock()
+}
 
 type endpointMetrics struct {
 	inFlight atomic.Int64
@@ -177,6 +208,22 @@ func (m *metrics) render(b *strings.Builder) {
 	fmt.Fprintf(b, "lapushd_shed_total %d\n", m.shedTotal.Load())
 	b.WriteString("# TYPE lapushd_budget_exceeded_total counter\n")
 	fmt.Fprintf(b, "lapushd_budget_exceeded_total %d\n", m.budgetExceeded.Load())
+
+	b.WriteString("# TYPE lapushd_anytime_converged_total counter\n")
+	fmt.Fprintf(b, "lapushd_anytime_converged_total %d\n", m.anytimeConverged.Load())
+	b.WriteString("# TYPE lapushd_anytime_degraded_total counter\n")
+	fmt.Fprintf(b, "lapushd_anytime_degraded_total %d\n", m.anytimeDegraded.Load())
+	b.WriteString("# TYPE lapushd_anytime_interval_width histogram\n")
+	m.anytimeWidth.mu.Lock()
+	cumW := int64(0)
+	for i, ub := range widthBuckets {
+		cumW += m.anytimeWidth.buckets[i]
+		fmt.Fprintf(b, "lapushd_anytime_interval_width_bucket{le=%q} %d\n", formatFloat(ub), cumW)
+	}
+	fmt.Fprintf(b, "lapushd_anytime_interval_width_bucket{le=\"+Inf\"} %d\n", m.anytimeWidth.count)
+	fmt.Fprintf(b, "lapushd_anytime_interval_width_sum %s\n", formatFloat(m.anytimeWidth.sum))
+	fmt.Fprintf(b, "lapushd_anytime_interval_width_count %d\n", m.anytimeWidth.count)
+	m.anytimeWidth.mu.Unlock()
 
 	if m.storeStats != nil {
 		st := m.storeStats()

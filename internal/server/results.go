@@ -17,6 +17,14 @@ import (
 type cachedResult struct {
 	answers []answerJSON
 	safe    bool
+
+	// Anytime entries are tagged with the width they achieved: a
+	// request with epsilon >= width is a hit (its target is already
+	// met), a tighter request re-refines instead of being served a
+	// stale loose interval, and shed/deadline fallbacks may serve any
+	// width as a degraded 200.
+	anytime bool
+	width   float64
 }
 
 // top returns the first n answers (all of them when n <= 0). The
@@ -26,6 +34,31 @@ func (c *cachedResult) top(n int) []answerJSON {
 		return c.answers[:n]
 	}
 	return c.answers
+}
+
+// anytimeTop renders the first n interval answers with per-answer
+// convergence recomputed against the requesting epsilon (the cached
+// flags reflect the epsilon the entry was refined for, which may
+// differ). Returns the answers and whether all of them converged.
+func (c *cachedResult) anytimeTop(n int, eps float64) ([]answerJSON, bool) {
+	all := true
+	src := c.answers
+	out := make([]answerJSON, len(src))
+	for i, a := range src {
+		out[i] = a
+		if a.Interval != nil {
+			iv := *a.Interval
+			iv.Converged = iv.Upper-iv.Lower <= eps
+			if !iv.Converged {
+				all = false
+			}
+			out[i].Interval = &iv
+		}
+	}
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out, all
 }
 
 // resultCacheKey derives the result-cache key for one query: the pinned
@@ -67,4 +100,29 @@ func toAnswerJSON(answers []lapushdb.Answer) []answerJSON {
 		out[i] = answerJSON{Values: a.Values, Score: a.Score}
 	}
 	return out
+}
+
+// anytimeEntry builds the width-tagged cache entry for one anytime
+// result. The score slot carries the upper bound — the same guaranteed
+// bound the dissociation method ranks by.
+func anytimeEntry(res *lapushdb.AnytimeResult) *cachedResult {
+	answers := make([]answerJSON, len(res.Answers))
+	for i, a := range res.Answers {
+		answers[i] = answerJSON{
+			Values:   a.Values,
+			Score:    a.Upper,
+			Interval: &intervalJSON{Lower: a.Lower, Upper: a.Upper, Converged: a.Converged},
+		}
+	}
+	return &cachedResult{answers: answers, anytime: true, width: res.Width}
+}
+
+// putTighter inserts an anytime entry unless the cache already holds a
+// tighter one for the key: a degraded wide interval must not overwrite
+// the converged narrow interval another request just paid for.
+func (s *Server) putTighter(key string, entry *cachedResult) {
+	if old, ok := s.results.get(key); ok && old.anytime && old.width <= entry.width {
+		return
+	}
+	s.results.put(key, entry)
 }

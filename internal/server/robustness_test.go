@@ -36,6 +36,7 @@ func TestErrorStatusMapping(t *testing.T) {
 		{"durability", store.ErrDurability, http.StatusInternalServerError, "durability_failure"},
 		{"durability_wrapped", fmt.Errorf("apply: %w", store.ErrDurability), http.StatusInternalServerError, "durability_failure"},
 		{"parse", errors.New("parse error at token 3"), http.StatusBadRequest, "bad_query"},
+		{"bad_epsilon", fmt.Errorf("%w, got 1.5", errBadEpsilon), http.StatusBadRequest, "bad_epsilon"},
 		{"empty_batch", errEmptyBatch, http.StatusBadRequest, "empty_batch"},
 		{"batch_too_large", fmt.Errorf("%w: 1000 queries, limit 64", errBatchTooLarge), http.StatusBadRequest, "batch_too_large"},
 	}

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime/debug"
 	"strings"
@@ -283,6 +284,22 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Conte
 // already doomed to 504.
 var errOverloaded = errors.New("server: worker pool saturated and remaining deadline below the queue-wait estimate")
 
+// errBadEpsilon marks an invalid anytime epsilon field.
+var errBadEpsilon = errors.New(`server: field "epsilon" must be a number in [0, 1)`)
+
+// validateEpsilon resolves the optional epsilon field: absent means a
+// plain (non-anytime) request; present, it must be a number in [0, 1).
+// (NaN cannot arrive through JSON but is rejected for direct callers.)
+func validateEpsilon(eps *float64) (float64, bool, error) {
+	if eps == nil {
+		return 0, false, nil
+	}
+	if math.IsNaN(*eps) || *eps < 0 || *eps >= 1 {
+		return 0, false, fmt.Errorf("%w, got %v", errBadEpsilon, *eps)
+	}
+	return *eps, true, nil
+}
+
 // acquire takes a worker-pool slot, giving up when ctx expires first.
 // With QueueWait configured, a request that finds the pool saturated
 // and cannot possibly get a slot in time is shed immediately.
@@ -381,11 +398,30 @@ type queryRequest struct {
 	// (0 = the server's -max-rows setting), capped at that setting when
 	// it is configured. Exceeding the budget fails the query with 422.
 	MaxRows int `json:"max_rows"`
+	// Epsilon, when present, switches the request to anytime evaluation
+	// (method "diss" only): the answer is a [lower, upper] interval per
+	// tuple, refined until upper − lower <= epsilon or the deadline
+	// fires. Must be in [0, 1). With epsilon set, deadline/budget/shed
+	// failures degrade to a 200 carrying the best-so-far intervals
+	// whenever any bounds were computed, and "samples" caps the Monte
+	// Carlo refinement samples per answer instead of being a direct
+	// sample count.
+	Epsilon *float64 `json:"epsilon"`
+}
+
+// intervalJSON is an anytime answer's probability interval.
+type intervalJSON struct {
+	Lower     float64 `json:"lower"`
+	Upper     float64 `json:"upper"`
+	Converged bool    `json:"converged"`
 }
 
 type answerJSON struct {
 	Values []string `json:"values"`
 	Score  float64  `json:"score"`
+	// Interval is present on anytime responses: the true probability
+	// lies in [Lower, Upper], and Score echoes the upper bound.
+	Interval *intervalJSON `json:"interval,omitempty"`
 }
 
 type queryResponse struct {
@@ -402,6 +438,17 @@ type queryResponse struct {
 	// query's operators processed (dissociation method only; 0 when
 	// every operator input fit in one chunk).
 	Partitions int64 `json:"partitions"`
+
+	// Anytime fields, present only when the request carried an epsilon.
+	// Converged reports whether every answer's interval reached the
+	// requested width; Degraded is "" normally and "deadline",
+	// "budget", or "shed" when refinement was cut short but best-so-far
+	// bounds were still served; Width is the widest answer interval;
+	// Epsilon echoes the request.
+	Converged *bool    `json:"converged,omitempty"`
+	Degraded  string   `json:"degraded,omitempty"`
+	Width     *float64 `json:"width,omitempty"`
+	Epsilon   *float64 `json:"epsilon,omitempty"`
 }
 
 // evalParams are the evaluation knobs shared by /v1/query and
@@ -441,7 +488,14 @@ func (s *Server) evalParams(w http.ResponseWriter, methodLabel string, samples i
 		return ep, false
 	}
 	ep.method = method
+	// Resolve the sample-count default here, before the value reaches
+	// both evaluation and the result-cache key: an explicit
+	// samples=DefaultMCSamples and an omitted samples field are the same
+	// request and must share a cache entry.
 	ep.samples = samples
+	if ep.samples == 0 {
+		ep.samples = lapushdb.DefaultMCSamples
+	}
 	ep.parallelism = s.cfg.Parallelism
 	if parallelism > 0 {
 		ep.parallelism = parallelism
@@ -474,6 +528,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ep, ok := s.evalParams(w, req.Method, req.Samples, req.TimeoutMS, req.Parallelism, req.MaxRows)
 	if !ok {
+		return
+	}
+	eps, isAnytime, err := validateEpsilon(req.Epsilon)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	if isAnytime {
+		if req.Method != "diss" {
+			writeError(w, http.StatusBadRequest, "bad_method",
+				`field "epsilon" requires method "diss" (anytime refinement of the dissociation bounds)`)
+			return
+		}
+		s.handleAnytimeQuery(w, r, &req, eps, ep)
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
@@ -577,6 +645,8 @@ func errorStatus(err error) (status int, code, msg string) {
 		return http.StatusBadRequest, "empty_batch", err.Error()
 	case errors.Is(err, errBatchTooLarge):
 		return http.StatusBadRequest, "batch_too_large", err.Error()
+	case errors.Is(err, errBadEpsilon):
+		return http.StatusBadRequest, "bad_epsilon", err.Error()
 	case errors.Is(err, lapushdb.ErrBudget):
 		return http.StatusUnprocessableEntity, "budget_exceeded", err.Error()
 	case errors.Is(err, store.ErrReadOnly):

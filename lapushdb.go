@@ -197,11 +197,13 @@ type Options struct {
 	// with an error wrapping ErrBudget instead of exhausting memory.
 	// <= 0 disables the cap.
 	MaxIntermediateRows int
-	// MCSamples is the sample count for MonteCarlo (default 1000).
+	// MCSamples is the sample count for MonteCarlo (default
+	// DefaultMCSamples).
 	MCSamples int
 	// Seed seeds the MonteCarlo sampler.
 	Seed int64
-	// ExactBudget bounds the exact solver's work (default 50M nodes).
+	// ExactBudget bounds the exact solver's work (default
+	// DefaultExactBudget nodes).
 	ExactBudget int
 
 	// memo, when non-nil, shares canonicalized subplan results and one
@@ -215,6 +217,18 @@ type Options struct {
 // evaluation exceeds Options.MaxIntermediateRows. Classify with
 // errors.Is(err, lapushdb.ErrBudget).
 var ErrBudget = engine.ErrBudget
+
+// Evaluation defaults, exported so every layer that must agree on them
+// — option resolution here, the server's result-cache keys, client
+// documentation — names one constant instead of repeating the literal.
+const (
+	// DefaultMCSamples is the sample count used by the MonteCarlo and
+	// KarpLuby methods when Options.MCSamples is unset.
+	DefaultMCSamples = 1000
+	// DefaultExactBudget is the exact solver's node budget when
+	// Options.ExactBudget is unset.
+	DefaultExactBudget = 50_000_000
+)
 
 // Answer is one query answer: its head values (decoded to strings, in
 // the order of the sorted head variables) and its probability score.
@@ -379,11 +393,11 @@ func (d *DB) rankLineageBased(ctx context.Context, q *cq.Query, opts *Options, e
 	answers := make([]Answer, lin.Len())
 	budget := opts.ExactBudget
 	if budget <= 0 {
-		budget = 50_000_000
+		budget = DefaultExactBudget
 	}
 	samples := opts.MCSamples
 	if samples <= 0 {
-		samples = 1000
+		samples = DefaultMCSamples
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for i := 0; i < lin.Len(); i++ {

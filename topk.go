@@ -38,7 +38,7 @@ func (d *DB) RankTopK(query string, k int, opts *Options) ([]Answer, error) {
 	}
 	budget := opts.ExactBudget
 	if budget <= 0 {
-		budget = 50_000_000
+		budget = DefaultExactBudget
 	}
 
 	// Upper bounds from the merged dissociation plan.
@@ -92,6 +92,41 @@ func (d *DB) RankTopK(query string, k int, opts *Options) ([]Answer, error) {
 		}
 	}
 	return top, nil
+}
+
+// RankTopKAnytime is the anytime counterpart of RankTopK: the top-k
+// answers as [lower, upper] intervals, refined until the requested
+// epsilon, the deadline, or the budgets stop the search. Unlike
+// RankTopK it never requires full exact inference: an answer whose
+// upper bound falls below the running k-th largest lower bound is
+// pruned from further refinement (and from the result), so the
+// intervals that survive are exactly the candidates still able to be
+// in the top k. At most k answers are returned when the result
+// converged; a non-converged result may carry more — the remaining
+// candidates whose intervals still overlap the k-th place.
+func (d *DB) RankTopKAnytime(ctx context.Context, query string, k int, opts *AnytimeOptions) (*AnytimeResult, error) {
+	if opts == nil {
+		opts = &AnytimeOptions{}
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("lapushdb: k must be positive")
+	}
+	ao := *opts
+	ao.topK = k
+	q, err := parseChecked(d, query)
+	if err != nil {
+		return nil, err
+	}
+	o := &Options{IgnoreSchema: ao.IgnoreSchema}
+	sch := d.schema(q, o)
+	res, err := d.rankAnytime(ctx, q, core.MinimalPlans(q, sch), core.IsSafe(q, sch), &ao)
+	if err != nil {
+		return nil, err
+	}
+	if res.Converged && len(res.Answers) > k {
+		res.Answers = res.Answers[:k]
+	}
+	return res, nil
 }
 
 // RankUnion ranks the answers of a union of conjunctive queries (all
@@ -176,13 +211,13 @@ func (d *DB) RankUnion(queries []string, opts *Options) ([]Answer, error) {
 		}
 		budget := opts.ExactBudget
 		if budget <= 0 {
-			budget = 50_000_000
+			budget = DefaultExactBudget
 		}
 		out := make([]Answer, 0, len(union))
 		rng := newSeededRand(opts.Seed)
 		samples := opts.MCSamples
 		if samples <= 0 {
-			samples = 1000
+			samples = DefaultMCSamples
 		}
 		for _, a := range union {
 			var p float64
