@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench chaos cover
+.PHONY: build test race vet check bench bench-smoke microbench chaos cover
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,26 @@ cover:
 
 check: build vet test
 
+# Standing load harness (cmd/loadgen): mixed workloads against an
+# in-process lapushd, results merged into BENCH_<rev>.json. `bench` is
+# the trajectory run (record before and after a perf-relevant change —
+# see EXPERIMENTS.md); `bench-smoke` is the fast hermetic CI gate with
+# loose thresholds that only fail on error-rate or gross latency
+# blowups, not scheduler noise.
+BENCH_REV ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+
 bench:
+	$(GO) run ./cmd/loadgen -hermetic -rev $(BENCH_REV) -duration 5s -warmup 1s
+
+bench-smoke:
+	$(GO) run ./cmd/loadgen -hermetic -rev smoke -out bench-smoke.json \
+		-duration 1s -warmup 300ms -c 4 \
+		-max-error-rate 0.05 -max-p99 5s -min-ops 10
+
+# Microbenchmarks (testing.B). With BENCH_JSON set, BenchmarkAnytime
+# merges its per-epsilon results into the same report schema loadgen
+# writes (see bench_test.go).
+microbench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 FUZZTIME ?= 10s
@@ -51,3 +70,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz='^FuzzWALReplay$$' -fuzztime=$(FUZZTIME) ./internal/store
 	$(GO) test -run=^$$ -fuzz='^FuzzRankBatchRequest$$' -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run=^$$ -fuzz='^FuzzAnytimeRequest$$' -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run=^$$ -fuzz='^FuzzQuantile$$' -fuzztime=$(FUZZTIME) ./internal/bench

@@ -10,8 +10,13 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
+	"runtime"
+	"sort"
 	"testing"
+	"time"
 
+	"lapushdb/internal/bench"
 	"lapushdb/internal/core"
 	"lapushdb/internal/engine"
 	"lapushdb/internal/exact"
@@ -402,17 +407,58 @@ func BenchmarkRankBatch(b *testing.B) {
 	})
 }
 
+// anytimeMicro accumulates BenchmarkAnytime's measurements across
+// sub-benchmark invocations (go test may call each closure several
+// times while sizing b.N, and -count reruns them all); the final state
+// is flushed to $BENCH_JSON in the shared internal/bench schema.
+var anytimeMicro = map[string]*bench.MicroResult{}
+
+// writeAnytimeBenchJSON merges the accumulated BenchmarkAnytime
+// results into the BENCH_<rev>.json named by $BENCH_JSON, sharing the
+// trajectory schema (and file) with cmd/loadgen's workload results.
+func writeAnytimeBenchJSON(b *testing.B, path string) {
+	b.Helper()
+	names := make([]string, 0, len(anytimeMicro))
+	for name := range anytimeMicro {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	err := bench.UpdateFile(path, func(r *bench.Report) {
+		if rev := os.Getenv("BENCH_REV"); rev != "" {
+			r.Rev = rev
+		} else if r.Rev == "" {
+			r.Rev = "dev"
+		}
+		r.Date = time.Now().UTC().Format("2006-01-02")
+		r.Go = runtime.Version()
+		if cpu := bench.CPUModel(); cpu != "" {
+			r.CPU = cpu
+		}
+		for _, name := range names {
+			r.ReplaceBenchmark(*anytimeMicro[name])
+		}
+	})
+	if err != nil {
+		b.Fatalf("write %s: %v", path, err)
+	}
+	b.Logf("wrote %d benchmark entries to %s", len(names), path)
+}
+
 // BenchmarkAnytime measures time-to-epsilon of the anytime evaluator on
 // the unsafe 3-chain: a loose target stops after the dissociation plan
 // bounds, tighter ones pay for Monte Carlo rounds and, at the tight
 // end, exact collapse of the residual answers. The reported extra
-// metrics record how much refinement each target bought.
+// metrics record how much refinement each target bought. With
+// BENCH_JSON=<path> set (and optionally BENCH_REV), results are also
+// written in the shared internal/bench schema so the perf trajectory
+// accumulates next to the load-harness numbers.
 func BenchmarkAnytime(b *testing.B) {
 	rng := rand.New(rand.NewSource(17))
 	edb, q := workload.Chain(3, 900, 120, 0.5, rng)
 	db := fromEngineDB(b, edb)
 	query := q.String()
 	for _, eps := range []float64{0.2, 0.05, 0.01, 0.001} {
+		name := fmt.Sprintf("BenchmarkAnytime/eps=%g", eps)
 		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
 			var res *AnytimeResult
 			for i := 0; i < b.N; i++ {
@@ -430,6 +476,20 @@ func BenchmarkAnytime(b *testing.B) {
 			b.ReportMetric(float64(res.PlansEvaluated), "plans")
 			b.ReportMetric(float64(res.MCSamples), "mc-samples")
 			b.ReportMetric(res.Width, "width")
+			m := anytimeMicro[name]
+			if m == nil {
+				m = &bench.MicroResult{Name: name}
+				anytimeMicro[name] = m
+			}
+			m.AddRun(b.Elapsed().Nanoseconds() / int64(b.N))
+			m.Metrics = map[string]float64{
+				"mc_samples":      float64(res.MCSamples),
+				"plans_evaluated": float64(res.PlansEvaluated),
+				"achieved_width":  res.Width,
+			}
 		})
+	}
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		writeAnytimeBenchJSON(b, path)
 	}
 }

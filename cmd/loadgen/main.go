@@ -1,0 +1,176 @@
+// Command loadgen is the standing load harness: it drives mixed
+// workloads (point /v1/query ranks, anytime epsilon queries,
+// /v1/rank_batch, and an ingest mix that exercises the COW store and
+// cache invalidation) against a lapushd instance — a live one via
+// -addr, or a hermetic in-process one via -hermetic — over
+// deterministic seeded chain/star/TPC-H-shaped datasets, and records
+// ops, per-status error counts, and p50/p95/p99 latencies into the
+// versioned BENCH_<rev>.json trajectory schema.
+//
+// Usage:
+//
+//	loadgen -hermetic -rev $(git rev-parse --short HEAD)
+//	loadgen -addr http://127.0.0.1:8080 -workloads point,batch -duration 30s
+//	loadgen -hermetic -duration 1s -warmup 200ms -max-error-rate 0.05 -out bench-smoke.json
+//
+// Each workload runs warmup → timed window at -c concurrency; request
+// streams are pure functions of (-seed, index), so two runs with the
+// same flags issue byte-identical request sequences. With thresholds
+// set (-max-error-rate, -max-p99, -min-ops) the process exits non-zero
+// on a violation, which is how CI's smoke job fails on error-rate or
+// gross latency blowups without flaking on scheduler noise.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"lapushdb/internal/bench"
+	"lapushdb/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a live lapushd (e.g. http://127.0.0.1:8080)")
+	hermetic := flag.Bool("hermetic", false, "spin up an in-process lapushd over an ephemeral store instead of targeting -addr")
+	workloads := flag.String("workloads", strings.Join(bench.WorkloadNames(), ","), "comma-separated workload mixes to run")
+	concurrency := flag.Int("c", 8, "concurrent workers per workload")
+	warmup := flag.Duration("warmup", time.Second, "unrecorded warmup per workload")
+	duration := flag.Duration("duration", 5*time.Second, "timed window per workload")
+	seed := flag.Int64("seed", 1, "workload stream seed (same seed => byte-identical request streams)")
+	rev := flag.String("rev", "dev", "revision label for the report (use the git short hash)")
+	out := flag.String("out", "", "output JSON path (default BENCH_<rev>.json; merged if it exists)")
+	notes := flag.String("notes", "", "free-form note recorded in the report")
+	scale := flag.Float64("scale", 1, "dataset scale factor over the default smoke sizes")
+	maxErrorRate := flag.Float64("max-error-rate", 0, "fail if any workload's error rate exceeds this (0 disables)")
+	maxP99 := flag.Duration("max-p99", 0, "fail if any workload's p99 exceeds this (0 disables)")
+	minOps := flag.Int64("min-ops", 0, "fail if any workload completes fewer ops (0 disables)")
+	flag.Parse()
+
+	if (*addr == "") == !*hermetic {
+		fail("exactly one of -addr or -hermetic is required")
+	}
+	base := *addr
+	if *hermetic {
+		ts := server.NewHermetic(server.Config{})
+		defer ts.Close()
+		base = ts.URL
+		fmt.Fprintf(os.Stderr, "loadgen: hermetic lapushd at %s\n", base)
+	}
+	base = strings.TrimRight(base, "/")
+
+	cfg := bench.Config{Seed: *seed}.WithDefaults()
+	if *scale != 1 {
+		if *scale <= 0 {
+			fail("-scale must be positive")
+		}
+		cfg.ChainN = scaleInt(cfg.ChainN, *scale)
+		cfg.StarN = scaleInt(cfg.StarN, *scale)
+		cfg.Suppliers = scaleInt(cfg.Suppliers, *scale)
+		cfg.Parts = scaleInt(cfg.Parts, *scale)
+	}
+
+	var wls []bench.Workload
+	for _, name := range strings.Split(*workloads, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		wl, err := bench.ByName(cfg, name)
+		if err != nil {
+			fail("%v", err)
+		}
+		wls = append(wls, wl)
+	}
+	if len(wls) == 0 {
+		fail("no workloads selected")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	rc := bench.RunConfig{
+		BaseURL:     base,
+		Concurrency: *concurrency,
+		Warmup:      *warmup,
+		Duration:    *duration,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+		},
+	}
+
+	setup := bench.SetupRequests(cfg)
+	fmt.Fprintf(os.Stderr, "loadgen: seeding dataset (%d setup requests, seed %d, scale %g)\n", len(setup), *seed, *scale)
+	if err := bench.Setup(ctx, rc, setup); err != nil {
+		fail("%v", err)
+	}
+
+	th := bench.Thresholds{MaxErrorRate: *maxErrorRate, MaxP99: *maxP99, MinOps: *minOps}
+	var results []bench.WorkloadResult
+	var violations []error
+	for _, wl := range wls {
+		res, err := bench.Run(ctx, rc, wl)
+		if err != nil {
+			fail("workload %s: %v", wl.Name, err)
+		}
+		results = append(results, res)
+		fmt.Fprintf(os.Stderr,
+			"loadgen: %-8s ops=%d (%.1f/s) errors=%d p50=%.1fms p95=%.1fms p99=%.1fms status=%v\n",
+			res.Name, res.Ops, res.OpsPerSec, res.Errors, res.P50MS, res.P95MS, res.P99MS, res.Status)
+		if err := th.Check(res); err != nil {
+			violations = append(violations, err)
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *rev + ".json"
+	}
+	note := *notes
+	if note == "" {
+		note = fmt.Sprintf("loadgen seed %d scale %g, c=%d, warmup %s, duration %s, workloads %s",
+			*seed, *scale, *concurrency, *warmup, *duration, *workloads)
+	}
+	err := bench.UpdateFile(path, func(r *bench.Report) {
+		r.Rev = *rev
+		r.Date = time.Now().UTC().Format("2006-01-02")
+		r.Go = runtime.Version()
+		if cpu := bench.CPUModel(); cpu != "" {
+			r.CPU = cpu
+		}
+		r.Notes = note
+		for _, res := range results {
+			r.ReplaceWorkload(res)
+		}
+	})
+	if err != nil {
+		fail("write report: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", path)
+
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "loadgen: THRESHOLD VIOLATION: %v\n", v)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+func scaleInt(n int, f float64) int {
+	v := int(float64(n) * f)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzQuantile drives the quantile math with arbitrary sample sets and
+// probabilities, checking the invariants every BENCH comparison leans
+// on: results lie within [min, max], are monotone in q, and an
+// all-equal histogram answers that value for every q.
+func FuzzQuantile(f *testing.F) {
+	f.Add(int64(1), uint8(3), float64(0.5), float64(0.99))
+	f.Add(int64(7), uint8(0), float64(0), float64(1))
+	f.Add(int64(9), uint8(200), float64(0.95), float64(0.5))
+	f.Add(int64(-3), uint8(1), float64(-1), float64(2))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, q1, q2 float64) {
+		if math.IsNaN(q1) || math.IsNaN(q2) {
+			t.Skip()
+		}
+		var h Histogram
+		// Deterministic pseudo-random samples from the fuzzed seed; the
+		// splitmix-style mixer is the same one the workload streams use.
+		var min, max time.Duration
+		for i := 0; i < int(n); i++ {
+			d := time.Duration(uint64(mix(seed, int64(i))) % uint64(10*time.Second))
+			if i == 0 || d < min {
+				min = d
+			}
+			if i == 0 || d > max {
+				max = d
+			}
+			h.Add(d)
+		}
+		v1, v2 := h.Quantile(q1), h.Quantile(q2)
+		if n == 0 {
+			if v1 != 0 || v2 != 0 {
+				t.Fatalf("empty histogram returned %v, %v", v1, v2)
+			}
+			return
+		}
+		for _, v := range []time.Duration{v1, v2} {
+			if v < min || v > max {
+				t.Fatalf("quantile %v outside sample range [%v, %v]", v, min, max)
+			}
+		}
+		// Monotonicity in q (after clamping).
+		lo, hi := q1, q2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if h.Quantile(lo) > h.Quantile(hi) {
+			t.Fatalf("quantile not monotone: Q(%g)=%v > Q(%g)=%v", lo, h.Quantile(lo), hi, h.Quantile(hi))
+		}
+		if h.Quantile(0) != min || h.Quantile(1) != max {
+			t.Fatalf("Q(0)=%v Q(1)=%v, want min %v max %v", h.Quantile(0), h.Quantile(1), min, max)
+		}
+	})
+}

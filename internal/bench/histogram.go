@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"sort"
+	"time"
+)
+
+// Histogram collects latency samples for quantile reporting. It stores
+// raw samples (a load run's request counts are small enough that exact
+// quantiles beat bucketing error), is not goroutine-safe — the runner
+// keeps one per worker and merges — and defines its quantiles
+// precisely so golden tests can pin the math:
+//
+// Quantile(q) sorts the samples and linearly interpolates at rank
+// q·(n−1): the 0-quantile is the minimum, the 1-quantile the maximum,
+// and e.g. p50 of [1ms, 2ms] is 1.5ms. An empty histogram reports 0
+// for every quantile.
+type Histogram struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Merge appends all of other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	h.samples = append(h.samples, other.samples...)
+	h.sorted = false
+}
+
+// Len is the number of recorded samples.
+func (h *Histogram) Len() int { return len(h.samples) }
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) under the
+// rank-interpolation definition above. q outside [0, 1] is clamped.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		h.sort()
+		return h.samples[0]
+	}
+	if q >= 1 {
+		h.sort()
+		return h.samples[n-1]
+	}
+	h.sort()
+	rank := q * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n || frac == 0 {
+		return h.samples[lo]
+	}
+	a, b := float64(h.samples[lo]), float64(h.samples[lo+1])
+	return time.Duration(a + frac*(b-a))
+}
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}

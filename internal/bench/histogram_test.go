@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestQuantileGolden pins the quantile definition with hand-computed
+// values: rank interpolation at q·(n−1). Future before/after
+// comparisons of BENCH files are only trustworthy if this math never
+// silently changes.
+func TestQuantileGolden(t *testing.T) {
+	ms := func(f float64) time.Duration { return time.Duration(f * float64(time.Millisecond)) }
+	cases := []struct {
+		name    string
+		samples []time.Duration
+		q       float64
+		want    time.Duration
+	}{
+		{"empty/p50", nil, 0.50, 0},
+		{"empty/p99", nil, 0.99, 0},
+		{"single/p0", []time.Duration{ms(10)}, 0, ms(10)},
+		{"single/p50", []time.Duration{ms(10)}, 0.50, ms(10)},
+		{"single/p99", []time.Duration{ms(10)}, 0.99, ms(10)},
+		{"single/p100", []time.Duration{ms(10)}, 1, ms(10)},
+		{"pair/p50", []time.Duration{ms(1), ms(2)}, 0.50, ms(1.5)},
+		{"pair/p0", []time.Duration{ms(2), ms(1)}, 0, ms(1)},
+		{"pair/p100", []time.Duration{ms(2), ms(1)}, 1, ms(2)},
+		// 1..5ms: p50 at rank 0.5*4=2 → exactly 3ms; p75 at rank 3 → 4ms;
+		// p90 at rank 3.6 → 4ms + 0.6·1ms.
+		{"five/p50", []time.Duration{ms(5), ms(3), ms(1), ms(4), ms(2)}, 0.50, ms(3)},
+		{"five/p75", []time.Duration{ms(5), ms(3), ms(1), ms(4), ms(2)}, 0.75, ms(4)},
+		{"five/p90", []time.Duration{ms(5), ms(3), ms(1), ms(4), ms(2)}, 0.90, ms(4.6)},
+		// Tie-heavy: [1, 1, 1, 1, 9]. p50 rank 2 → 1ms; p75 rank 3 → 1ms;
+		// p90 rank 3.6 → 1ms + 0.6·8ms = 5.8ms.
+		{"ties/p50", []time.Duration{ms(1), ms(1), ms(1), ms(1), ms(9)}, 0.50, ms(1)},
+		{"ties/p75", []time.Duration{ms(9), ms(1), ms(1), ms(1), ms(1)}, 0.75, ms(1)},
+		{"ties/p90", []time.Duration{ms(1), ms(9), ms(1), ms(1), ms(1)}, 0.90, ms(5.8)},
+		// All identical: every quantile is the sample.
+		{"const/p01", []time.Duration{ms(7), ms(7), ms(7)}, 0.01, ms(7)},
+		{"const/p99", []time.Duration{ms(7), ms(7), ms(7)}, 0.99, ms(7)},
+		// Clamping.
+		{"clamp/neg", []time.Duration{ms(1), ms(2)}, -0.5, ms(1)},
+		{"clamp/above", []time.Duration{ms(1), ms(2)}, 1.5, ms(2)},
+		// 1..100ms: p50 at rank 49.5 → 50.5ms; p95 at 94.05 → 95.05ms;
+		// p99 at 98.01 → 99.01ms.
+		{"hundred/p50", nil, 0.50, ms(50.5)},
+		{"hundred/p95", nil, 0.95, ms(95.05)},
+		{"hundred/p99", nil, 0.99, ms(99.01)},
+	}
+	hundred := make([]time.Duration, 100)
+	for i := range hundred {
+		hundred[i] = ms(float64(i + 1))
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			samples := tc.samples
+			if len(samples) == 0 && tc.name[:7] == "hundred" {
+				samples = hundred
+			}
+			for _, s := range samples {
+				h.Add(s)
+			}
+			if got := h.Quantile(tc.q); got != tc.want {
+				t.Fatalf("Quantile(%g) over %v = %v, want %v", tc.q, samples, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHistogramMerge checks that merging per-worker histograms yields
+// the same quantiles as one histogram fed everything, and that Add
+// after Quantile (resorting) stays correct.
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var all, a, b Histogram
+	for i := 0; i < 1000; i++ {
+		d := time.Duration(rng.Intn(1_000_000))
+		all.Add(d)
+		if i%2 == 0 {
+			a.Add(d)
+		} else {
+			b.Add(d)
+		}
+	}
+	// Interleave a Quantile call to exercise re-sorting on later Adds.
+	_ = a.Quantile(0.5)
+	a.Merge(&b)
+	if a.Len() != all.Len() {
+		t.Fatalf("merged %d samples, want %d", a.Len(), all.Len())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		if got, want := a.Quantile(q), all.Quantile(q); got != want {
+			t.Fatalf("Quantile(%g): merged %v vs direct %v", q, got, want)
+		}
+	}
+	if a.Max() != all.Max() {
+		t.Fatalf("Max: merged %v vs direct %v", a.Max(), all.Max())
+	}
+}
+
+// TestHistogramAddAfterQuantile guards the sorted-flag bookkeeping: a
+// sample added after a quantile query must still be seen.
+func TestHistogramAddAfterQuantile(t *testing.T) {
+	var h Histogram
+	h.Add(5 * time.Millisecond)
+	if got := h.Quantile(1); got != 5*time.Millisecond {
+		t.Fatalf("max %v", got)
+	}
+	h.Add(9 * time.Millisecond)
+	if got := h.Quantile(1); got != 9*time.Millisecond {
+		t.Fatalf("max after late add %v, want 9ms", got)
+	}
+	if got := h.Quantile(0); got != 5*time.Millisecond {
+		t.Fatalf("min after late add %v, want 5ms", got)
+	}
+}

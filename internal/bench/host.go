@@ -1,0 +1,22 @@
+package bench
+
+import (
+	"os"
+	"strings"
+)
+
+// CPUModel best-effort reads the host CPU model string for the report
+// header ("" when unavailable). Trajectory diffs across different
+// hardware are noise; recording the CPU makes that visible.
+func CPUModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), ":"))
+		}
+	}
+	return ""
+}

@@ -1,0 +1,187 @@
+// Package bench is the standing load harness: deterministic seeded
+// workload generators over the paper's chain/star/TPC-H shapes, a
+// warmup→timed concurrent runner that drives a live lapushd over HTTP,
+// latency histograms with exact quantile semantics, and the versioned
+// BENCH_<rev>.json schema in which the repository's perf trajectory
+// accumulates across PRs.
+//
+// The same Report schema carries both kinds of measurements:
+//
+//   - "benchmarks": testing.B micro-benchmarks (BenchmarkAnytime writes
+//     its entries here when BENCH_JSON is set), one MicroResult per
+//     sub-benchmark with per-invocation ns/op runs and free-form
+//     metrics; and
+//   - "workloads": cmd/loadgen load runs, one WorkloadResult per
+//     workload mix with ops, per-HTTP-status error counts, and
+//     p50/p95/p99 latencies.
+//
+// Keeping both in one machine-diffable file per revision lets any PR
+// prove a speedup (or catch a regression) by comparing two BENCH files.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SchemaVersion identifies the BENCH_<rev>.json layout. Bump it on any
+// incompatible change so trajectory tooling can refuse mixed diffs.
+// Version 1 was the bespoke hand-written BenchmarkAnytime format;
+// version 2 is the shared schema of this package.
+const SchemaVersion = 2
+
+// Report is the top-level BENCH_<rev>.json document.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Rev           string `json:"rev"`
+	Date          string `json:"date"`
+	Go            string `json:"go"`
+	CPU           string `json:"cpu,omitempty"`
+	// Notes describes the generating configuration (workload seeds,
+	// scales, flags) in prose, for humans reading the trajectory.
+	Notes string `json:"notes,omitempty"`
+	// Benchmarks holds testing.B results; Workloads holds load-harness
+	// results. Either may be empty; merging keeps the other section.
+	Benchmarks []MicroResult    `json:"benchmarks,omitempty"`
+	Workloads  []WorkloadResult `json:"workloads,omitempty"`
+}
+
+// MicroResult is one testing.B (sub-)benchmark's measurement.
+type MicroResult struct {
+	// Name is the full benchmark path, e.g. "BenchmarkAnytime/eps=0.05".
+	Name string `json:"name"`
+	// NsPerOpMin is the minimum ns/op across runs — the value to diff
+	// between revisions (minimum, not mean, to shed scheduler noise).
+	NsPerOpMin int64 `json:"ns_per_op_min"`
+	// NsPerOpRuns records every invocation's ns/op, so a future reader
+	// can judge the spread behind the minimum.
+	NsPerOpRuns []int64 `json:"ns_per_op_runs,omitempty"`
+	// Metrics carries the benchmark's extra ReportMetric-style values
+	// (mc_samples, plans_evaluated, achieved_width, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// AddRun records one invocation's ns/op, maintaining the minimum.
+func (m *MicroResult) AddRun(nsPerOp int64) {
+	m.NsPerOpRuns = append(m.NsPerOpRuns, nsPerOp)
+	if m.NsPerOpMin == 0 || nsPerOp < m.NsPerOpMin {
+		m.NsPerOpMin = nsPerOp
+	}
+}
+
+// WorkloadResult is one load-harness workload mix's measurement.
+type WorkloadResult struct {
+	Name        string `json:"name"`
+	Concurrency int    `json:"concurrency"`
+	// DurationMS is the timed window's wall-clock length (warmup
+	// excluded).
+	DurationMS float64 `json:"duration_ms"`
+	// Ops counts requests completed inside the timed window; Errors is
+	// the subset that returned a non-2xx status or failed at the
+	// transport layer.
+	Ops    int64 `json:"ops"`
+	Errors int64 `json:"errors"`
+	// Status counts completed requests by HTTP status code ("200",
+	// "422", "429", "503", ...). Transport-layer failures count under
+	// "error".
+	Status    map[string]int64 `json:"status"`
+	OpsPerSec float64          `json:"ops_per_sec"`
+	// Latency quantiles over the timed window, in milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// ErrorRate is Errors/Ops (0 for an empty run).
+func (w WorkloadResult) ErrorRate() float64 {
+	if w.Ops == 0 {
+		return 0
+	}
+	return float64(w.Errors) / float64(w.Ops)
+}
+
+// ReadFile loads a Report, rejecting unknown schema versions: diffing
+// measurements across incompatible layouts would silently lie.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema_version %d, this build reads %d", path, r.SchemaVersion, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// WriteFile writes the report as indented JSON via a same-directory
+// temp file and rename, so a crash mid-write never corrupts an
+// existing trajectory entry.
+func (r *Report) WriteFile(path string) error {
+	r.SchemaVersion = SchemaVersion
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".bench-*.json")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// UpdateFile reads path if it exists (creating a fresh Report
+// otherwise), applies fn, and writes the result back. It lets the
+// micro-benchmarks and the load harness accumulate into one
+// BENCH_<rev>.json without clobbering each other's section.
+func UpdateFile(path string, fn func(*Report)) error {
+	r, err := ReadFile(path)
+	if os.IsNotExist(err) {
+		r = &Report{SchemaVersion: SchemaVersion}
+	} else if err != nil {
+		return err
+	}
+	fn(r)
+	return r.WriteFile(path)
+}
+
+// ReplaceWorkload inserts w, replacing any existing entry of the same
+// name (re-runs of one mix update in place; other mixes survive).
+func (r *Report) ReplaceWorkload(w WorkloadResult) {
+	for i := range r.Workloads {
+		if r.Workloads[i].Name == w.Name {
+			r.Workloads[i] = w
+			return
+		}
+	}
+	r.Workloads = append(r.Workloads, w)
+}
+
+// ReplaceBenchmark inserts m, replacing any same-named entry.
+func (r *Report) ReplaceBenchmark(m MicroResult) {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == m.Name {
+			r.Benchmarks[i] = m
+			return
+		}
+	}
+	r.Benchmarks = append(r.Benchmarks, m)
+}

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lapushdb"
+	"lapushdb/internal/server"
+)
+
+// hermeticRunConfig points the runner at an in-process lapushd with
+// test-sized phases.
+func hermeticRunConfig(t *testing.T) (RunConfig, Config) {
+	t.Helper()
+	ts := httptest.NewServer(server.New(lapushdb.Open(), server.Config{}))
+	t.Cleanup(ts.Close)
+	rc := RunConfig{
+		BaseURL:     ts.URL,
+		Concurrency: 4,
+		Warmup:      50 * time.Millisecond,
+		Duration:    300 * time.Millisecond,
+		Client:      ts.Client(),
+		Logf:        t.Logf,
+	}
+	// Small dataset: the point of the test is the harness plumbing, not
+	// the server's throughput.
+	cfg := Config{Seed: 9, ChainN: 60, ChainDomain: 25, StarN: 30, StarDomain: 12, Suppliers: 20, Parts: 40}
+	return rc, cfg
+}
+
+// TestRunnerHermetic is the harness's own end-to-end test: seed the
+// dataset through /v1/ingest, run every workload mix briefly, and
+// check the results carry ops, status counts, and ordered quantiles.
+// This is the same path `make bench-smoke` takes in CI.
+func TestRunnerHermetic(t *testing.T) {
+	rc, cfg := hermeticRunConfig(t)
+	ctx := context.Background()
+	if err := Setup(ctx, rc, SetupRequests(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range WorkloadNames() {
+		t.Run(name, func(t *testing.T) {
+			wl, err := ByName(cfg, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(ctx, rc, wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops == 0 {
+				t.Fatal("no operations completed")
+			}
+			if res.Errors != 0 {
+				t.Fatalf("errors %d of %d ops, status %v", res.Errors, res.Ops, res.Status)
+			}
+			if res.Status["200"] != res.Ops {
+				t.Fatalf("status map %v does not account for %d ops", res.Status, res.Ops)
+			}
+			if res.P50MS <= 0 || res.P50MS > res.P95MS || res.P95MS > res.P99MS || res.P99MS > res.MaxMS {
+				t.Fatalf("quantiles out of order: p50=%g p95=%g p99=%g max=%g", res.P50MS, res.P95MS, res.P99MS, res.MaxMS)
+			}
+			if res.OpsPerSec <= 0 || res.DurationMS <= 0 {
+				t.Fatalf("missing rate/duration: %+v", res)
+			}
+			if err := (Thresholds{MaxErrorRate: 0.01, MinOps: 1}).Check(res); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSetupTolerantRerun re-seeds the same server twice: the second
+// pass must survive the create_relation conflicts (tolerated 400s) so
+// loadgen can rerun against a durable store.
+func TestSetupTolerantRerun(t *testing.T) {
+	rc, cfg := hermeticRunConfig(t)
+	ctx := context.Background()
+	if err := Setup(ctx, rc, SetupRequests(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Setup(ctx, rc, SetupRequests(cfg)); err != nil {
+		t.Fatalf("rerun against seeded store: %v", err)
+	}
+}
+
+// TestRunnerCountsErrors drives the runner against a stub that fails
+// every third request with 429 and checks the per-status accounting
+// and threshold evaluation.
+func TestRunnerCountsErrors(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%3 == 0 {
+			http.Error(w, `{"error":{"code":"overloaded"}}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"answers":[]}`))
+	}))
+	defer ts.Close()
+	wl := Workload{Name: "stub", Next: func(i int64) Request {
+		return Request{Method: "POST", Path: "/v1/query", Body: []byte(`{"query":"q"}`)}
+	}}
+	res, err := Run(context.Background(), RunConfig{
+		BaseURL:     ts.URL,
+		Concurrency: 2,
+		Warmup:      20 * time.Millisecond,
+		Duration:    200 * time.Millisecond,
+		Client:      ts.Client(),
+	}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Errors == 0 {
+		t.Fatalf("expected traffic with errors, got %+v", res)
+	}
+	if res.Status["429"] != res.Errors {
+		t.Fatalf("429 count %d != errors %d (status %v)", res.Status["429"], res.Errors, res.Status)
+	}
+	if res.Status["200"]+res.Status["429"] != res.Ops {
+		t.Fatalf("status map %v does not sum to ops %d", res.Status, res.Ops)
+	}
+	// Roughly a third of requests fail; a loose gate must catch it and
+	// a looser one must not.
+	if err := (Thresholds{MaxErrorRate: 0.05}).Check(res); err == nil {
+		t.Fatal("error rate ~0.33 passed a 0.05 gate")
+	}
+	if err := (Thresholds{MaxErrorRate: 0.9}).Check(res); err != nil {
+		t.Fatalf("error rate gate 0.9 tripped: %v", err)
+	}
+	if err := (Thresholds{MaxP99: time.Nanosecond}).Check(res); err == nil {
+		t.Fatal("1ns p99 gate passed")
+	}
+	if err := (Thresholds{MinOps: res.Ops + 1}).Check(res); err == nil {
+		t.Fatal("min-ops gate passed with fewer ops")
+	}
+}
+
+// TestSetupFailsFast: a non-tolerated failure must abort setup with a
+// diagnostic, not limp into a meaningless load run.
+func TestSetupFailsFast(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":{"code":"durability_failure","message":"disk on fire"}}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	err := Setup(context.Background(), RunConfig{BaseURL: ts.URL, Client: ts.Client()},
+		[]Request{{Method: "POST", Path: "/v1/ingest", Body: []byte(`{}`)}})
+	if err == nil || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("want status-500 setup error, got %v", err)
+	}
+}
+
+// TestReportRoundTrip checks WriteFile/ReadFile/UpdateFile preserve
+// the schema and that merging replaces same-named sections without
+// touching the other kind.
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	r := &Report{
+		Rev: "abc1234", Date: "2026-08-08", Go: "go1.24.0",
+		Benchmarks: []MicroResult{{Name: "BenchmarkAnytime/eps=0.05", NsPerOpMin: 100, NsPerOpRuns: []int64{120, 100}, Metrics: map[string]float64{"mc_samples": 64}}},
+		Workloads:  []WorkloadResult{{Name: "point", Ops: 10, Status: map[string]int64{"200": 10}}},
+	}
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != SchemaVersion || got.Rev != "abc1234" || len(got.Benchmarks) != 1 || len(got.Workloads) != 1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	// Update replaces the point workload and keeps the benchmark.
+	err = UpdateFile(path, func(r *Report) {
+		r.ReplaceWorkload(WorkloadResult{Name: "point", Ops: 99})
+		r.ReplaceWorkload(WorkloadResult{Name: "batch", Ops: 5})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Workloads) != 2 || got.Workloads[0].Ops != 99 || len(got.Benchmarks) != 1 {
+		t.Fatalf("merge broke sections: %+v", got)
+	}
+	// Unknown schema versions are refused.
+	if err := os.WriteFile(path, []byte(`{"schema_version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("schema_version 99 accepted")
+	}
+	// UpdateFile on a missing path starts fresh.
+	fresh := filepath.Join(dir, "BENCH_fresh.json")
+	if err := UpdateFile(fresh, func(r *Report) { r.Rev = "fresh" }); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadFile(fresh); err != nil || got.Rev != "fresh" {
+		t.Fatalf("fresh update: %v %+v", err, got)
+	}
+}

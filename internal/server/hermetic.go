@@ -1,0 +1,19 @@
+package server
+
+import (
+	"net/http/httptest"
+
+	"lapushdb"
+)
+
+// NewHermetic is the load-harness/test hook: a fully in-process
+// lapushd over an empty ephemeral store, served by net/http/httptest.
+// cmd/loadgen uses it to run the standing load harness hermetically in
+// CI — same handler stack, worker pool, caches, and store versioning
+// as a live deployment, no sockets fighting the sandbox and no
+// external process to babysit. The caller owns the returned server and
+// must Close it; the bench dataset arrives through /v1/ingest exactly
+// as it would over the wire.
+func NewHermetic(cfg Config) *httptest.Server {
+	return httptest.NewServer(New(lapushdb.Open(), cfg))
+}

@@ -1,9 +1,12 @@
 package lapushdb
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
+
+	"lapushdb/internal/workload"
 )
 
 // biggerDB builds a database with many answers so top-k pruning has
@@ -75,6 +78,76 @@ func TestRankTopKMatchesExact(t *testing.T) {
 			if math.Abs(top[i].Score-full[i].Score) > 1e-12 {
 				t.Errorf("k=%d position %d: score %v, want %v (%v vs %v)",
 					k, i, top[i].Score, full[i].Score, top[i].Values, full[i].Values)
+			}
+		}
+	}
+}
+
+// TestRankTopKAnytimeMatchesFull is the differential contract of
+// bound-pruned top-k: on every differential shape, RankTopKAnytime's
+// converged answers are exactly the top-k slice of the full
+// RankAnytime result — same values, and bit-identical [lower, upper]
+// intervals, because sampler streams are derived from answer keys and
+// each answer refines until its own convergence regardless of what
+// else is pruned. Holds at Workers 1 and 4 (run under -race this also
+// exercises the pruning bookkeeping for data races).
+func TestRankTopKAnytimeMatchesFull(t *testing.T) {
+	type shape struct {
+		label string
+		query string
+		db    *DB
+		k     int
+	}
+	rng := rand.New(rand.NewSource(57))
+	var shapes []shape
+	{
+		edb, q := workload.Chain(3, 500, 70, 0.5, rng)
+		shapes = append(shapes, shape{"chain3", q.String(), fromEngineDB(t, edb), 5})
+	}
+	{
+		// The star query is Boolean — a single answer — so k=1 checks
+		// the degenerate prune-nothing path.
+		edb, q := workload.Star(3, 40, 12, 0.5, rng)
+		shapes = append(shapes, shape{"star3", q.String(), fromEngineDB(t, edb), 1})
+	}
+	{
+		tp := workload.NewTPCH(0.01, 0.1, rng)
+		shapes = append(shapes, shape{"tpch", tp.Query(tp.Suppliers, "%red%").String(), fromEngineDB(t, tp.DB), 3})
+	}
+
+	for _, sh := range shapes {
+		for _, workers := range []int{1, 4} {
+			opts := AnytimeOptions{Epsilon: 0.05, Workers: workers, Seed: 11, MCMaxSamples: 2048}
+			full, err := sh.db.RankAnytime(sh.query, &opts)
+			if err != nil {
+				t.Fatalf("%s w=%d: full: %v", sh.label, workers, err)
+			}
+			if !full.Converged {
+				t.Fatalf("%s w=%d: full run did not converge (width %g)", sh.label, workers, full.Width)
+			}
+			top, err := sh.db.RankTopKAnytime(context.Background(), sh.query, sh.k, &opts)
+			if err != nil {
+				t.Fatalf("%s w=%d: topk: %v", sh.label, workers, err)
+			}
+			if !top.Converged {
+				t.Fatalf("%s w=%d: top-k run did not converge (width %g)", sh.label, workers, top.Width)
+			}
+			want := sh.k
+			if want > len(full.Answers) {
+				want = len(full.Answers)
+			}
+			if len(top.Answers) != want {
+				t.Fatalf("%s w=%d: %d answers, want %d", sh.label, workers, len(top.Answers), want)
+			}
+			for i, a := range top.Answers {
+				f := full.Answers[i]
+				if stringsKey(a.Values) != stringsKey(f.Values) {
+					t.Fatalf("%s w=%d rank %d: pruned answer %v, full answer %v", sh.label, workers, i, a.Values, f.Values)
+				}
+				if a.Lower != f.Lower || a.Upper != f.Upper {
+					t.Fatalf("%s w=%d rank %d (%v): pruned interval [%v, %v] != full [%v, %v]",
+						sh.label, workers, i, a.Values, a.Lower, a.Upper, f.Lower, f.Upper)
+				}
 			}
 		}
 	}
