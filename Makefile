@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-smoke microbench chaos cover
+.PHONY: build test race vet check bench bench-smoke microbench chaos replication cover
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,18 @@ chaos:
 	$(GO) test -race -run 'TestChaos|TestTornTail|TestNth|TestSticky|TestShort|TestSetFault' ./internal/store/...
 	$(GO) test -race -run 'TestBudget' ./internal/engine
 	$(GO) test -race -run 'TestErrorStatus|TestRelease|TestQueryBudget|TestLoadShedding|TestDegraded|TestRobustnessMetrics|TestAnytime' ./internal/server
+	$(GO) test -race -run 'TestReplicaChaos' ./internal/replica
+
+# Replication end-to-end suite under the race detector: the wire
+# protocol, the tailer lifecycle (bootstrap/resume/diverge/reconnect),
+# the store's log-shipping invariants, the /v1/wal and /v1/checkpoint
+# endpoints, the replica role surface (read-only 503s, healthz,
+# metrics), the primary-vs-replica differential, and cache invalidation
+# off shipped fingerprints. All hermetic — httptest servers, no ports.
+replication:
+	$(GO) test -race ./internal/replica
+	$(GO) test -race -run 'TestFingerprint|TestReadLog|TestReplay|TestApplyReplicated|TestInstallSnapshot|TestWaitForSeq' ./internal/store
+	$(GO) test -race -run 'TestWALEndpoint|TestCheckpointEndpoint|TestReplica' ./internal/server
 
 vet:
 	$(GO) vet ./...

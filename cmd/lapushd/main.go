@@ -13,6 +13,7 @@
 //	lapushd -rel Likes=likes.csv -rel Stars=stars.csv -addr :8080
 //	lapushd -load db.lpd -workers 16 -cache 512
 //	lapushd -data /var/lib/lapushd -rel Likes=likes.csv -wal-fsync always
+//	lapushd -replica-of http://primary:8080 -data /var/lib/lapushd-replica -addr :8081
 //
 // Endpoints:
 //
@@ -22,8 +23,15 @@
 //	POST /v1/ingest    apply a mutation batch, publish a new version
 //	GET  /v1/relations list the live version's relations
 //	GET  /v1/store     store version, WAL bytes, checkpoint progress
-//	GET  /healthz      liveness probe
+//	GET  /v1/wal       stream the retained mutation log to tailing replicas
+//	GET  /v1/checkpoint ship a fingerprinted snapshot for replica bootstrap
+//	GET  /healthz      liveness probe (role, applied seq, and lag on replicas)
 //	GET  /metrics      Prometheus text metrics
+//
+// With -replica-of the process is a permanently read-only replica: it
+// bootstraps from the primary's checkpoint, tails its WAL, and serves
+// bit-identical reads; with -data it persists what it applies and a
+// restart resumes from local state.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight queries before exiting.
@@ -43,6 +51,7 @@ import (
 
 	"lapushdb"
 	"lapushdb/internal/loader"
+	"lapushdb/internal/replica"
 	"lapushdb/internal/server"
 	"lapushdb/internal/store"
 )
@@ -73,13 +82,21 @@ func main() {
 	dataDir := flag.String("data", "", "durable store directory (WAL + checkpoints); empty serves in-memory only")
 	walFsync := flag.String("wal-fsync", "always", "WAL fsync policy: always (no acknowledged batch is ever lost) or never")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "checkpoint after this many mutation batches (<0 disables automatic checkpoints)")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary lapushd at this base URL (e.g. http://primary:8080); ingestion is refused with the primary's address, all state arrives by tailing the primary's WAL")
 	flag.Parse()
 
-	if len(rels) == 0 && *loadFile == "" && *dataDir == "" {
-		fmt.Fprintln(os.Stderr, "lapushd: need at least one -rel, a -load snapshot, or a -data store directory")
+	if len(rels) == 0 && *loadFile == "" && *dataDir == "" && *replicaOf == "" {
+		fmt.Fprintln(os.Stderr, "lapushd: need at least one -rel, a -load snapshot, a -data store directory, or -replica-of")
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *replicaOf != "" && (len(rels) > 0 || *loadFile != "") {
+		// A replica's whole state comes from the primary; a local seed
+		// would only fork it into an immediate re-bootstrap.
+		fmt.Fprintln(os.Stderr, "lapushd: -replica-of is incompatible with -rel and -load (the replica bootstraps from the primary)")
+		os.Exit(2)
+	}
+	primaryURL := strings.TrimSuffix(*replicaOf, "/")
 
 	var db *lapushdb.DB
 	var err error
@@ -102,7 +119,7 @@ func main() {
 	}
 	defer st.Close()
 
-	srv := server.NewWithStore(st, server.Config{
+	cfg := server.Config{
 		Workers:         *workers,
 		Parallelism:     *parallelism,
 		CacheSize:       *cacheSize,
@@ -113,7 +130,17 @@ func main() {
 		MaxBodyBytes:    *maxBody,
 		MaxRows:         *maxRows,
 		QueueWait:       *queueWait,
-	})
+	}
+	if primaryURL != "" {
+		tailer, err := replica.Start(replica.Options{Primary: primaryURL, Store: st})
+		if err != nil {
+			fail("%v", err)
+		}
+		defer tailer.Close()
+		cfg.ReplicaOf = primaryURL
+		cfg.ReplicaStatus = tailer.Status
+	}
+	srv := server.NewWithStore(st, cfg)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -135,8 +162,12 @@ func main() {
 	if *dataDir != "" {
 		durable = fmt.Sprintf("durable in %s (wal-fsync=%s)", *dataDir, *walFsync)
 	}
-	fmt.Fprintf(os.Stderr, "lapushd: serving %d relations (%d tuples) at version %d, %s, on %s\n",
-		len(infos), tuples, v.Seq, durable, *addr)
+	role := "primary"
+	if primaryURL != "" {
+		role = fmt.Sprintf("read replica of %s", primaryURL)
+	}
+	fmt.Fprintf(os.Stderr, "lapushd: serving %d relations (%d tuples) at version %d, %s, %s, on %s\n",
+		len(infos), tuples, v.Seq, durable, role, *addr)
 
 	select {
 	case err := <-errCh:

@@ -1,8 +1,11 @@
 // Command loadgen is the standing load harness: it drives mixed
 // workloads (point /v1/query ranks, anytime epsilon queries,
-// /v1/rank_batch, and an ingest mix that exercises the COW store and
-// cache invalidation) against a lapushd instance — a live one via
-// -addr, or a hermetic in-process one via -hermetic — over
+// /v1/rank_batch, an ingest mix that exercises the COW store and
+// cache invalidation, and a replica_read mix that ranks on a read
+// replica while the ingest churn runs on the primary) against a
+// lapushd instance — a live one via -addr (plus -replica-addr), or a
+// hermetic in-process one via -hermetic, which boots a WAL-tailing
+// primary+replica pair whenever a replica workload is selected — over
 // deterministic seeded chain/star/TPC-H-shaped datasets, and records
 // ops, per-status error counts, and p50/p95/p99 latencies into the
 // versioned BENCH_<rev>.json trajectory schema.
@@ -11,6 +14,7 @@
 //
 //	loadgen -hermetic -rev $(git rev-parse --short HEAD)
 //	loadgen -addr http://127.0.0.1:8080 -workloads point,batch -duration 30s
+//	loadgen -addr http://primary:8080 -replica-addr http://replica:8080 -workloads replica_read
 //	loadgen -hermetic -duration 1s -warmup 200ms -max-error-rate 0.05 -out bench-smoke.json
 //
 // Each workload runs warmup → timed window at -c concurrency; request
@@ -38,7 +42,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", "", "base URL of a live lapushd (e.g. http://127.0.0.1:8080)")
-	hermetic := flag.Bool("hermetic", false, "spin up an in-process lapushd over an ephemeral store instead of targeting -addr")
+	replicaAddr := flag.String("replica-addr", "", "base URL of a read replica of -addr; replica-targeted requests (replica_read mix) go here")
+	hermetic := flag.Bool("hermetic", false, "spin up an in-process lapushd over an ephemeral store instead of targeting -addr (plus a WAL-tailing replica when a replica workload is selected)")
 	workloads := flag.String("workloads", strings.Join(bench.WorkloadNames(), ","), "comma-separated workload mixes to run")
 	concurrency := flag.Int("c", 8, "concurrent workers per workload")
 	warmup := flag.Duration("warmup", time.Second, "unrecorded warmup per workload")
@@ -56,14 +61,37 @@ func main() {
 	if (*addr == "") == !*hermetic {
 		fail("exactly one of -addr or -hermetic is required")
 	}
-	base := *addr
+	wantReplica := false
+	for _, name := range strings.Split(*workloads, ",") {
+		if strings.TrimSpace(name) == "replica_read" {
+			wantReplica = true
+		}
+	}
+	base, replicaBase := *addr, *replicaAddr
 	if *hermetic {
-		ts := server.NewHermetic(server.Config{})
-		defer ts.Close()
-		base = ts.URL
-		fmt.Fprintf(os.Stderr, "loadgen: hermetic lapushd at %s\n", base)
+		if replicaBase != "" {
+			fail("-replica-addr targets a live replica; it cannot combine with -hermetic")
+		}
+		if wantReplica {
+			pair, err := server.NewHermeticPair(server.Config{})
+			if err != nil {
+				fail("hermetic pair: %v", err)
+			}
+			defer pair.Close()
+			base, replicaBase = pair.Primary.URL, pair.Replica.URL
+			fmt.Fprintf(os.Stderr, "loadgen: hermetic lapushd primary at %s, replica at %s\n", base, replicaBase)
+		} else {
+			ts := server.NewHermetic(server.Config{})
+			defer ts.Close()
+			base = ts.URL
+			fmt.Fprintf(os.Stderr, "loadgen: hermetic lapushd at %s\n", base)
+		}
+	}
+	if wantReplica && replicaBase == "" {
+		fmt.Fprintf(os.Stderr, "loadgen: no -replica-addr; replica_read reads fall back to the primary\n")
 	}
 	base = strings.TrimRight(base, "/")
+	replicaBase = strings.TrimRight(replicaBase, "/")
 
 	cfg := bench.Config{Seed: *seed}.WithDefaults()
 	if *scale != 1 {
@@ -97,6 +125,7 @@ func main() {
 
 	rc := bench.RunConfig{
 		BaseURL:     base,
+		ReplicaURL:  replicaBase,
 		Concurrency: *concurrency,
 		Warmup:      *warmup,
 		Duration:    *duration,
@@ -109,6 +138,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "loadgen: seeding dataset (%d setup requests, seed %d, scale %g)\n", len(setup), *seed, *scale)
 	if err := bench.Setup(ctx, rc, setup); err != nil {
 		fail("%v", err)
+	}
+	if replicaBase != "" {
+		wctx, cancel := context.WithTimeout(ctx, time.Minute)
+		err := bench.WaitConverged(wctx, rc)
+		cancel()
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: replica converged on the seeded dataset\n")
 	}
 
 	th := bench.Thresholds{MaxErrorRate: *maxErrorRate, MaxP99: *maxP99, MinOps: *minOps}

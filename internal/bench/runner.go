@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,6 +17,10 @@ import (
 type RunConfig struct {
 	// BaseURL is the target server ("http://127.0.0.1:8080").
 	BaseURL string
+	// ReplicaURL, when set, receives requests tagged TargetReplica
+	// (setup always goes to BaseURL — replicas refuse ingest). Empty
+	// means no replica: tagged requests fall back to BaseURL.
+	ReplicaURL string
 	// Concurrency is the number of workers pulling from the request
 	// stream (default 8).
 	Concurrency int
@@ -60,6 +65,14 @@ type statusError struct {
 
 func (e *statusError) Error() string {
 	return fmt.Sprintf("status %d: %s", e.code, e.body)
+}
+
+// target picks the base URL a request routes to.
+func (c RunConfig) target(r Request) string {
+	if r.Target == TargetReplica && c.ReplicaURL != "" {
+		return c.ReplicaURL
+	}
+	return c.BaseURL
 }
 
 // do issues one request, returning the HTTP status (0 on transport
@@ -120,6 +133,60 @@ func doSetup(ctx context.Context, client *http.Client, base string, r Request) (
 	return resp.StatusCode, nil
 }
 
+// WaitConverged polls the primary's and the replica's /healthz until
+// the replica reports the same (version, fingerprint) — the pinned
+// snapshot the primary served when polling began, not a moving target,
+// so a concurrent writer cannot starve the wait. Called between Setup
+// and the timed window of a replica workload: the first replica reads
+// must not race the seed-data shipping (an unknown BenchR1 would be a
+// query error, not staleness).
+func WaitConverged(ctx context.Context, cfg RunConfig) error {
+	cfg = cfg.withDefaults()
+	if cfg.ReplicaURL == "" {
+		return nil
+	}
+	type health struct {
+		Version     uint64 `json:"version"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	get := func(base string) (health, error) {
+		var h health
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return h, err
+		}
+		resp, err := cfg.Client.Do(req)
+		if err != nil {
+			return h, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return h, fmt.Errorf("healthz status %d", resp.StatusCode)
+		}
+		return h, json.NewDecoder(resp.Body).Decode(&h)
+	}
+	want, err := get(cfg.BaseURL)
+	if err != nil {
+		return fmt.Errorf("bench: primary healthz: %w", err)
+	}
+	for {
+		got, err := get(cfg.ReplicaURL)
+		if err == nil && got.Version >= want.Version {
+			if got.Version > want.Version || got.Fingerprint == want.Fingerprint {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			if err == nil {
+				err = fmt.Errorf("replica at (%d, %s), want (%d, %s)", got.Version, got.Fingerprint, want.Version, want.Fingerprint)
+			}
+			return fmt.Errorf("bench: replica never converged: %w (last: %v)", ctx.Err(), err)
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
 // workerStats is one worker's private tally, merged after the run so
 // the hot loop takes no locks.
 type workerStats struct {
@@ -154,7 +221,7 @@ func Run(ctx context.Context, cfg RunConfig, wl Workload) (WorkloadResult, error
 					i := next.Add(1) - 1
 					req := wl.Next(i)
 					t0 := time.Now()
-					code, err := do(phaseCtx, cfg.Client, cfg.BaseURL, req)
+					code, err := do(phaseCtx, cfg.Client, cfg.target(req), req)
 					elapsed := time.Since(t0)
 					if phaseCtx.Err() != nil && code == 0 {
 						// The phase deadline cut this request off

@@ -77,6 +77,153 @@ func TestRunnerHermetic(t *testing.T) {
 	}
 }
 
+// TestRunnerReplicaRouting pins the request routing of a replicated
+// run: TargetReplica requests hit ReplicaURL, everything else —
+// including all of setup — hits BaseURL, and with no ReplicaURL the
+// tagged requests fall back to the primary.
+func TestRunnerReplicaRouting(t *testing.T) {
+	count := func(m map[string]*atomic.Int64) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			m[r.URL.Path].Add(1)
+			w.Write([]byte(`{}`))
+		})
+	}
+	pHits := map[string]*atomic.Int64{"/v1/ingest": {}, "/v1/query": {}}
+	rHits := map[string]*atomic.Int64{"/v1/ingest": {}, "/v1/query": {}}
+	primary := httptest.NewServer(count(pHits))
+	defer primary.Close()
+	replica := httptest.NewServer(count(rHits))
+	defer replica.Close()
+
+	wl := Workload{Name: "split", Next: func(i int64) Request {
+		if i%2 == 0 {
+			return Request{Method: "POST", Path: "/v1/ingest", Body: []byte(`{}`)}
+		}
+		return Request{Method: "POST", Path: "/v1/query", Body: []byte(`{}`), Target: TargetReplica}
+	}}
+	rc := RunConfig{
+		BaseURL:     primary.URL,
+		ReplicaURL:  replica.URL,
+		Concurrency: 2,
+		Warmup:      10 * time.Millisecond,
+		Duration:    150 * time.Millisecond,
+		Client:      primary.Client(),
+	}
+	if err := Setup(context.Background(), rc, []Request{{Method: "POST", Path: "/v1/ingest", Target: TargetReplica}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rHits["/v1/ingest"].Load(); got != 0 {
+		t.Fatalf("setup leaked %d requests to the replica", got)
+	}
+	res, err := Run(context.Background(), rc, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Ops == 0 {
+		t.Fatalf("stub run failed: %+v", res)
+	}
+	if rHits["/v1/query"].Load() == 0 || rHits["/v1/ingest"].Load() != 0 {
+		t.Fatalf("replica saw query=%d ingest=%d, want queries only",
+			rHits["/v1/query"].Load(), rHits["/v1/ingest"].Load())
+	}
+	if pHits["/v1/ingest"].Load() == 0 || pHits["/v1/query"].Load() != 0 {
+		t.Fatalf("primary saw query=%d ingest=%d, want ingest only",
+			pHits["/v1/query"].Load(), pHits["/v1/ingest"].Load())
+	}
+
+	// No replica configured: the tagged requests run against the primary
+	// instead of erroring out.
+	before := pHits["/v1/query"].Load()
+	rc.ReplicaURL = ""
+	if _, err := Run(context.Background(), rc, wl); err != nil {
+		t.Fatal(err)
+	}
+	if pHits["/v1/query"].Load() == before {
+		t.Fatal("fallback run sent no tagged requests to the primary")
+	}
+}
+
+// TestWaitConvergedErrors pins WaitConverged's refusal paths: no-op
+// without a replica, fail fast on an unreachable primary, and report
+// the replica's stuck position when the deadline expires.
+func TestWaitConvergedErrors(t *testing.T) {
+	if err := WaitConverged(context.Background(), RunConfig{BaseURL: "http://127.0.0.1:0"}); err != nil {
+		t.Fatalf("no replica configured must be a no-op, got %v", err)
+	}
+
+	stuck := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"version":1,"fingerprint":"a@1"}`))
+	}))
+	defer stuck.Close()
+	ahead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"version":5,"fingerprint":"b@5"}`))
+	}))
+	defer ahead.Close()
+
+	dead := stuck.URL[:strings.LastIndex(stuck.URL, ":")] + ":1"
+	if err := WaitConverged(context.Background(), RunConfig{BaseURL: dead, ReplicaURL: stuck.URL}); err == nil {
+		t.Fatal("unreachable primary did not fail")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	err := WaitConverged(ctx, RunConfig{BaseURL: ahead.URL, ReplicaURL: stuck.URL})
+	if err == nil || !strings.Contains(err.Error(), "never converged") {
+		t.Fatalf("lagging replica: %v, want a never-converged deadline error", err)
+	}
+
+	// A replica that moved past the pinned primary snapshot (writes
+	// landed between the two polls) counts as converged.
+	if err := WaitConverged(context.Background(), RunConfig{BaseURL: stuck.URL, ReplicaURL: ahead.URL}); err != nil {
+		t.Fatalf("replica ahead of the pinned snapshot: %v", err)
+	}
+}
+
+// TestReplicaReadWorkloadPair runs the replica_read mix against a real
+// hermetic primary+replica pair: seed the primary, wait for the
+// replica to converge, then rank on the replica while the ingest churn
+// rotates the primary's versions. Every request must succeed — replica
+// reads may be stale, never failing.
+func TestReplicaReadWorkloadPair(t *testing.T) {
+	pair, err := server.NewHermeticPair(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+	rc := RunConfig{
+		BaseURL:     pair.Primary.URL,
+		ReplicaURL:  pair.Replica.URL,
+		Concurrency: 4,
+		Warmup:      50 * time.Millisecond,
+		Duration:    300 * time.Millisecond,
+		Logf:        t.Logf,
+	}
+	cfg := Config{Seed: 9, ChainN: 60, ChainDomain: 25, StarN: 30, StarDomain: 12, Suppliers: 20, Parts: 40}
+	ctx := context.Background()
+	if err := Setup(ctx, rc, SetupRequests(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := WaitConverged(wctx, rc); err != nil {
+		t.Fatal(err)
+	}
+	wl, err := ByName(cfg, "replica_read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ctx, rc, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors %d of %d ops, status %v", res.Errors, res.Ops, res.Status)
+	}
+}
+
 // TestSetupTolerantRerun re-seeds the same server twice: the second
 // pass must survive the create_relation conflicts (tolerated 400s) so
 // loadgen can rerun against a durable store.

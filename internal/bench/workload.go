@@ -23,7 +23,17 @@ type Request struct {
 	// against the same durable store). The runner downgrades such
 	// failures to a warning instead of aborting.
 	TolerateConflict bool
+	// Target selects which server of a primary+replica deployment the
+	// request goes to: "" means the primary (RunConfig.BaseURL),
+	// TargetReplica means RunConfig.ReplicaURL. A runner with no
+	// replica configured sends everything to the primary, so replica
+	// mixes still run (as a pure primary workload) in single-node
+	// setups.
+	Target string
 }
+
+// TargetReplica routes a Request to RunConfig.ReplicaURL.
+const TargetReplica = "replica"
 
 // Workload is one named request mix. Setup is issued sequentially
 // before the timed run (shared across mixes — see SetupRequests);
@@ -243,7 +253,9 @@ func SetupRequests(c Config) []Request {
 }
 
 // WorkloadNames lists the available mixes in canonical order.
-func WorkloadNames() []string { return []string{"point", "anytime", "batch", "ingest"} }
+func WorkloadNames() []string {
+	return []string{"point", "anytime", "batch", "ingest", "replica_read"}
+}
 
 // ByName builds the named workload mix over the dataset of
 // SetupRequests(c).
@@ -258,6 +270,8 @@ func ByName(c Config, name string) (Workload, error) {
 		return batchWorkload(c), nil
 	case "ingest":
 		return ingestWorkload(c), nil
+	case "replica_read":
+		return replicaReadWorkload(c), nil
 	default:
 		return Workload{}, fmt.Errorf("bench: unknown workload %q (have %s)", name, strings.Join(WorkloadNames(), ", "))
 	}
@@ -362,6 +376,40 @@ func ingestWorkload(c Config) Workload {
 				}, false)
 			}
 			return queryReq(queryBody{Query: reads[r.Intn(len(reads))], Method: "diss"})
+		},
+	}
+}
+
+// replicaReadWorkload is the ingest mix split across a replicated
+// pair: the mutation batches (same net-zero churn as ingestWorkload)
+// go to the primary while the point ranks are tagged TargetReplica, so
+// a primary+replica run measures replica read latency under live WAL
+// shipping — each shipped batch rotates the replica's fingerprint and
+// invalidates its caches mid-run. Replica reads may observe a slightly
+// stale version (see DESIGN.md's staleness contract); they must still
+// answer without errors.
+func replicaReadWorkload(c Config) Workload {
+	reads := []string{chainPrefixQuery, chainFullQuery, starQuery, c.tpchQuery("%red%")}
+	tops := []int{0, 0, 10, 5}
+	return Workload{
+		Name: "replica_read",
+		Next: func(i int64) Request {
+			r := rng(c.Seed, i)
+			if i%4 == 0 {
+				tuple := []string{strconv.Itoa(r.Intn(c.ChainDomain)), "rep" + strconv.FormatInt(i, 10)}
+				return ingestReq([]mutation{
+					{Op: opInsert, Rel: "BenchR2", Tuple: tuple, P: fprob(r, c.PiMax)},
+					{Op: opSetProb, Rel: "BenchR2", Tuple: tuple, P: fprob(r, c.PiMax)},
+					{Op: opDelete, Rel: "BenchR2", Tuple: tuple},
+				}, false)
+			}
+			req := queryReq(queryBody{
+				Query:  reads[r.Intn(len(reads))],
+				Method: "diss",
+				Top:    tops[r.Intn(len(tops))],
+			})
+			req.Target = TargetReplica
+			return req
 		},
 	}
 }

@@ -1,0 +1,201 @@
+package replica_test
+
+// Chaos tests for the replication pipeline, same acceptance shape as
+// the store's WAL/checkpoint sweep: for every injected fault the
+// replica either refuses cleanly (keeps serving its last good version,
+// reports the error, retries) or recovers to a published version
+// bit-identical to the primary's — never a torn or diverged state.
+//
+// Two fault families: errfs faults on the replica's own durability
+// path (its WAL appends and checkpoint writes while applying shipped
+// records), and mid-stream disconnects injected by a byte-cutting TCP
+// proxy between the tailer and the primary (cutting snapshots and
+// record frames at arbitrary byte positions, including mid-frame).
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lapushdb"
+	"lapushdb/internal/store"
+	"lapushdb/internal/store/errfs"
+)
+
+func TestReplicaChaosWALFaults(t *testing.T) {
+	faults := []errfs.Fault{
+		{Op: errfs.OpWrite, Nth: 1},
+		{Op: errfs.OpWrite, Nth: 2, Short: true},
+		{Op: errfs.OpWrite, Nth: 4},
+		{Op: errfs.OpSync, Nth: 1},
+		{Op: errfs.OpSync, Nth: 3},
+		{Op: errfs.OpWrite, Nth: 1, Sticky: true},
+		{Op: errfs.OpSync, Nth: 2, Sticky: true},
+		{Op: errfs.OpRename, Nth: 1},
+	}
+	for _, fault := range faults {
+		fault := fault
+		name := fmt.Sprintf("%s-nth%d", fault.Op, fault.Nth)
+		if fault.Short {
+			name += "-short"
+		}
+		if fault.Sticky {
+			name += "-sticky"
+		}
+		t.Run(name, func(t *testing.T) {
+			pst, err := store.Open(seedDB(t), store.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pst.Close()
+			mutateN(t, pst, 3)
+			primary := newPrimary(t, pst)
+
+			dir := t.TempDir()
+			fs := errfs.New(store.OSFS, errfs.Fault{})
+			rst, err := store.Open(lapushdb.Open(), store.Options{
+				Dir:              dir,
+				FS:               fs,
+				BreakerThreshold: 2,
+				RetryAttempts:    1,
+				RetryBackoff:     time.Millisecond,
+				ProbeInterval:    5 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rst.Close()
+
+			// Arm the fault, then let the tailer bootstrap and stream
+			// into the faulty store while the primary keeps moving.
+			fs.SetFault(fault)
+			rep := startTailer(t, primary.URL, rst)
+			mutateN(t, pst, 4)
+
+			// The injected failure window: the tailer may refuse
+			// batches, trip the breaker, or error a bootstrap — all it
+			// must never do is publish a wrong version. Give it a
+			// moment to run into the fault.
+			deadline := time.Now().Add(2 * time.Second)
+			for fs.Fired() == 0 && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			if fs.Fired() == 0 {
+				t.Logf("fault %+v never fired (path not exercised this run)", fault)
+			}
+
+			// Clear the injection: recovery must now converge to the
+			// primary bit-for-bit (the probe re-arms a tripped breaker).
+			fs.Disarm()
+			mutateN(t, pst, 2)
+			waitConverged(t, pst, rst)
+			if st := rep.Status(); st.LastError != "" && rst.Current().Seq != pst.Current().Seq {
+				t.Fatalf("converged but still failing: %+v", st)
+			}
+
+			// And the durable state must survive a restart: reopening
+			// the replica's directory (clean FS) recovers exactly the
+			// version it was serving.
+			want := rst.Current()
+			wantBytes := dbBytes(t, want.DB)
+			if err := rep.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := rst.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re, err := store.Open(nil, store.Options{Dir: dir})
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer re.Close()
+			rv := re.Current()
+			if rv.Seq != want.Seq || rv.Fingerprint != want.Fingerprint {
+				t.Fatalf("recovered (%d, %s), want (%d, %s)", rv.Seq, rv.Fingerprint, want.Seq, want.Fingerprint)
+			}
+			if !bytes.Equal(wantBytes, dbBytes(t, rv.DB)) {
+				t.Fatal("recovered replica state is not bit-identical")
+			}
+		})
+	}
+}
+
+// cutProxy forwards TCP to target, cutting the server-to-client copy
+// of connection n after limit(n) bytes — so early streams die mid-
+// snapshot or mid-frame and later ones live progressively longer.
+func startCutProxy(t testing.TB, target string, limit func(conn int64) int64) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var conns atomic.Int64
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n := conns.Add(1)
+			go func(c net.Conn, budget int64) {
+				defer c.Close()
+				up, err := net.Dial("tcp", target)
+				if err != nil {
+					return
+				}
+				defer up.Close()
+				go func() {
+					_, _ = io.Copy(up, c)
+				}()
+				_, _ = io.CopyN(c, up, budget)
+				// Budget spent (or upstream closed): both sides drop,
+				// tearing whatever frame was in flight.
+			}(c, limit(n))
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestReplicaChaosMidStreamDisconnects(t *testing.T) {
+	pst, err := store.Open(seedDB(t), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pst.Close()
+	// Enough history that the snapshot and the record stream both span
+	// many kilobytes: the early byte budgets cut them mid-flight.
+	mutateN(t, pst, 60)
+	primary := newPrimary(t, pst)
+	target := strings.TrimPrefix(primary.URL, "http://")
+
+	proxyAddr := startCutProxy(t, target, func(conn int64) int64 {
+		if conn > 20 {
+			return 1 << 30
+		}
+		return 200 << conn
+	})
+
+	rst, err := store.Open(lapushdb.Open(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	rep := startTailer(t, "http://"+proxyAddr, rst)
+	mutateN(t, pst, 10)
+	waitConverged(t, pst, rst)
+	st := rep.Status()
+	if st.Reconnects < 1 {
+		t.Fatalf("the proxy cut nothing: %+v", st)
+	}
+	t.Logf("converged through %d reconnects, %d bootstraps", st.Reconnects, st.Bootstraps)
+
+	// Steady state through the now-permissive proxy still works.
+	mutateN(t, pst, 3)
+	waitConverged(t, pst, rst)
+}

@@ -1,0 +1,373 @@
+package replica_test
+
+// End-to-end tailer tests: real HTTP primaries (the full internal/server
+// handler stack over httptest), real replica stores, no mocks. These
+// live in an external test package because internal/server imports
+// internal/replica for the role plumbing.
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lapushdb"
+	"lapushdb/internal/replica"
+	"lapushdb/internal/server"
+	"lapushdb/internal/store"
+)
+
+func pf(p float64) *float64 { return &p }
+
+func seedDB(t testing.TB) *lapushdb.DB {
+	t.Helper()
+	db := lapushdb.Open()
+	likes, err := db.CreateRelation("Likes", "user", "movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stars, err := db.CreateRelation("Stars", "movie", "actor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range []struct {
+		rel  *lapushdb.Relation
+		p    float64
+		a, b string
+	}{
+		{likes, 0.9, "ann", "heat"},
+		{likes, 0.5, "bob", "heat"},
+		{stars, 0.8, "heat", "deniro"},
+		{stars, 0.3, "heat", "pacino"},
+	} {
+		if err := ins.rel.Insert(ins.p, ins.a, ins.b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func dbBytes(t testing.TB, db *lapushdb.DB) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := db.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// mutateN applies n single-mutation batches, alternating inserts and
+// deletes so the data actually changes shape.
+func mutateN(t testing.TB, st *store.Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		user := "u" + string(rune('a'+i%26))
+		var muts []store.Mutation
+		if i%3 == 2 {
+			muts = []store.Mutation{{Op: store.OpSetProb, Rel: "Likes", Tuple: []string{"ann", "heat"}, P: pf(0.2 + float64(i%7)/10)}}
+		} else {
+			muts = []store.Mutation{{Op: store.OpInsert, Rel: "Likes", Tuple: []string{user, "ronin" + string(rune('0'+i%10))}, P: pf(0.4)}}
+		}
+		if _, err := st.Apply(muts); err != nil {
+			t.Fatalf("mutate %d: %v", i, err)
+		}
+	}
+}
+
+// newPrimary serves st over the full lapushd handler stack.
+func newPrimary(t testing.TB, st *store.Store) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.NewWithStore(st, server.Config{WALStreamWindow: 2 * time.Second}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// startTailer starts a fast-cycling, quiet tailer for tests.
+func startTailer(t testing.TB, primary string, st *store.Store) *replica.Replica {
+	t.Helper()
+	rep, err := replica.Start(replica.Options{
+		Primary:          primary,
+		Store:            st,
+		ReconnectBackoff: 20 * time.Millisecond,
+		MaxBackoff:       200 * time.Millisecond,
+		StreamWindow:     time.Second,
+		Logf:             func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rep.Close() })
+	return rep
+}
+
+// waitConverged blocks until rst reaches pst's current head and
+// verifies fingerprint parity plus bit-identity of the Save bytes.
+func waitConverged(t testing.TB, pst, rst *store.Store) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	pv := pst.Current()
+	if err := rst.WaitForSeq(ctx, pv.Seq); err != nil {
+		rv := rst.Current()
+		t.Fatalf("replica stuck at (%d, %s) waiting for seq %d: %v", rv.Seq, rv.Fingerprint, pv.Seq, err)
+	}
+	rv := rst.Current()
+	if rv.Seq != pv.Seq || rv.Fingerprint != pv.Fingerprint {
+		t.Fatalf("replica at (%d, %s), primary at (%d, %s)", rv.Seq, rv.Fingerprint, pv.Seq, pv.Fingerprint)
+	}
+	if !bytes.Equal(dbBytes(t, pv.DB), dbBytes(t, rv.DB)) {
+		t.Fatal("replica state is not bit-identical to the primary's")
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	st, err := store.Open(lapushdb.Open(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := replica.Start(replica.Options{Store: st}); err == nil {
+		t.Fatal("Start without a primary address succeeded")
+	}
+	if _, err := replica.Start(replica.Options{Primary: "http://x"}); err == nil {
+		t.Fatal("Start without a store succeeded")
+	}
+	if _, err := replica.Start(replica.Options{Primary: "http://bad\x7f", Store: st}); err == nil {
+		t.Fatal("Start with an unparseable primary URL succeeded")
+	}
+}
+
+// TestDefaultOptionsConverge runs the tailer with every tunable left
+// zero: production defaults must bootstrap and converge unaided.
+func TestDefaultOptionsConverge(t *testing.T) {
+	pst, err := store.Open(seedDB(t), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pst.Close()
+	mutateN(t, pst, 2)
+	primary := newPrimary(t, pst)
+	rst, err := store.Open(lapushdb.Open(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	rep, err := replica.Start(replica.Options{Primary: primary.URL, Store: rst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rep.Close() })
+	waitConverged(t, pst, rst)
+}
+
+func TestBootstrapThenTail(t *testing.T) {
+	pst, err := store.Open(seedDB(t), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pst.Close()
+	mutateN(t, pst, 3)
+	primary := newPrimary(t, pst)
+
+	// A fresh empty replica cannot share the seeded primary's history:
+	// it must bootstrap from the checkpoint, then tail.
+	rst, err := store.Open(lapushdb.Open(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	rep := startTailer(t, primary.URL, rst)
+	waitConverged(t, pst, rst)
+	st := rep.Status()
+	if st.Bootstraps < 1 {
+		t.Fatalf("expected a snapshot bootstrap, status %+v", st)
+	}
+
+	// Later batches arrive by streaming, not re-bootstrapping.
+	mutateN(t, pst, 4)
+	waitConverged(t, pst, rst)
+	if got := rep.Status(); got.Bootstraps != st.Bootstraps {
+		t.Fatalf("streaming phase bootstrapped again: %+v", got)
+	}
+}
+
+func TestEmptyPrimaryNeedsNoBootstrap(t *testing.T) {
+	pst, err := store.Open(lapushdb.Open(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pst.Close()
+	primary := newPrimary(t, pst)
+	rst, err := store.Open(lapushdb.Open(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	rep := startTailer(t, primary.URL, rst)
+
+	// Both sides start at (0, empty): the stream opens clean, and the
+	// whole seeded history replays through ApplyReplicated.
+	if _, err := pst.Apply([]store.Mutation{
+		{Op: store.OpCreateRelation, Rel: "Likes", Cols: []string{"user", "movie"}},
+		{Op: store.OpInsert, Rel: "Likes", Tuple: []string{"ann", "heat"}, P: pf(0.9)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mutateN(t, pst, 3)
+	waitConverged(t, pst, rst)
+	if st := rep.Status(); st.Bootstraps != 0 {
+		t.Fatalf("matching-history replica bootstrapped: %+v", st)
+	}
+}
+
+func TestRestartResumesFromLocalState(t *testing.T) {
+	pst, err := store.Open(seedDB(t), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pst.Close()
+	mutateN(t, pst, 3)
+	primary := newPrimary(t, pst)
+
+	dir := t.TempDir()
+	rst, err := store.Open(lapushdb.Open(), store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := startTailer(t, primary.URL, rst)
+	waitConverged(t, pst, rst)
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rst.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The primary moves on while the replica is down (still within the
+	// retained log tail).
+	mutateN(t, pst, 5)
+
+	// Restart: the replica recovers its position from its own
+	// checkpoint + WAL and resumes by streaming — no snapshot transfer.
+	rst2, err := store.Open(nil, store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst2.Close()
+	if rst2.Current().Seq == 0 {
+		t.Fatal("restarted replica lost its local state")
+	}
+	rep2 := startTailer(t, primary.URL, rst2)
+	waitConverged(t, pst, rst2)
+	if st := rep2.Status(); st.Bootstraps != 0 {
+		t.Fatalf("restart re-bootstrapped instead of resuming from local state: %+v", st)
+	}
+}
+
+func TestDivergedReplicaRebootstraps(t *testing.T) {
+	pst, err := store.Open(seedDB(t), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pst.Close()
+	mutateN(t, pst, 2)
+	primary := newPrimary(t, pst)
+
+	// A replica that wrote its own history (same seq, different data)
+	// is refused by the fingerprint check and must re-bootstrap.
+	rst, err := store.Open(seedDB(t), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	if _, err := rst.Apply([]store.Mutation{
+		{Op: store.OpInsert, Rel: "Stars", Tuple: []string{"ronin", "deniro"}, P: pf(0.6)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep := startTailer(t, primary.URL, rst)
+	waitConverged(t, pst, rst)
+	if st := rep.Status(); st.Bootstraps < 1 {
+		t.Fatalf("diverged replica converged without a bootstrap: %+v", st)
+	}
+}
+
+func TestReconnectsWhilePrimaryDown(t *testing.T) {
+	pst, err := store.Open(seedDB(t), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pst.Close()
+	mutateN(t, pst, 2)
+
+	// Reserve an address, then start the tailer against it while
+	// nothing listens: every attempt is a refused connection.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	rst, err := store.Open(lapushdb.Open(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	rep := startTailer(t, "http://"+addr, rst)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for rep.Status().Reconnects < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no reconnect attempts recorded: %+v", rep.Status())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := rep.Status(); st.Connected || st.LastError == "" {
+		t.Fatalf("down primary reported as healthy: %+v", st)
+	}
+
+	// Bring the primary up on the reserved address; the tailer's next
+	// backoff cycle finds it and converges.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("reserved address %s was taken: %v", addr, err)
+	}
+	hs := &http.Server{Handler: server.NewWithStore(pst, server.Config{WALStreamWindow: 2 * time.Second})}
+	go hs.Serve(ln2)
+	defer hs.Close()
+	waitConverged(t, pst, rst)
+}
+
+func TestLagAndCaughtUpReporting(t *testing.T) {
+	pst, err := store.Open(seedDB(t), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pst.Close()
+	primary := newPrimary(t, pst)
+	rst, err := store.Open(seedDB(t), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	rep := startTailer(t, primary.URL, rst)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rep.WaitCaughtUp(ctx); err != nil {
+		t.Fatalf("WaitCaughtUp: %v", err)
+	}
+	st := rep.Status()
+	if !st.Connected || !st.CaughtUp || st.LagSeconds != 0 {
+		t.Fatalf("caught-up status = %+v", st)
+	}
+	mutateN(t, pst, 1)
+	waitConverged(t, pst, rst)
+	if st := rep.Status(); st.AppliedSeq != 1 || st.HeadSeq != 1 {
+		t.Fatalf("post-ingest status = %+v", st)
+	}
+}

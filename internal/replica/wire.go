@@ -1,0 +1,129 @@
+// Package replica implements WAL-shipped read replication for lapushd.
+//
+// A replica is a read-only lapushd that follows a primary's mutation
+// log over HTTP: it bootstraps from a fingerprinted snapshot
+// (GET /v1/checkpoint), then tails the primary's retained log
+// (GET /v1/wal?from=<seq>&fp=<fingerprint>) and applies each shipped
+// record through its local store's single serialized applier — the
+// exact code path a direct ingest takes — republishing the primary's
+// versions under the primary's sequence numbers and fingerprints.
+// Because mutation application is deterministic (the WAL-replay
+// contract pinned since the store landed), a replica that reaches
+// (seq, fingerprint) holds a bit-identical database and therefore
+// computes bit-identical query answers.
+//
+// Parity is verified, not assumed, at every step: the snapshot's
+// fingerprint is checked after loading it, every shipped record carries
+// the fingerprint of the version it must produce and the local apply
+// refuses to publish on mismatch, and the tail request itself presents
+// the replica's current fingerprint so the primary can refuse a
+// diverged follower. Any divergence collapses to the same recovery:
+// re-bootstrap from a fresh snapshot.
+//
+// This file is the wire protocol shared by the primary-side endpoint
+// (internal/server) and the replica-side tailer (replica.go): a stream
+// of length-prefixed, CRC-checked frames reusing the WAL's record
+// encoding — uint32 LE payload length, uint32 LE CRC32C(payload), JSON
+// payload.
+package replica
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"lapushdb/internal/store"
+)
+
+// Frame types.
+const (
+	// FrameHead reports the primary's published head (Seq, Fingerprint).
+	// Sent once at stream start and again every time the stream drains
+	// to the head, so the replica always knows its lag.
+	FrameHead = "head"
+	// FrameRecord ships one log record (Seq, Fingerprint, Muts).
+	FrameRecord = "record"
+	// FrameEnd closes a stream cleanly after the long-poll window; the
+	// replica reconnects immediately without backoff. A stream that ends
+	// without it was cut mid-flight.
+	FrameEnd = "end"
+)
+
+// Frame is one protocol message of a /v1/wal stream.
+type Frame struct {
+	Type        string           `json:"type"`
+	Seq         uint64           `json:"seq,omitempty"`
+	Fingerprint string           `json:"fingerprint,omitempty"`
+	Muts        []store.Mutation `json:"muts,omitempty"`
+}
+
+// maxFrameBytes bounds one frame's payload, mirroring the WAL record
+// bound: a corrupted length prefix must never drive a huge allocation.
+const maxFrameBytes = 64 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrFrameCorrupt reports a frame that failed its CRC or size check —
+// the stream is unusable from that point and must be re-established.
+var ErrFrameCorrupt = errors.New("replica: corrupt frame")
+
+// WriteFrame writes one frame in the wire encoding.
+func WriteFrame(w io.Writer, f Frame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("replica: encode frame: %w", err)
+	}
+	if len(payload) > maxFrameBytes {
+		return fmt.Errorf("replica: frame of %d bytes exceeds the %d byte limit", len(payload), maxFrameBytes)
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	copy(buf[8:], payload)
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame, verifying its length bound and CRC. io.EOF
+// is returned verbatim on a clean end-of-stream boundary; a partial
+// header or payload reports io.ErrUnexpectedEOF; a CRC or decode
+// failure wraps ErrFrameCorrupt.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, io.ErrUnexpectedEOF
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > maxFrameBytes {
+		return Frame{}, fmt.Errorf("%w: implausible payload length %d", ErrFrameCorrupt, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, io.ErrUnexpectedEOF
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return Frame{}, fmt.Errorf("%w: checksum mismatch", ErrFrameCorrupt)
+	}
+	var f Frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return Frame{}, fmt.Errorf("%w: %v", ErrFrameCorrupt, err)
+	}
+	return f, nil
+}
+
+// HeadFrame builds a head frame.
+func HeadFrame(seq uint64, fingerprint string) Frame {
+	return Frame{Type: FrameHead, Seq: seq, Fingerprint: fingerprint}
+}
+
+// RecordFrame wraps one log record.
+func RecordFrame(rec store.LogRecord) Frame {
+	return Frame{Type: FrameRecord, Seq: rec.Seq, Fingerprint: rec.Fingerprint, Muts: rec.Muts}
+}

@@ -1,0 +1,89 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+
+	"lapushdb/internal/store"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	p := 0.4
+	frames := []Frame{
+		HeadFrame(7, "abc@7"),
+		RecordFrame(store.LogRecord{Seq: 8, Fingerprint: "def@8", Muts: []store.Mutation{
+			{Op: store.OpInsert, Rel: "Likes", Tuple: []string{"x", "y"}, P: &p},
+		}}),
+		{Type: FrameEnd},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("WriteFrame(%+v): %v", f, err)
+		}
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Seq != want.Seq || got.Fingerprint != want.Fingerprint || len(got.Muts) != len(want.Muts) {
+			t.Fatalf("frame %d round-tripped to %+v, want %+v", i, got, want)
+		}
+	}
+	// Clean boundary after the last frame.
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("read past the end: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, HeadFrame(3, "x@3")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// A flipped payload byte fails the CRC.
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)-1] ^= 0xff
+	if _, err := ReadFrame(bytes.NewReader(flipped)); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("flipped payload: %v, want ErrFrameCorrupt", err)
+	}
+
+	// A truncated header or payload is an unexpected EOF, not a clean
+	// boundary.
+	for _, cut := range []int{3, 8, len(full) - 2} {
+		if _, err := ReadFrame(bytes.NewReader(full[:cut])); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+
+	// An implausible length prefix is refused before allocating.
+	huge := append([]byte(nil), full...)
+	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0xff
+	if _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("huge length: %v, want ErrFrameCorrupt", err)
+	}
+
+	// Garbage JSON under a valid CRC is still corrupt.
+	var g bytes.Buffer
+	payload := []byte("not json")
+	hdr := make([]byte, 8)
+	hdr[0] = byte(len(payload))
+	copy(hdr[4:8], crcBytes(payload))
+	g.Write(hdr)
+	g.Write(payload)
+	if _, err := ReadFrame(&g); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("garbage payload: %v, want ErrFrameCorrupt", err)
+	}
+}
+
+// crcBytes renders the little-endian CRC32C of payload, test-side.
+func crcBytes(payload []byte) []byte {
+	sum := crc32.Checksum(payload, crcTable)
+	return []byte{byte(sum), byte(sum >> 8), byte(sum >> 16), byte(sum >> 24)}
+}

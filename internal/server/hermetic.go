@@ -2,8 +2,11 @@ package server
 
 import (
 	"net/http/httptest"
+	"time"
 
 	"lapushdb"
+	"lapushdb/internal/replica"
+	"lapushdb/internal/store"
 )
 
 // NewHermetic is the load-harness/test hook: a fully in-process
@@ -16,4 +19,55 @@ import (
 // as it would over the wire.
 func NewHermetic(cfg Config) *httptest.Server {
 	return httptest.NewServer(New(lapushdb.Open(), cfg))
+}
+
+// HermeticPair is an in-process primary + read replica for tests and
+// the load harness: two full handler stacks over ephemeral stores, the
+// replica tailing the primary's /v1/wal exactly as a live deployment
+// would. Close tears down replica-first so the tailer never spams
+// reconnect errors against a dead primary.
+type HermeticPair struct {
+	Primary *httptest.Server
+	Replica *httptest.Server
+	Tailer  *replica.Replica
+
+	rstore *store.Store
+}
+
+// Close shuts the pair down (replica tailer, then both servers).
+func (p *HermeticPair) Close() {
+	_ = p.Tailer.Close()
+	p.Replica.Close()
+	p.Primary.Close()
+	_ = p.rstore.Close()
+}
+
+// NewHermeticPair boots a hermetic primary and one replica tailing it.
+// Both serve the full API; the replica refuses ingestion with 503 and
+// reports its lag on /healthz. The short stream window and reconnect
+// backoff keep test cycles fast.
+func NewHermeticPair(cfg Config) (*HermeticPair, error) {
+	primary := NewHermetic(cfg)
+	rst, err := store.Open(lapushdb.Open(), store.Options{})
+	if err != nil {
+		primary.Close()
+		return nil, err
+	}
+	tailer, err := replica.Start(replica.Options{
+		Primary:          primary.URL,
+		Store:            rst,
+		ReconnectBackoff: 50 * time.Millisecond,
+		StreamWindow:     2 * time.Second,
+		Logf:             func(string, ...any) {},
+	})
+	if err != nil {
+		rst.Close()
+		primary.Close()
+		return nil, err
+	}
+	rcfg := cfg
+	rcfg.ReplicaOf = primary.URL
+	rcfg.ReplicaStatus = tailer.Status
+	rep := httptest.NewServer(NewWithStore(rst, rcfg))
+	return &HermeticPair{Primary: primary, Replica: rep, Tailer: tailer, rstore: rst}, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lapushdb/internal/replica"
 	"lapushdb/internal/store"
 )
 
@@ -43,6 +44,10 @@ type metrics struct {
 	budgetExceeded   atomic.Int64 // queries aborted by their row budget
 
 	storeStats func() store.Stats // reads the store's counters at render time
+
+	// replicaStatus, when non-nil, reads the replica tailer's state at
+	// render time; the lapushd_replica_* family is emitted only then.
+	replicaStatus func() replica.Status
 }
 
 // latencyBuckets are the histogram upper bounds in seconds.
@@ -239,6 +244,22 @@ func (m *metrics) render(b *strings.Builder) {
 		fmt.Fprintf(b, "lapushd_store_wal_truncations_total %d\n", st.WALTruncations)
 		b.WriteString("# TYPE lapushd_store_readonly gauge\n")
 		fmt.Fprintf(b, "lapushd_store_readonly %d\n", boolGauge(st.ReadOnly))
+	}
+
+	if m.replicaStatus != nil {
+		rs := m.replicaStatus()
+		b.WriteString("# TYPE lapushd_replica_lag_seconds gauge\n")
+		fmt.Fprintf(b, "lapushd_replica_lag_seconds %s\n", formatFloat(rs.LagSeconds))
+		b.WriteString("# TYPE lapushd_replica_applied_seq gauge\n")
+		fmt.Fprintf(b, "lapushd_replica_applied_seq %d\n", rs.AppliedSeq)
+		b.WriteString("# TYPE lapushd_replica_head_seq gauge\n")
+		fmt.Fprintf(b, "lapushd_replica_head_seq %d\n", rs.HeadSeq)
+		b.WriteString("# TYPE lapushd_replica_connected gauge\n")
+		fmt.Fprintf(b, "lapushd_replica_connected %d\n", boolGauge(rs.Connected))
+		b.WriteString("# TYPE lapushd_replica_reconnects_total counter\n")
+		fmt.Fprintf(b, "lapushd_replica_reconnects_total %d\n", rs.Reconnects)
+		b.WriteString("# TYPE lapushd_replica_bootstraps_total counter\n")
+		fmt.Fprintf(b, "lapushd_replica_bootstraps_total %d\n", rs.Bootstraps)
 	}
 }
 

@@ -1,0 +1,147 @@
+package server
+
+// Primary-side replication serving: /v1/wal streams the store's
+// retained log to tailing replicas in the frame encoding of
+// internal/replica, and /v1/checkpoint ships a full fingerprinted
+// snapshot for bootstrap. Both endpoints read the same published
+// versions every query pins, so they never block the applier; both are
+// served by every lapushd, which is what lets replicas chain (a replica
+// retains its own log tail as it applies, so a second tier can tail the
+// first).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lapushdb/internal/replica"
+	"lapushdb/internal/store"
+)
+
+// walChunk is how many retained records one ReadLog call fetches while
+// streaming; a bound keeps the log lock's hold times short.
+const walChunk = 256
+
+// parseUintParam parses an optional unsigned query parameter.
+func parseUintParam(r *http.Request, name string, def uint64) (uint64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q must be an unsigned integer", name)
+	}
+	return v, nil
+}
+
+// handleWAL streams retained log records after ?from=<seq> as
+// length-prefixed CRC-checked frames. ?fp=<fingerprint>, when present,
+// is the caller's fingerprint at that position and is verified before
+// anything streams: a position older than the retained tail answers 410
+// (bootstrap from /v1/checkpoint), a fingerprint mismatch or a position
+// past the head answers 409. The stream long-polls at the head for up
+// to ?wait_ms (capped by WALStreamWindow), re-sending a head frame each
+// time it drains, and ends with an "end" frame so the client can tell a
+// clean window close from a cut.
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	from, err := parseUintParam(r, "from", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_param", err.Error())
+		return
+	}
+	waitMS, err := parseUintParam(r, "wait_ms", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_param", err.Error())
+		return
+	}
+	window := time.Duration(waitMS) * time.Millisecond
+	if window > s.cfg.WALStreamWindow {
+		window = s.cfg.WALStreamWindow
+	}
+	fp := r.URL.Query().Get("fp")
+
+	// Validate the position (and fingerprint parity) before committing
+	// to a 200: refusals must arrive as statuses, not mid-stream cuts.
+	recs, err := s.store.ReadLog(from, fp, walChunk)
+	switch {
+	case errors.Is(err, store.ErrLogTruncated):
+		writeError(w, http.StatusGone, "log_truncated", err.Error())
+		return
+	case errors.Is(err, store.ErrDiverged):
+		writeError(w, http.StatusConflict, "diverged", err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	flush := func() {
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	deadline := time.Now().Add(window)
+	pos := from
+	for {
+		if len(recs) > 0 {
+			for _, rec := range recs {
+				if err := replica.WriteFrame(w, replica.RecordFrame(rec)); err != nil {
+					return // client gone; the cut is the signal
+				}
+				pos = rec.Seq
+			}
+			flush()
+			// The position is our own now; no fingerprint re-check.
+			if recs, err = s.store.ReadLog(pos, "", walChunk); err != nil {
+				// A concurrent trim overtook the stream position; close
+				// so the client re-requests and gets the 410 properly.
+				return
+			}
+			continue
+		}
+		// Drained to the head: report it, then long-poll for more.
+		headSeq, headFP := s.store.Head()
+		if err := replica.WriteFrame(w, replica.HeadFrame(headSeq, headFP)); err != nil {
+			return
+		}
+		flush()
+		if time.Until(deadline) <= 0 {
+			break
+		}
+		wctx, cancel := context.WithDeadline(r.Context(), deadline)
+		err := s.store.WaitForSeq(wctx, pos+1)
+		cancel()
+		if err != nil {
+			break // window elapsed or client gone; end cleanly either way
+		}
+		if recs, err = s.store.ReadLog(pos, "", walChunk); err != nil {
+			return
+		}
+	}
+	_ = replica.WriteFrame(w, replica.Frame{Type: replica.FrameEnd})
+	flush()
+}
+
+// handleCheckpoint ships the current published version as a snapshot in
+// the .lpd format, with its position in the X-Lapushd-Seq and
+// X-Lapushd-Fingerprint headers. The version is pinned up front
+// (snapshot isolation), so concurrent ingestion never tears the export;
+// replicas verify the fingerprint after loading and then tail /v1/wal
+// from the shipped seq.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	v := s.store.Current()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Lapushd-Seq", strconv.FormatUint(v.Seq, 10))
+	w.Header().Set("X-Lapushd-Fingerprint", v.Fingerprint)
+	w.WriteHeader(http.StatusOK)
+	// Mid-write failures surface to the client as a short body; the
+	// loader's format checks catch it there.
+	_ = v.DB.Save(w)
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"lapushdb"
+	"lapushdb/internal/replica"
 	"lapushdb/internal/store"
 )
 
@@ -82,6 +83,20 @@ type Config struct {
 	// deadline is below the estimate are shed immediately with 429
 	// instead of queueing toward a certain timeout. 0 disables shedding.
 	QueueWait time.Duration
+	// ReplicaOf, when non-empty, runs the server as a read replica of
+	// the primary at that base URL: /v1/ingest is refused with 503
+	// (code "read_only_replica", the primary's address in the message
+	// and the X-Lapushd-Primary header), and /healthz reports the
+	// replica role. The tailer itself lives in internal/replica; the
+	// server only serves the role.
+	ReplicaOf string
+	// ReplicaStatus supplies the tailer's status for /healthz and the
+	// lapushd_replica_* metrics. Required when ReplicaOf is set.
+	ReplicaStatus func() replica.Status
+	// WALStreamWindow caps one /v1/wal long-poll window: a tail stream
+	// is cleanly ended (frame "end") at most this long after it opened,
+	// whatever wait_ms the client asked for (default 20s).
+	WALStreamWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +132,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Parallelism > c.MaxParallelism {
 		c.Parallelism = c.MaxParallelism
+	}
+	if c.WALStreamWindow <= 0 {
+		c.WALStreamWindow = 20 * time.Second
 	}
 	return c
 }
@@ -165,8 +183,9 @@ func NewWithStore(st *store.Store, cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.Workers),
 		start:   time.Now(),
 	}
-	s.metrics = newMetrics([]string{"query", "rank_batch", "explain", "ingest", "relations", "store", "healthz", "metrics"}, s.cache.len)
+	s.metrics = newMetrics([]string{"query", "rank_batch", "explain", "ingest", "relations", "store", "healthz", "metrics", "wal", "checkpoint"}, s.cache.len)
 	s.metrics.storeStats = st.Stats
+	s.metrics.replicaStatus = cfg.ReplicaStatus
 	s.metrics.resultCacheEntries = s.results.len
 	s.cache.onEvict = func() { s.metrics.cacheEvictions.Add(1) }
 	s.results.onEvict = func() { s.metrics.resultCacheEvictions.Add(1) }
@@ -179,6 +198,8 @@ func NewWithStore(st *store.Store, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/store", s.instrument("store", http.MethodGet, s.handleStore))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
+	s.mux.HandleFunc("/v1/wal", s.instrument("wal", http.MethodGet, s.handleWAL))
+	s.mux.HandleFunc("/v1/checkpoint", s.instrument("checkpoint", http.MethodGet, s.handleCheckpoint))
 	return s
 }
 
@@ -204,6 +225,14 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so streaming handlers
+// (/v1/wal) can push frames through the instrument wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with method filtering, body size limits,
@@ -767,15 +796,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if readOnly {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	role := "primary"
+	if s.cfg.ReplicaOf != "" {
+		role = "replica"
+	}
+	body := map[string]any{
 		"status":      status,
+		"role":        role,
 		"read_only":   readOnly,
 		"uptime_s":    time.Since(s.start).Seconds(),
 		"relations":   len(infos),
 		"tuples":      tuples,
 		"version":     v.Seq,
 		"fingerprint": v.Fingerprint,
-	})
+	}
+	if s.cfg.ReplicaOf != "" {
+		body["primary"] = s.cfg.ReplicaOf
+		if s.cfg.ReplicaStatus != nil {
+			rs := s.cfg.ReplicaStatus()
+			body["replica"] = rs
+			body["applied_seq"] = rs.AppliedSeq
+			body["lag_seconds"] = rs.LagSeconds
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 type ingestRequest struct {
@@ -797,6 +841,14 @@ type ingestResponse struct {
 // that has tripped into read-only mode returns 503 with a Retry-After
 // hint while its probe works on re-arming the breaker.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ReplicaOf != "" {
+		// Replicas are permanently read-only: a write accepted here
+		// would fork the replica's history away from the log it tails.
+		w.Header().Set("X-Lapushd-Primary", s.cfg.ReplicaOf)
+		writeError(w, http.StatusServiceUnavailable, "read_only_replica",
+			fmt.Sprintf("this lapushd is a read replica; send writes to the primary at %s", s.cfg.ReplicaOf))
+		return
+	}
 	var req ingestRequest
 	if !decodeBody(w, r, &req) {
 		return

@@ -1,0 +1,266 @@
+package store
+
+// Replication support: the store retains an in-memory tail of recent
+// mutation batches — mirroring exactly what the on-disk WAL holds, i.e.
+// every record applied after the last checkpoint — so a primary can
+// serve a replica's log reads without touching the WAL file behind the
+// writer's back. Each retained record carries the fingerprint of the
+// version it produced (SchemaFingerprint@seq, the same fingerprint the
+// plan and result caches key on), which makes parity checkable at every
+// step of the pipeline: a replica that applies record N must arrive at
+// record N's fingerprint, and a log read that claims position N must
+// present N's fingerprint to be served the records after it.
+//
+// The replica side of the pipeline uses two more entry points:
+// ApplyReplicated funnels a primary's record through the same single
+// serialized applier (and local WAL) as a direct Apply, pinning the
+// primary's sequence numbering; InstallSnapshot bootstraps (or
+// re-anchors, after divergence) the whole database at an explicit
+// sequence number, durably, via the regular checkpoint protocol.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"lapushdb"
+)
+
+// ErrLogTruncated reports that a requested log position predates the
+// retained tail: the records were folded into a checkpoint (or aged out
+// of retention), so the reader must bootstrap from a snapshot instead.
+var ErrLogTruncated = errors.New("store: log truncated before requested position")
+
+// ErrDiverged reports a fingerprint parity failure: the state claimed
+// by a log reader (or produced by applying a replicated record) does
+// not match the fingerprint the log records for that sequence number.
+// The only safe recovery is a snapshot bootstrap.
+var ErrDiverged = errors.New("store: fingerprint divergence")
+
+// LogRecord is one replicable mutation batch: the batch itself, the
+// sequence number of the version it produced, and that version's
+// fingerprint, so every consumer can verify it arrived at the same
+// state the producer did.
+type LogRecord struct {
+	Seq         uint64     `json:"seq"`
+	Fingerprint string     `json:"fingerprint"`
+	Muts        []Mutation `json:"muts"`
+}
+
+// fingerprintAt renders the version fingerprint db would publish at
+// seq. publish derives the same value; keeping one formula here means
+// log records and published versions can never disagree about it.
+func Fingerprint(db *lapushdb.DB, seq uint64) string {
+	return fmt.Sprintf("%s@%d", db.SchemaFingerprint(), seq)
+}
+
+// appendLog retains one committed record in the tail, aging out the
+// oldest records beyond the retention bound (the anchor advances to the
+// last aged-out record, exactly as it advances to the checkpoint on a
+// checkpoint-driven trim).
+func (s *Store) appendLog(rec LogRecord) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	s.logTail = append(s.logTail, rec)
+	if n := len(s.logTail) - s.opts.LogRetention; n > 0 {
+		last := s.logTail[n-1]
+		s.logTail = append([]LogRecord(nil), s.logTail[n:]...)
+		s.anchorSeq, s.anchorFP = last.Seq, last.Fingerprint
+	}
+}
+
+// trimLog drops retained records at or below seq after a checkpoint
+// captured them; the anchor moves to the checkpointed version.
+func (s *Store) trimLog(seq uint64, fp string) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	i := 0
+	for i < len(s.logTail) && s.logTail[i].Seq <= seq {
+		i++
+	}
+	s.logTail = append([]LogRecord(nil), s.logTail[i:]...)
+	s.anchorSeq, s.anchorFP = seq, fp
+}
+
+// resetLog empties the tail and re-anchors it, for snapshot installs.
+func (s *Store) resetLog(seq uint64, fp string) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	s.logTail = nil
+	s.anchorSeq, s.anchorFP = seq, fp
+}
+
+// Head returns the published head's sequence number and fingerprint.
+func (s *Store) Head() (uint64, string) {
+	v := s.cur.Load()
+	return v.Seq, v.Fingerprint
+}
+
+// ReadLog returns up to max retained records with sequence numbers in
+// (after, head], oldest first. afterFP, when non-empty, is the
+// fingerprint the caller's state has at sequence `after` and is
+// verified against the log: a mismatch (or a position past the head)
+// reports ErrDiverged, a position older than the retained tail reports
+// ErrLogTruncated. max <= 0 means no bound. The returned records alias
+// the retained tail and must be treated as immutable.
+func (s *Store) ReadLog(after uint64, afterFP string, max int) ([]LogRecord, error) {
+	s.logMu.RLock()
+	defer s.logMu.RUnlock()
+	head := s.cur.Load()
+	if after > head.Seq {
+		return nil, fmt.Errorf("%w: position %d is past the head %d", ErrDiverged, after, head.Seq)
+	}
+	if after < s.anchorSeq {
+		return nil, fmt.Errorf("%w: position %d predates the retained tail (anchor %d)", ErrLogTruncated, after, s.anchorSeq)
+	}
+	if afterFP != "" {
+		want := s.anchorFP
+		if after > s.anchorSeq {
+			rec, ok := s.recordAtLocked(after)
+			if !ok {
+				// Published but not yet retained (the applier is between
+				// commit steps) — only reachable for after == head.Seq,
+				// where the published fingerprint is authoritative.
+				want = head.Fingerprint
+			} else {
+				want = rec.Fingerprint
+			}
+		} else if after == head.Seq {
+			want = head.Fingerprint
+		}
+		if afterFP != want {
+			return nil, fmt.Errorf("%w: at seq %d the log has %s, reader claims %s", ErrDiverged, after, want, afterFP)
+		}
+	}
+	out := make([]LogRecord, 0)
+	for _, rec := range s.logTail {
+		if rec.Seq <= after || rec.Seq > head.Seq {
+			continue
+		}
+		out = append(out, rec)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out, nil
+}
+
+// recordAtLocked finds the retained record for seq. Caller holds logMu.
+func (s *Store) recordAtLocked(seq uint64) (LogRecord, bool) {
+	if len(s.logTail) == 0 {
+		return LogRecord{}, false
+	}
+	first := s.logTail[0].Seq
+	if seq < first || seq > s.logTail[len(s.logTail)-1].Seq {
+		return LogRecord{}, false
+	}
+	return s.logTail[seq-first], true
+}
+
+// watch returns a channel that is closed the next time a version is
+// published.
+func (s *Store) watch() <-chan struct{} {
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
+	return s.notify
+}
+
+// notifyPublish wakes every watcher.
+func (s *Store) notifyPublish() {
+	s.notifyMu.Lock()
+	close(s.notify)
+	s.notify = make(chan struct{})
+	s.notifyMu.Unlock()
+}
+
+// WaitForSeq blocks until the published head reaches seq or ctx is
+// done. It never blocks when the head is already there.
+func (s *Store) WaitForSeq(ctx context.Context, seq uint64) error {
+	for {
+		if s.cur.Load().Seq >= seq {
+			return nil
+		}
+		ch := s.watch()
+		// Re-check after grabbing the channel: a publish between the
+		// first check and watch() would otherwise be missed forever.
+		if s.cur.Load().Seq >= seq {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// ApplyReplicated applies one record shipped from a primary through the
+// same serialized applier (and local WAL) as a direct Apply, preserving
+// the primary's sequence numbering. The record must directly follow the
+// local head; applying it must reproduce the fingerprint the record
+// carries, or nothing is published and ErrDiverged is reported — a
+// replica that cannot reproduce the primary's state bit-for-bit must
+// not pretend to serve it.
+func (s *Store) ApplyReplicated(rec LogRecord) (*Version, error) {
+	if len(rec.Muts) == 0 {
+		return nil, errors.New("store: empty replicated batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("store: closed")
+	}
+	if s.readOnly.Load() {
+		return nil, ErrReadOnly
+	}
+	cur := s.cur.Load()
+	if rec.Seq != cur.Seq+1 {
+		return nil, fmt.Errorf("%w: record %d does not follow local head %d", ErrDiverged, rec.Seq, cur.Seq)
+	}
+	next := cur.DB.CloneCOW()
+	if err := applyBatch(next, rec.Muts); err != nil {
+		return nil, fmt.Errorf("%w: record %d failed to apply: %v", ErrDiverged, rec.Seq, err)
+	}
+	if rec.Fingerprint != "" {
+		if got := Fingerprint(next, rec.Seq); got != rec.Fingerprint {
+			return nil, fmt.Errorf("%w: applying record %d yields %s, log records %s", ErrDiverged, rec.Seq, got, rec.Fingerprint)
+		}
+	}
+	return s.commitLocked(next, rec.Seq, rec.Muts)
+}
+
+// InstallSnapshot replaces the whole database with db at sequence seq:
+// the bootstrap (and divergence-recovery) path of a replica that cannot
+// reach seq through the log. On a durable store the snapshot goes
+// through the regular checkpoint protocol — checkpoint file, manifest,
+// WAL reset — so a restart recovers from it exactly like from any other
+// checkpoint. The caller must not use db afterwards.
+func (s *Store) InstallSnapshot(db *lapushdb.DB, seq uint64) (*Version, error) {
+	if db == nil {
+		return nil, errors.New("store: nil snapshot")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("store: closed")
+	}
+	if s.readOnly.Load() {
+		return nil, ErrReadOnly
+	}
+	if s.wal != nil {
+		if err := s.writeCheckpoint(db, seq); err != nil {
+			s.noteDurabilityFailureLocked()
+			return nil, err
+		}
+		if err := s.wal.reset(); err != nil {
+			s.noteDurabilityFailureLocked()
+			return nil, fmt.Errorf("%w: truncate wal: %v", ErrDurability, err)
+		}
+		s.failures = 0
+		s.checkpointSeq = seq
+		s.sinceCheckpoint = 0
+		s.removeStaleCheckpoints()
+	}
+	s.resetLog(seq, Fingerprint(db, seq))
+	return s.publish(db, seq), nil
+}

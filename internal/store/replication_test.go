@@ -1,0 +1,356 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"lapushdb"
+)
+
+// lapushdbLoadBytes round-trips a Save'd database, standing in for a
+// snapshot shipped over the wire.
+func lapushdbLoadBytes(b []byte) (*lapushdb.DB, error) {
+	return lapushdb.Load(bytes.NewReader(b))
+}
+
+func applyN(t *testing.T, st *Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := st.Apply([]Mutation{
+			{Op: OpSetProb, Rel: "Likes", Tuple: []string{"ann", "heat"}, P: pf(0.1 + float64(i%8)/10)},
+		}); err != nil {
+			t.Fatalf("apply %d: %v", i, err)
+		}
+	}
+}
+
+func TestFingerprintMatchesPublished(t *testing.T) {
+	st, err := Open(testSeedDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	v := st.Current()
+	if got := Fingerprint(v.DB, v.Seq); got != v.Fingerprint {
+		t.Fatalf("Fingerprint() = %q, published %q", got, v.Fingerprint)
+	}
+	applyN(t, st, 1)
+	v = st.Current()
+	if got := Fingerprint(v.DB, v.Seq); got != v.Fingerprint {
+		t.Fatalf("after apply: Fingerprint() = %q, published %q", got, v.Fingerprint)
+	}
+}
+
+func TestReadLogBasics(t *testing.T) {
+	st, err := Open(testSeedDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	v0 := st.Current()
+	applyN(t, st, 5)
+
+	recs, err := st.ReadLog(0, v0.Fingerprint, 0)
+	if err != nil {
+		t.Fatalf("ReadLog(0): %v", err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+		if rec.Fingerprint == "" || len(rec.Muts) != 1 {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+	}
+	head := st.Current()
+	if recs[4].Fingerprint != head.Fingerprint {
+		t.Fatalf("last record fingerprint %q != head %q", recs[4].Fingerprint, head.Fingerprint)
+	}
+	if seq, fp := st.Head(); seq != head.Seq || fp != head.Fingerprint {
+		t.Fatalf("Head() = (%d, %s), Current() = (%d, %s)", seq, fp, head.Seq, head.Fingerprint)
+	}
+
+	// max bounds the page.
+	recs, err = st.ReadLog(1, "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 2 || recs[1].Seq != 3 {
+		t.Fatalf("paged read = %+v", recs)
+	}
+
+	// Reading at the head returns nothing.
+	recs, err = st.ReadLog(head.Seq, head.Fingerprint, 0)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("read at head = %v, %v", recs, err)
+	}
+
+	// A position past the head is divergence.
+	if _, err := st.ReadLog(head.Seq+3, "", 0); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("past-head read: %v, want ErrDiverged", err)
+	}
+
+	// A wrong fingerprint at a valid position is divergence.
+	if _, err := st.ReadLog(2, "bogus@2", 0); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("wrong-fingerprint read: %v, want ErrDiverged", err)
+	}
+}
+
+func TestReadLogTruncatedByCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(testSeedDB(t), Options{Dir: dir, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	applyN(t, st, 4)
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Records 1..4 folded into the checkpoint; the anchor is now 4.
+	if _, err := st.ReadLog(2, "", 0); !errors.Is(err, ErrLogTruncated) {
+		t.Fatalf("pre-checkpoint read: %v, want ErrLogTruncated", err)
+	}
+	applyN(t, st, 2)
+	recs, err := st.ReadLog(4, st.Current().DB.SchemaFingerprint()+"@4", 0)
+	if err != nil {
+		t.Fatalf("read from checkpoint anchor: %v", err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 5 {
+		t.Fatalf("post-checkpoint records = %+v", recs)
+	}
+}
+
+func TestReadLogRetentionAgesOut(t *testing.T) {
+	st, err := Open(testSeedDB(t), Options{LogRetention: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	applyN(t, st, 10)
+	if _, err := st.ReadLog(0, "", 0); !errors.Is(err, ErrLogTruncated) {
+		t.Fatalf("aged-out read: %v, want ErrLogTruncated", err)
+	}
+	recs, err := st.ReadLog(7, "", 0)
+	if err != nil {
+		t.Fatalf("read inside retention: %v", err)
+	}
+	if len(recs) != 3 || recs[0].Seq != 8 {
+		t.Fatalf("retained records = %+v", recs)
+	}
+}
+
+func TestReplayRebuildsLogTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(testSeedDB(t), Options{Dir: dir, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyN(t, st, 3)
+	want, err := st.ReadLog(0, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: WAL replay must rebuild the same retained tail, with the
+	// same per-record fingerprints, so a replica can resume against a
+	// restarted primary.
+	st2, err := Open(nil, Options{Dir: dir, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, err := st2.ReadLog(0, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed tail has %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].Fingerprint != want[i].Fingerprint {
+			t.Fatalf("record %d: got (%d, %s), want (%d, %s)",
+				i, got[i].Seq, got[i].Fingerprint, want[i].Seq, want[i].Fingerprint)
+		}
+	}
+}
+
+func TestApplyReplicatedParity(t *testing.T) {
+	primary, err := Open(testSeedDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	replica, err := Open(testSeedDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+
+	applyN(t, primary, 4)
+	recs, err := primary.ReadLog(0, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if _, err := replica.ApplyReplicated(rec); err != nil {
+			t.Fatalf("replicate seq %d: %v", rec.Seq, err)
+		}
+	}
+	pv, rv := primary.Current(), replica.Current()
+	if pv.Seq != rv.Seq || pv.Fingerprint != rv.Fingerprint {
+		t.Fatalf("replica at (%d, %s), primary at (%d, %s)", rv.Seq, rv.Fingerprint, pv.Seq, pv.Fingerprint)
+	}
+	if !bytes.Equal(dbBytes(t, pv.DB), dbBytes(t, rv.DB)) {
+		t.Fatal("replicated database is not bit-identical to the primary's")
+	}
+
+	// Gaps are refused.
+	if _, err := replica.ApplyReplicated(LogRecord{Seq: rv.Seq + 2, Muts: recs[0].Muts}); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("gap apply: %v, want ErrDiverged", err)
+	}
+	// A record whose fingerprint the local apply cannot reproduce is
+	// refused without publishing.
+	bad := LogRecord{Seq: rv.Seq + 1, Fingerprint: "bogus@" + "5", Muts: recs[0].Muts}
+	if _, err := replica.ApplyReplicated(bad); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("bad-fingerprint apply: %v, want ErrDiverged", err)
+	}
+	if replica.Current() != rv {
+		t.Fatal("refused record still published a version")
+	}
+}
+
+func TestApplyReplicatedPersists(t *testing.T) {
+	primary, err := Open(testSeedDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	applyN(t, primary, 3)
+	recs, err := primary.ReadLog(0, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	replica, err := Open(testSeedDB(t), Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if _, err := replica.ApplyReplicated(rec); err != nil {
+			t.Fatalf("replicate seq %d: %v", rec.Seq, err)
+		}
+	}
+	want := dbBytes(t, replica.Current().DB)
+	if err := replica.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the replicated records were WAL-logged locally, so the
+	// replica recovers to the same (seq, fingerprint) without a primary.
+	re, err := Open(nil, Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	v := re.Current()
+	if v.Seq != recs[len(recs)-1].Seq || v.Fingerprint != recs[len(recs)-1].Fingerprint {
+		t.Fatalf("recovered to (%d, %s), want (%d, %s)",
+			v.Seq, v.Fingerprint, recs[len(recs)-1].Seq, recs[len(recs)-1].Fingerprint)
+	}
+	if !bytes.Equal(want, dbBytes(t, v.DB)) {
+		t.Fatal("recovered replica state is not bit-identical")
+	}
+}
+
+func TestInstallSnapshotDurable(t *testing.T) {
+	primary, err := Open(testSeedDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	applyN(t, primary, 7)
+	pv := primary.Current()
+
+	dir := t.TempDir()
+	replica, err := Open(nil, Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install the primary's state at its seq, as a bootstrap would.
+	snap, err := lapushdbLoadBytes(dbBytes(t, pv.DB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := replica.InstallSnapshot(snap, pv.Seq)
+	if err != nil {
+		t.Fatalf("InstallSnapshot: %v", err)
+	}
+	if v.Seq != pv.Seq || v.Fingerprint != pv.Fingerprint {
+		t.Fatalf("installed (%d, %s), want (%d, %s)", v.Seq, v.Fingerprint, pv.Seq, pv.Fingerprint)
+	}
+	// The log tail re-anchored: reads from the install point work,
+	// earlier positions are truncated.
+	if _, err := replica.ReadLog(pv.Seq-1, "", 0); !errors.Is(err, ErrLogTruncated) {
+		t.Fatalf("pre-install read: %v, want ErrLogTruncated", err)
+	}
+	if err := replica.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The install went through the checkpoint protocol: a restart
+	// recovers it with no WAL replay needed.
+	re, err := Open(nil, Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rv := re.Current()
+	if rv.Seq != pv.Seq || rv.Fingerprint != pv.Fingerprint {
+		t.Fatalf("recovered (%d, %s), want (%d, %s)", rv.Seq, rv.Fingerprint, pv.Seq, pv.Fingerprint)
+	}
+	if !bytes.Equal(dbBytes(t, pv.DB), dbBytes(t, rv.DB)) {
+		t.Fatal("recovered snapshot is not bit-identical")
+	}
+}
+
+func TestWaitForSeq(t *testing.T) {
+	st, err := Open(testSeedDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Already satisfied: returns immediately.
+	if err := st.WaitForSeq(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- st.WaitForSeq(ctx, 2)
+	}()
+	applyN(t, st, 2)
+	if err := <-done; err != nil {
+		t.Fatalf("WaitForSeq: %v", err)
+	}
+
+	// Deadline fires when nothing is published.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := st.WaitForSeq(ctx, 99); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitForSeq past head: %v, want deadline", err)
+	}
+}

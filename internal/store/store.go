@@ -106,6 +106,13 @@ type Options struct {
 	// the breaker trips, doubling per failed probe up to one minute
 	// (default 1s).
 	ProbeInterval time.Duration
+	// LogRetention bounds the in-memory replication log tail (default
+	// 4096 records). The tail normally mirrors the WAL — records since
+	// the last checkpoint — but ephemeral stores and stores with
+	// checkpointing disabled would otherwise retain it unboundedly.
+	// A replica asking for records older than the tail is told to
+	// bootstrap from a snapshot instead (ErrLogTruncated).
+	LogRetention int
 	// Logf receives operational log lines (torn-tail truncations,
 	// breaker transitions). Nil selects the standard logger.
 	Logf func(format string, args ...any)
@@ -177,6 +184,20 @@ type Store struct {
 	truncations     atomic.Int64
 	truncatedBytes  atomic.Int64
 	lastCkptErr     string
+
+	// Replication log tail (see replication.go): records since the last
+	// checkpoint, each with the fingerprint of the version it produced.
+	// anchorSeq/anchorFP identify the state just before the oldest
+	// retained record.
+	logMu     sync.RWMutex
+	logTail   []LogRecord
+	anchorSeq uint64
+	anchorFP  string
+
+	// notify is closed and replaced on every publish; WaitForSeq
+	// watchers block on it.
+	notifyMu sync.Mutex
+	notify   chan struct{}
 }
 
 // Open opens (or creates) a store. seed provides the initial database
@@ -210,12 +231,17 @@ func Open(seed *lapushdb.DB, opts Options) (*Store, error) {
 	if opts.ProbeInterval <= 0 {
 		opts.ProbeInterval = time.Second
 	}
+	if opts.LogRetention <= 0 {
+		opts.LogRetention = 4096
+	}
 	if seed == nil {
 		seed = lapushdb.Open()
 	}
-	s := &Store{opts: opts, fs: opts.FS, probeStop: make(chan struct{})}
+	s := &Store{opts: opts, fs: opts.FS, probeStop: make(chan struct{}), notify: make(chan struct{})}
 	if opts.Dir == "" {
-		s.publish(seed.CloneCOW(), 0)
+		db := seed.CloneCOW()
+		s.anchorSeq, s.anchorFP = 0, Fingerprint(db, 0)
+		s.publish(db, 0)
 		return s, nil
 	}
 	if err := s.fs.MkdirAll(opts.Dir, 0o755); err != nil {
@@ -245,6 +271,10 @@ func Open(seed *lapushdb.DB, opts Options) (*Store, error) {
 	// private clone that is adopted only when the whole batch succeeds,
 	// so a corrupt record can never leave a half-applied batch behind —
 	// the recovered state is always exactly a prefix of logged batches.
+	// Adopted records are retained in the replication log tail (with
+	// their recomputed fingerprints), so a freshly recovered store can
+	// serve replicas from the same positions the WAL covers.
+	s.anchorSeq, s.anchorFP = s.checkpointSeq, Fingerprint(db, s.checkpointSeq)
 	last := s.checkpointSeq
 	replayed := 0
 	apply := func(rec walRecord) error {
@@ -261,6 +291,7 @@ func Open(seed *lapushdb.DB, opts Options) (*Store, error) {
 		db = next
 		last = rec.Seq
 		replayed++
+		s.appendLog(LogRecord{Seq: rec.Seq, Fingerprint: Fingerprint(next, rec.Seq), Muts: rec.Muts})
 		return nil
 	}
 	walPath := filepath.Join(opts.Dir, walName)
@@ -314,7 +345,13 @@ func (s *Store) Apply(muts []Mutation) (*Version, error) {
 	if err := applyBatch(next, muts); err != nil {
 		return nil, err
 	}
-	seq := cur.Seq + 1
+	return s.commitLocked(next, cur.Seq+1, muts)
+}
+
+// commitLocked is the shared tail of Apply and ApplyReplicated: log the
+// batch to the WAL, retain it in the replication tail, publish the
+// version, and checkpoint when due. Caller holds s.mu.
+func (s *Store) commitLocked(next *lapushdb.DB, seq uint64, muts []Mutation) (*Version, error) {
 	if s.wal != nil {
 		payload, err := json.Marshal(walRecord{Seq: seq, Muts: muts})
 		if err != nil {
@@ -326,6 +363,9 @@ func (s *Store) Apply(muts []Mutation) (*Version, error) {
 		}
 		s.failures = 0
 	}
+	// Retain the record before publishing: a log reader woken by the
+	// publish must find the record already in the tail.
+	s.appendLog(LogRecord{Seq: seq, Fingerprint: Fingerprint(next, seq), Muts: muts})
 	v := s.publish(next, seq)
 	s.mutations.Add(int64(len(muts)))
 	s.batches.Add(1)
@@ -434,8 +474,9 @@ func (s *Store) Close() error {
 }
 
 func (s *Store) publish(db *lapushdb.DB, seq uint64) *Version {
-	v := &Version{DB: db, Seq: seq, Fingerprint: fmt.Sprintf("%s@%d", db.SchemaFingerprint(), seq)}
+	v := &Version{DB: db, Seq: seq, Fingerprint: Fingerprint(db, seq)}
 	s.cur.Store(v)
+	s.notifyPublish()
 	return v
 }
 
@@ -459,6 +500,7 @@ func (s *Store) checkpointLocked(v *Version) error {
 	s.checkpointSeq = v.Seq
 	s.sinceCheckpoint = 0
 	s.removeStaleCheckpoints()
+	s.trimLog(v.Seq, v.Fingerprint)
 	return nil
 }
 
