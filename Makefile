@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-smoke microbench chaos replication cover
+.PHONY: build test race vet check bench bench-smoke microbench chaos replication failover cover
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,18 @@ replication:
 	$(GO) test -race ./internal/replica
 	$(GO) test -race -run 'TestFingerprint|TestReadLog|TestReplay|TestApplyReplicated|TestInstallSnapshot|TestWaitForSeq' ./internal/store
 	$(GO) test -race -run 'TestWALEndpoint|TestCheckpointEndpoint|TestReplica' ./internal/server
+	$(MAKE) failover
+
+# Failover chaos suite under the race detector: promotion-epoch
+# durability and epoch-0 compat in the store, the full kill -9 →
+# promote → fence → re-seed schedule with the fingerprint-collision
+# audit, promotion idempotence and the min_seq guard, /v1/wal epoch
+# fencing, and the tailer's reconnect-backoff cap. Hermetic — httptest
+# pairs, no ports.
+failover:
+	$(GO) test -race -run 'TestPromote|TestApplyReplicatedAdopts|TestApplyReplicatedRefuses|TestEpoch|TestLogRecordEpoch' ./internal/store
+	$(GO) test -race -run 'TestFailover|TestPromote|TestWALEpoch|TestHealthzReportsEpoch' ./internal/server
+	$(GO) test -race -run 'TestReconnectBackoffCapped|TestCloseInterruptsBackoff' ./internal/replica
 
 vet:
 	$(GO) vet ./...

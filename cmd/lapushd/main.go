@@ -25,13 +25,23 @@
 //	GET  /v1/store     store version, WAL bytes, checkpoint progress
 //	GET  /v1/wal       stream the retained mutation log to tailing replicas
 //	GET  /v1/checkpoint ship a fingerprinted snapshot for replica bootstrap
-//	GET  /healthz      liveness probe (role, applied seq, and lag on replicas)
+//	POST /v1/promote   promote this replica to primary on a new epoch (admin)
+//	GET  /healthz      liveness probe (role, epoch, applied seq/lag on replicas)
 //	GET  /metrics      Prometheus text metrics
 //
-// With -replica-of the process is a permanently read-only replica: it
-// bootstraps from the primary's checkpoint, tails its WAL, and serves
-// bit-identical reads; with -data it persists what it applies and a
-// restart resumes from local state.
+// With -replica-of the process is a read-only replica: it bootstraps
+// from the primary's checkpoint, tails its WAL, and serves bit-identical
+// reads; with -data it persists what it applies and a restart resumes
+// from local state. POST /v1/promote (optionally {"min_seq": N}) turns
+// it into the primary of a new write lineage, stamped with a durably
+// bumped promotion epoch.
+//
+// With -peers the process handshakes with the listed lapushd nodes at
+// startup and keeps polling them: if any peer reports a higher
+// promotion epoch, this node fences itself — it serves reads but
+// refuses writes with 503 and points clients at the promoted primary —
+// instead of forking the WAL. Give a primary its replicas as -peers so
+// a crashed-and-restarted primary cannot resurrect a stale lineage.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight queries before exiting.
@@ -82,7 +92,9 @@ func main() {
 	dataDir := flag.String("data", "", "durable store directory (WAL + checkpoints); empty serves in-memory only")
 	walFsync := flag.String("wal-fsync", "always", "WAL fsync policy: always (no acknowledged batch is ever lost) or never")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "checkpoint after this many mutation batches (<0 disables automatic checkpoints)")
-	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary lapushd at this base URL (e.g. http://primary:8080); ingestion is refused with the primary's address, all state arrives by tailing the primary's WAL")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary lapushd at this base URL (e.g. http://primary:8080); ingestion is refused with the primary's address, all state arrives by tailing the primary's WAL; POST /v1/promote turns it into the primary")
+	var peers relFlags
+	flag.Var(&peers, "peers", "base URL of a peer lapushd to handshake promotion epochs with (repeatable); a peer on a higher epoch fences this node into read-only mode")
 	flag.Parse()
 
 	if len(rels) == 0 && *loadFile == "" && *dataDir == "" && *replicaOf == "" {
@@ -131,6 +143,9 @@ func main() {
 		MaxRows:         *maxRows,
 		QueueWait:       *queueWait,
 	}
+	for _, p := range peers {
+		cfg.Peers = append(cfg.Peers, strings.TrimSuffix(p, "/"))
+	}
 	if primaryURL != "" {
 		tailer, err := replica.Start(replica.Options{Primary: primaryURL, Store: st})
 		if err != nil {
@@ -139,8 +154,20 @@ func main() {
 		defer tailer.Close()
 		cfg.ReplicaOf = primaryURL
 		cfg.ReplicaStatus = tailer.Status
+		cfg.StopTailer = tailer.Close
 	}
 	srv := server.NewWithStore(st, cfg)
+	defer srv.Close()
+	if len(cfg.Peers) > 0 {
+		// One synchronous handshake round before serving: a restarted old
+		// primary that can reach the promoted replica fences itself before
+		// it answers a single write on the stale lineage.
+		hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if srv.CheckPeers(hctx) {
+			fmt.Fprintln(os.Stderr, "lapushd: a peer reported a newer promotion epoch; starting fenced (read-only)")
+		}
+		hcancel()
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -166,8 +193,8 @@ func main() {
 	if primaryURL != "" {
 		role = fmt.Sprintf("read replica of %s", primaryURL)
 	}
-	fmt.Fprintf(os.Stderr, "lapushd: serving %d relations (%d tuples) at version %d, %s, %s, on %s\n",
-		len(infos), tuples, v.Seq, durable, role, *addr)
+	fmt.Fprintf(os.Stderr, "lapushd: serving %d relations (%d tuples) at version %d (epoch %d), %s, %s, on %s\n",
+		len(infos), tuples, v.Seq, v.Epoch, durable, role, *addr)
 
 	select {
 	case err := <-errCh:

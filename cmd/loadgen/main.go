@@ -10,11 +10,19 @@
 // ops, per-status error counts, and p50/p95/p99 latencies into the
 // versioned BENCH_<rev>.json trajectory schema.
 //
+// The special "failover" workload (hermetic only, opt-in) boots a
+// dedicated primary+replica pair, kills the primary abruptly mid-run,
+// promotes the replica through POST /v1/promote with the min_seq
+// guard, re-points writers at the promoted node, and records the
+// measured write/read availability gaps and promotion latency in the
+// result's metrics map.
+//
 // Usage:
 //
 //	loadgen -hermetic -rev $(git rev-parse --short HEAD)
 //	loadgen -addr http://127.0.0.1:8080 -workloads point,batch -duration 30s
 //	loadgen -addr http://primary:8080 -replica-addr http://replica:8080 -workloads replica_read
+//	loadgen -hermetic -workloads failover -duration 6s
 //	loadgen -hermetic -duration 1s -warmup 200ms -max-error-rate 0.05 -out bench-smoke.json
 //
 // Each workload runs warmup → timed window at -c concurrency; request
@@ -44,7 +52,7 @@ func main() {
 	addr := flag.String("addr", "", "base URL of a live lapushd (e.g. http://127.0.0.1:8080)")
 	replicaAddr := flag.String("replica-addr", "", "base URL of a read replica of -addr; replica-targeted requests (replica_read mix) go here")
 	hermetic := flag.Bool("hermetic", false, "spin up an in-process lapushd over an ephemeral store instead of targeting -addr (plus a WAL-tailing replica when a replica workload is selected)")
-	workloads := flag.String("workloads", strings.Join(bench.WorkloadNames(), ","), "comma-separated workload mixes to run")
+	workloads := flag.String("workloads", strings.Join(bench.WorkloadNames(), ","), "comma-separated workload mixes to run; add \"failover\" (hermetic only) for the scripted crash-failover availability run")
 	concurrency := flag.Int("c", 8, "concurrent workers per workload")
 	warmup := flag.Duration("warmup", time.Second, "unrecorded warmup per workload")
 	duration := flag.Duration("duration", 5*time.Second, "timed window per workload")
@@ -61,11 +69,25 @@ func main() {
 	if (*addr == "") == !*hermetic {
 		fail("exactly one of -addr or -hermetic is required")
 	}
-	wantReplica := false
+	wantReplica, wantFailover := false, false
+	var regular []string
 	for _, name := range strings.Split(*workloads, ",") {
-		if strings.TrimSpace(name) == "replica_read" {
+		switch name = strings.TrimSpace(name); name {
+		case "":
+		case "replica_read":
 			wantReplica = true
+			regular = append(regular, name)
+		case "failover":
+			// The failover workload kills its primary mid-run, so it
+			// always gets a dedicated hermetic pair after the regular
+			// mixes finish.
+			wantFailover = true
+		default:
+			regular = append(regular, name)
 		}
+	}
+	if wantFailover && !*hermetic {
+		fail("the failover workload kills its primary mid-run; it only runs hermetically (-hermetic), not against a live -addr")
 	}
 	base, replicaBase := *addr, *replicaAddr
 	if *hermetic {
@@ -80,7 +102,7 @@ func main() {
 			defer pair.Close()
 			base, replicaBase = pair.Primary.URL, pair.Replica.URL
 			fmt.Fprintf(os.Stderr, "loadgen: hermetic lapushd primary at %s, replica at %s\n", base, replicaBase)
-		} else {
+		} else if len(regular) > 0 {
 			ts := server.NewHermetic(server.Config{})
 			defer ts.Close()
 			base = ts.URL
@@ -105,18 +127,14 @@ func main() {
 	}
 
 	var wls []bench.Workload
-	for _, name := range strings.Split(*workloads, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
+	for _, name := range regular {
 		wl, err := bench.ByName(cfg, name)
 		if err != nil {
 			fail("%v", err)
 		}
 		wls = append(wls, wl)
 	}
-	if len(wls) == 0 {
+	if len(wls) == 0 && !wantFailover {
 		fail("no workloads selected")
 	}
 
@@ -134,36 +152,69 @@ func main() {
 		},
 	}
 
-	setup := bench.SetupRequests(cfg)
-	fmt.Fprintf(os.Stderr, "loadgen: seeding dataset (%d setup requests, seed %d, scale %g)\n", len(setup), *seed, *scale)
-	if err := bench.Setup(ctx, rc, setup); err != nil {
-		fail("%v", err)
+	th := bench.Thresholds{MaxErrorRate: *maxErrorRate, MaxP99: *maxP99, MinOps: *minOps}
+	var results []bench.WorkloadResult
+	var violations []error
+	if len(wls) > 0 {
+		setup := bench.SetupRequests(cfg)
+		fmt.Fprintf(os.Stderr, "loadgen: seeding dataset (%d setup requests, seed %d, scale %g)\n", len(setup), *seed, *scale)
+		if err := bench.Setup(ctx, rc, setup); err != nil {
+			fail("%v", err)
+		}
+		if replicaBase != "" {
+			wctx, cancel := context.WithTimeout(ctx, time.Minute)
+			err := bench.WaitConverged(wctx, rc)
+			cancel()
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "loadgen: replica converged on the seeded dataset\n")
+		}
+		for _, wl := range wls {
+			res, err := bench.Run(ctx, rc, wl)
+			if err != nil {
+				fail("workload %s: %v", wl.Name, err)
+			}
+			results = append(results, res)
+			fmt.Fprintf(os.Stderr,
+				"loadgen: %-8s ops=%d (%.1f/s) errors=%d p50=%.1fms p95=%.1fms p99=%.1fms status=%v\n",
+				res.Name, res.Ops, res.OpsPerSec, res.Errors, res.P50MS, res.P95MS, res.P99MS, res.Status)
+			if err := th.Check(res); err != nil {
+				violations = append(violations, err)
+			}
+		}
 	}
-	if replicaBase != "" {
+
+	if wantFailover {
+		// A dedicated pair: the workload kills the primary, so nothing
+		// else can share it. Thresholds deliberately do not apply — the
+		// kill window makes a burst of errors part of the measurement.
+		pair, err := server.NewHermeticPair(server.Config{})
+		if err != nil {
+			fail("failover pair: %v", err)
+		}
+		defer pair.Close()
+		frc := rc
+		frc.BaseURL, frc.ReplicaURL = pair.Primary.URL, pair.Replica.URL
+		fmt.Fprintf(os.Stderr, "loadgen: failover pair: primary %s, replica %s\n", frc.BaseURL, frc.ReplicaURL)
+		if err := bench.Setup(ctx, frc, bench.SetupRequests(cfg)); err != nil {
+			fail("failover setup: %v", err)
+		}
 		wctx, cancel := context.WithTimeout(ctx, time.Minute)
-		err := bench.WaitConverged(wctx, rc)
+		err = bench.WaitConverged(wctx, frc)
 		cancel()
 		if err != nil {
 			fail("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "loadgen: replica converged on the seeded dataset\n")
-	}
-
-	th := bench.Thresholds{MaxErrorRate: *maxErrorRate, MaxP99: *maxP99, MinOps: *minOps}
-	var results []bench.WorkloadResult
-	var violations []error
-	for _, wl := range wls {
-		res, err := bench.Run(ctx, rc, wl)
+		res, err := bench.RunFailover(ctx, frc, bench.FailoverHooks{Kill: pair.KillPrimary})
 		if err != nil {
-			fail("workload %s: %v", wl.Name, err)
+			fail("failover workload: %v", err)
 		}
 		results = append(results, res)
 		fmt.Fprintf(os.Stderr,
-			"loadgen: %-8s ops=%d (%.1f/s) errors=%d p50=%.1fms p95=%.1fms p99=%.1fms status=%v\n",
-			res.Name, res.Ops, res.OpsPerSec, res.Errors, res.P50MS, res.P95MS, res.P99MS, res.Status)
-		if err := th.Check(res); err != nil {
-			violations = append(violations, err)
-		}
+			"loadgen: %-8s ops=%d (%.1f/s) errors=%d write_gap=%.1fms read_gap=%.1fms promote=%.1fms stranded=%.0f status=%v\n",
+			res.Name, res.Ops, res.OpsPerSec, res.Errors,
+			res.Metrics["write_gap_ms"], res.Metrics["read_gap_ms"], res.Metrics["promote_ms"], res.Metrics["stranded_acked_writes"], res.Status)
 	}
 
 	path := *out

@@ -1,0 +1,330 @@
+package bench
+
+// The failover workload: a scripted crash-failover over a live
+// primary+replica pair, measuring availability rather than throughput.
+// Read workers rank on the replica and write workers ingest on the
+// primary; mid-run the harness kills the primary abruptly, promotes the
+// replica through POST /v1/promote (with the min_seq guard at the
+// highest acknowledged write), re-points the writers at the promoted
+// node, and keeps going. The headline numbers land in the result's
+// Metrics map:
+//
+//	write_gap_ms  longest wall-clock gap between consecutive
+//	              successful writes (the write-unavailability window
+//	              spanning kill -> promote -> first accepted write)
+//	read_gap_ms   the same gap for replica reads, which should stay
+//	              near the inter-request idle time — reads ride
+//	              through the failover
+//	promote_ms    kill-to-promotion latency, including min_seq retries
+//	stranded_acked_writes  acked writes the dead primary never shipped
+//	              (recoverable only by the runbook's restart path; the
+//	              harness then promotes without them and reports it)
+//
+// The pair itself is injected through FailoverHooks so this package
+// needs no dependency on internal/server: cmd/loadgen passes the
+// hermetic pair's URLs and its KillPrimary hook.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FailoverHooks is what RunFailover needs from the deployment under
+// test beyond RunConfig's URLs.
+type FailoverHooks struct {
+	// Kill abruptly terminates the primary (connections cut, listener
+	// closed) — the hermetic pair's KillPrimary.
+	Kill func()
+	// KillAfter is how far into the timed window the kill fires
+	// (default: a third of RunConfig.Duration).
+	KillAfter time.Duration
+}
+
+// failoverSample is one request's outcome on the availability timeline.
+type failoverSample struct {
+	at time.Time
+	ok bool
+}
+
+// maxGap returns the longest gap between consecutive successes, in
+// milliseconds, over [begin, end].
+func maxGap(samples []failoverSample, begin, end time.Time) float64 {
+	last := begin
+	var widest time.Duration
+	for _, s := range samples {
+		if !s.ok {
+			continue
+		}
+		if d := s.at.Sub(last); d > widest {
+			widest = d
+		}
+		last = s.at
+	}
+	if d := end.Sub(last); d > widest {
+		widest = d
+	}
+	return float64(widest.Microseconds()) / 1000
+}
+
+// RunFailover drives the failover workload over an already-seeded pair
+// (the caller runs Setup and WaitConverged first, as for any replica
+// workload). It returns a WorkloadResult named "failover" whose
+// Metrics carry the availability gaps.
+func RunFailover(ctx context.Context, cfg RunConfig, hooks FailoverHooks) (WorkloadResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ReplicaURL == "" {
+		return WorkloadResult{}, fmt.Errorf("bench: the failover workload needs a replica (RunConfig.ReplicaURL)")
+	}
+	if hooks.Kill == nil {
+		return WorkloadResult{}, fmt.Errorf("bench: the failover workload needs a Kill hook")
+	}
+	if hooks.KillAfter <= 0 {
+		hooks.KillAfter = cfg.Duration / 3
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		writes    []failoverSample
+		reads     []failoverSample
+		hist      Histogram
+		status    = make(map[string]int64)
+		ops, errs int64
+	)
+	record := func(kind *[]failoverSample, t0 time.Time, code int, err error) {
+		elapsed := time.Since(t0)
+		mu.Lock()
+		defer mu.Unlock()
+		ok := err == nil && code >= 200 && code < 300
+		*kind = append(*kind, failoverSample{at: time.Now(), ok: ok})
+		ops++
+		hist.Add(elapsed)
+		if err != nil || code == 0 {
+			errs++
+			status["error"]++
+			return
+		}
+		status[strconv.Itoa(code)]++
+		if !ok {
+			errs++
+		}
+	}
+
+	// writeTarget swings from the primary to the promoted replica.
+	var writeTarget atomic.Value
+	writeTarget.Store(cfg.BaseURL)
+	// maxAcked is the highest version any writer saw acknowledged — the
+	// min_seq the promotion must preserve.
+	var maxAcked atomic.Uint64
+
+	begin := time.Now()
+	var wg sync.WaitGroup
+
+	// Write workers: net-zero ingest churn (as the ingest workload),
+	// each acked response advancing maxAcked.
+	writeWorkers := cfg.Concurrency / 2
+	if writeWorkers < 1 {
+		writeWorkers = 1
+	}
+	for w := 0; w < writeWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); runCtx.Err() == nil; i++ {
+				p := 0.4
+				tuple := []string{"f", fmt.Sprintf("fo-%d-%d", w, i)}
+				body := mustJSON(ingestBody{Mutations: []mutation{
+					{Op: opInsert, Rel: "BenchR2", Tuple: tuple, P: &p},
+					{Op: opDelete, Rel: "BenchR2", Tuple: tuple},
+				}})
+				t0 := time.Now()
+				code, ver, err := doIngest(runCtx, cfg.Client, writeTarget.Load().(string), body)
+				if runCtx.Err() != nil && code == 0 {
+					return
+				}
+				record(&writes, t0, code, err)
+				if err == nil && code == http.StatusOK {
+					for {
+						cur := maxAcked.Load()
+						if ver <= cur || maxAcked.CompareAndSwap(cur, ver) {
+							break
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Read workers: point ranks on the replica throughout — the node
+	// being promoted keeps serving reads.
+	readWorkers := cfg.Concurrency - writeWorkers
+	if readWorkers < 1 {
+		readWorkers = 1
+	}
+	readBody := mustJSON(queryBody{Query: chainPrefixQuery, Method: "diss"})
+	for w := 0; w < readWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for runCtx.Err() == nil {
+				t0 := time.Now()
+				code, err := do(runCtx, cfg.Client, cfg.ReplicaURL, Request{Method: "POST", Path: "/v1/query", Body: readBody})
+				if runCtx.Err() != nil && code == 0 {
+					return
+				}
+				record(&reads, t0, code, err)
+			}
+		}()
+	}
+
+	// The failover script: kill, then promote with the min_seq guard,
+	// retrying while the replica drains what it already received. If the
+	// dead primary stranded acked-but-unshipped writes, report them and
+	// promote without them — they live on in its WAL for the runbook's
+	// restart path; silently blocking the bench forever helps no one.
+	var promoteMS, strandedWrites float64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-runCtx.Done():
+			return
+		case <-time.After(hooks.KillAfter):
+		}
+		cfg.logf("failover: killing the primary")
+		hooks.Kill()
+		killedAt := time.Now()
+		minSeq := maxAcked.Load()
+		guard := minSeq
+		for attempt := 0; runCtx.Err() == nil; attempt++ {
+			code, epoch, err := doPromote(runCtx, cfg.Client, cfg.ReplicaURL, guard)
+			if err == nil && code == http.StatusOK {
+				promoteMS = float64(time.Since(killedAt).Microseconds()) / 1000
+				writeTarget.Store(cfg.ReplicaURL)
+				cfg.logf("failover: promoted the replica to epoch %d after %.1fms (min_seq %d)", epoch, promoteMS, guard)
+				return
+			}
+			if code == http.StatusConflict && attempt >= 20 && guard != 0 {
+				// Persistently behind: the dead primary never shipped some
+				// acked writes. Record the shortfall and promote anyway.
+				if seq, err := fetchAppliedSeq(runCtx, cfg.Client, cfg.ReplicaURL); err == nil && minSeq > seq {
+					strandedWrites = float64(minSeq - seq)
+				}
+				cfg.logf("failover: %.0f acked writes stranded on the dead primary; promoting without them", strandedWrites)
+				guard = 0
+				continue
+			}
+			if err != nil && runCtx.Err() != nil {
+				return
+			}
+			select {
+			case <-runCtx.Done():
+				return
+			case <-time.After(25 * time.Millisecond):
+			}
+		}
+	}()
+
+	wg.Wait()
+	end := time.Now()
+
+	res := WorkloadResult{
+		Name:        "failover",
+		Concurrency: cfg.Concurrency,
+		DurationMS:  float64(end.Sub(begin).Microseconds()) / 1000,
+		Ops:         ops,
+		Errors:      errs,
+		Status:      status,
+		Metrics: map[string]float64{
+			"write_gap_ms":          maxGap(writes, begin, end),
+			"read_gap_ms":           maxGap(reads, begin, end),
+			"promote_ms":            promoteMS,
+			"stranded_acked_writes": strandedWrites,
+		},
+	}
+	if sec := end.Sub(begin).Seconds(); sec > 0 {
+		res.OpsPerSec = float64(ops) / sec
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	res.P50MS = ms(hist.Quantile(0.50))
+	res.P95MS = ms(hist.Quantile(0.95))
+	res.P99MS = ms(hist.Quantile(0.99))
+	res.MaxMS = ms(hist.Max())
+	return res, nil
+}
+
+// doIngest posts one ingest batch and parses the acked version.
+func doIngest(ctx context.Context, client *http.Client, base string, body []byte) (int, uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/ingest", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var ir struct {
+		Version uint64 `json:"version"`
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+			return resp.StatusCode, 0, err
+		}
+	}
+	return resp.StatusCode, ir.Version, nil
+}
+
+// doPromote posts /v1/promote with the min_seq guard.
+func doPromote(ctx context.Context, client *http.Client, base string, minSeq uint64) (int, uint64, error) {
+	body := fmt.Sprintf(`{"min_seq":%d}`, minSeq)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/promote", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var pr struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			return resp.StatusCode, 0, err
+		}
+	}
+	return resp.StatusCode, pr.Epoch, nil
+}
+
+// fetchAppliedSeq reads a replica's applied sequence from /healthz.
+func fetchAppliedSeq(ctx context.Context, client *http.Client, base string) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return 0, err
+	}
+	return h.Version, nil
+}

@@ -93,6 +93,10 @@ type WorkloadResult struct {
 	P95MS float64 `json:"p95_ms"`
 	P99MS float64 `json:"p99_ms"`
 	MaxMS float64 `json:"max_ms"`
+	// Metrics carries workload-specific extra measurements (the failover
+	// workload's write_gap_ms / read_gap_ms availability gaps, for
+	// example), mirroring MicroResult.Metrics.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // ErrorRate is Errors/Ops (0 for an empty run).

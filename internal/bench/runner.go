@@ -169,12 +169,22 @@ func WaitConverged(ctx context.Context, cfg RunConfig) error {
 	if err != nil {
 		return fmt.Errorf("bench: primary healthz: %w", err)
 	}
+	// An unreachable replica fails fast instead of burning the whole
+	// wait budget: if it never answers a single healthz within the
+	// grace window, the address is wrong or the process is down, and no
+	// amount of waiting converges it.
+	const unreachableGrace = 3 * time.Second
+	begin := time.Now()
+	everAnswered := false
 	for {
 		got, err := get(cfg.ReplicaURL)
-		if err == nil && got.Version >= want.Version {
-			if got.Version > want.Version || got.Fingerprint == want.Fingerprint {
+		if err == nil {
+			everAnswered = true
+			if got.Version >= want.Version && (got.Version > want.Version || got.Fingerprint == want.Fingerprint) {
 				return nil
 			}
+		} else if !everAnswered && time.Since(begin) > unreachableGrace {
+			return fmt.Errorf("bench: replica at %s is unreachable (no /healthz answer in %s): %w", cfg.ReplicaURL, unreachableGrace, err)
 		}
 		select {
 		case <-ctx.Done():

@@ -1,0 +1,98 @@
+package replica_test
+
+// Reconnect-backoff behavior under a dead primary: the delay grows
+// exponentially only up to MaxBackoff (so a long outage settles into a
+// steady polling cadence instead of backing off forever), and Close
+// interrupts a tailer parked mid-backoff promptly instead of letting it
+// sleep out the full delay — which is what lets /v1/promote stop the
+// tailer of a replica whose primary just crashed without stalling.
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"lapushdb"
+	"lapushdb/internal/replica"
+	"lapushdb/internal/store"
+)
+
+// deadAddr reserves an address nothing listens on.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return "http://" + addr
+}
+
+func TestReconnectBackoffCapped(t *testing.T) {
+	rst, err := store.Open(lapushdb.Open(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	rep, err := replica.Start(replica.Options{
+		Primary:          deadAddr(t),
+		Store:            rst,
+		ReconnectBackoff: time.Millisecond,
+		MaxBackoff:       8 * time.Millisecond,
+		Logf:             func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	// 25 reconnects under a capped schedule cost ~190ms of backoff
+	// (1+2+4+8+8+...); an uncapped doubling schedule would need 2^25 ms
+	// (hours) to record that many. Reaching the count inside the
+	// deadline therefore proves the cap holds.
+	deadline := time.Now().Add(10 * time.Second)
+	for rep.Status().Reconnects < 25 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d reconnects inside the deadline; backoff is growing past MaxBackoff", rep.Status().Reconnects)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCloseInterruptsBackoff(t *testing.T) {
+	rst, err := store.Open(lapushdb.Open(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	rep, err := replica.Start(replica.Options{
+		Primary:          deadAddr(t),
+		Store:            rst,
+		ReconnectBackoff: time.Hour,
+		MaxBackoff:       time.Hour,
+		Logf:             func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the first failure has been recorded, after which the
+	// run loop is parked in its hour-long backoff sleep.
+	deadline := time.Now().Add(10 * time.Second)
+	for rep.Status().Reconnects < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("tailer never attempted the dead primary: %+v", rep.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	begin := time.Now()
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(begin); elapsed > 2*time.Second {
+		t.Fatalf("Close took %v against a tailer mid-backoff; it must interrupt the sleep", elapsed)
+	}
+}

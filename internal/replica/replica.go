@@ -63,8 +63,20 @@ type Status struct {
 	// HeadSeq is the highest primary head observed on the stream; zero
 	// until the first head frame arrives.
 	HeadSeq uint64 `json:"head_seq"`
+	// PrimaryEpoch is the promotion epoch the primary last reported
+	// (head frames, shipped records, or a checkpoint bootstrap); zero
+	// until first contact or when the primary predates epochs.
+	PrimaryEpoch uint64 `json:"primary_epoch"`
+	// Epoch is the promotion epoch of the locally published head.
+	Epoch uint64 `json:"epoch"`
 	// CaughtUp reports a live stream drained to the primary's head.
 	CaughtUp bool `json:"caught_up"`
+	// LastContactSeconds is how long ago the tailer last completed a
+	// successful exchange with the primary (a frame received or a
+	// snapshot installed), measured on the replica's clock; it grows
+	// from tailer start until first contact. A caught-up-looking replica
+	// whose last contact keeps growing is a silently stalled tailer.
+	LastContactSeconds float64 `json:"last_contact_seconds"`
 	// LagSeconds is 0 while caught up, otherwise seconds since the
 	// replica last was (measured on the replica's clock; during a
 	// disconnect it keeps growing even if the primary is idle).
@@ -91,12 +103,14 @@ type Replica struct {
 	reconnects atomic.Int64
 	bootstraps atomic.Int64
 
-	mu         sync.Mutex
-	connected  bool
-	caughtUp   bool
-	headSeq    uint64
-	caughtUpAt time.Time // last instant caughtUp held; start time before that
-	lastErr    string
+	mu           sync.Mutex
+	connected    bool
+	caughtUp     bool
+	headSeq      uint64
+	primaryEpoch uint64
+	caughtUpAt   time.Time // last instant caughtUp held; start time before that
+	lastContact  time.Time // last successful exchange; start time before that
+	lastErr      string
 }
 
 // Start validates opts, spawns the tail loop, and returns immediately;
@@ -131,12 +145,14 @@ func Start(opts Options) (*Replica, error) {
 		client = &http.Client{}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	now := time.Now()
 	r := &Replica{
-		opts:       opts,
-		client:     client,
-		cancel:     cancel,
-		done:       make(chan struct{}),
-		caughtUpAt: time.Now(),
+		opts:        opts,
+		client:      client,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		caughtUpAt:  now,
+		lastContact: now,
 	}
 	go r.run(ctx)
 	return r, nil
@@ -156,15 +172,18 @@ func (r *Replica) Status() Status {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := Status{
-		Primary:     r.opts.Primary,
-		Connected:   r.connected,
-		AppliedSeq:  v.Seq,
-		Fingerprint: v.Fingerprint,
-		HeadSeq:     r.headSeq,
-		CaughtUp:    r.caughtUp,
-		Reconnects:  r.reconnects.Load(),
-		Bootstraps:  r.bootstraps.Load(),
-		LastError:   r.lastErr,
+		Primary:            r.opts.Primary,
+		Connected:          r.connected,
+		AppliedSeq:         v.Seq,
+		Fingerprint:        v.Fingerprint,
+		Epoch:              v.Epoch,
+		HeadSeq:            r.headSeq,
+		PrimaryEpoch:       r.primaryEpoch,
+		CaughtUp:           r.caughtUp,
+		Reconnects:         r.reconnects.Load(),
+		Bootstraps:         r.bootstraps.Load(),
+		LastContactSeconds: time.Since(r.lastContact).Seconds(),
+		LastError:          r.lastErr,
 	}
 	if !r.caughtUp {
 		st.LagSeconds = time.Since(r.caughtUpAt).Seconds()
@@ -241,6 +260,9 @@ func (r *Replica) streamOnce(ctx context.Context) error {
 	q.Set("from", strconv.FormatUint(cur.Seq, 10))
 	q.Set("fp", cur.Fingerprint)
 	q.Set("wait_ms", strconv.FormatInt(r.opts.StreamWindow.Milliseconds(), 10))
+	// Present our epoch so a stale primary (lower epoch than ours) can
+	// observe the newer lineage and self-fence instead of serving us.
+	q.Set("epoch", strconv.FormatUint(cur.Epoch, 10))
 	// The deadline covers the long-poll window plus transfer slack. A
 	// catch-up larger than the slack allows is cut and resumed at the
 	// new position on reconnect — progress is never lost, only paced.
@@ -263,6 +285,14 @@ func (r *Replica) streamOnce(ctx context.Context) error {
 	case http.StatusGone:
 		return fmt.Errorf("%w: primary's log no longer reaches back to seq %d", errNeedSnapshot, cur.Seq)
 	case http.StatusConflict:
+		// A primary whose epoch is behind ours refuses with its epoch in
+		// the X-Lapushd-Epoch header: that is a stale primary, not a
+		// diverged replica, and bootstrapping from it would erase our
+		// newer lineage. Back off and wait for it to be re-seeded (or for
+		// a re-point to the real primary).
+		if pe, err := strconv.ParseUint(resp.Header.Get("X-Lapushd-Epoch"), 10, 64); err == nil && pe < cur.Epoch {
+			return fmt.Errorf("replica: primary %s is on stale epoch %d (local %d); refusing to follow it", r.opts.Primary, pe, cur.Epoch)
+		}
 		return fmt.Errorf("%w: primary refuses position (%d, %s) as diverged", errNeedSnapshot, cur.Seq, cur.Fingerprint)
 	default:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
@@ -280,10 +310,11 @@ func (r *Replica) streamOnce(ctx context.Context) error {
 		}
 		switch f.Type {
 		case FrameHead:
-			if err := r.noteHead(f.Seq, f.Fingerprint); err != nil {
+			if err := r.noteHead(f.Seq, f.Fingerprint, f.Epoch); err != nil {
 				return err
 			}
 		case FrameRecord:
+			r.noteContact(f.Epoch)
 			applied := r.opts.Store.Current().Seq
 			if f.Seq <= applied {
 				continue // duplicate delivery after a resume; already applied
@@ -291,8 +322,13 @@ func (r *Replica) streamOnce(ctx context.Context) error {
 			if f.Seq != applied+1 {
 				return fmt.Errorf("replica: stream gap: local head %d, next record %d", applied, f.Seq)
 			}
-			v, err := r.opts.Store.ApplyReplicated(store.LogRecord{Seq: f.Seq, Fingerprint: f.Fingerprint, Muts: f.Muts})
+			v, err := r.opts.Store.ApplyReplicated(store.LogRecord{Seq: f.Seq, Epoch: f.Epoch, Fingerprint: f.Fingerprint, Muts: f.Muts})
 			if err != nil {
+				if errors.Is(err, store.ErrFenced) {
+					// The shipped record belongs to an older lineage than
+					// ours; bootstrapping from its source would be worse.
+					return fmt.Errorf("replica: primary %s ships stale-epoch records: %v", r.opts.Primary, err)
+				}
 				if errors.Is(err, store.ErrDiverged) {
 					return fmt.Errorf("%w: %v", errNeedSnapshot, err)
 				}
@@ -332,6 +368,13 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("bad X-Lapushd-Seq header: %w", err)
 	}
+	// Absent header means a pre-epoch primary: epoch 0.
+	epoch, _ := strconv.ParseUint(resp.Header.Get("X-Lapushd-Epoch"), 10, 64)
+	if local := r.opts.Store.Epoch(); epoch < local {
+		// Installing this snapshot would move us backwards onto a stale
+		// lineage, silently erasing state from the lineage that fenced it.
+		return fmt.Errorf("refusing snapshot from %s: its epoch %d predates local epoch %d (stale primary)", r.opts.Primary, epoch, local)
+	}
 	wantFP := resp.Header.Get("X-Lapushd-Fingerprint")
 	db, err := lapushdb.Load(resp.Body)
 	if err != nil {
@@ -340,19 +383,36 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 	if got := store.Fingerprint(db, seq); wantFP != "" && got != wantFP {
 		return fmt.Errorf("%w: snapshot at seq %d loads as %s, primary claims %s", store.ErrDiverged, seq, got, wantFP)
 	}
-	if _, err := r.opts.Store.InstallSnapshot(db, seq); err != nil {
+	if _, err := r.opts.Store.InstallSnapshot(db, seq, epoch); err != nil {
 		return err
 	}
-	r.opts.Logf("replica: installed snapshot at seq %d from %s", seq, r.opts.Primary)
+	r.opts.Logf("replica: installed snapshot at seq %d (epoch %d) from %s", seq, epoch, r.opts.Primary)
+	r.noteContact(epoch)
 	r.noteApplied(seq)
 	return nil
 }
 
 // noteHead records a head frame: the primary's published position. A
+// head on a stale epoch means the primary belongs to a lineage we have
+// moved past — refuse to follow it (and never bootstrap from it). A
 // head at our own seq with a different fingerprint is divergence the
 // record-level checks can never catch (no record will arrive to fail).
-func (r *Replica) noteHead(seq uint64, fp string) error {
+func (r *Replica) noteHead(seq uint64, fp string, epoch uint64) error {
+	r.noteContact(epoch)
 	cur := r.opts.Store.Current()
+	if epoch < cur.Epoch {
+		return fmt.Errorf("replica: primary %s is on stale epoch %d (local %d); refusing to follow it", r.opts.Primary, epoch, cur.Epoch)
+	}
+	if epoch > cur.Epoch && seq == cur.Seq {
+		// The primary's head crossed a promotion while we sit at its exact
+		// sequence number. The fingerprint covers schema shape and tuple
+		// counts, not contents, so two forked lineages can collide at the
+		// same seq (an old primary's unacked tail vs the promoted lineage's
+		// new writes) — parity cannot be proven across an epoch boundary
+		// without either applying an epoch-stamped record or re-anchoring.
+		// With no records left to stream, re-anchor.
+		return fmt.Errorf("%w: primary head (%d, epoch %d) vs local state applied on epoch %d; fingerprints cannot prove parity across a promotion", errNeedSnapshot, seq, epoch, cur.Epoch)
+	}
 	if seq == cur.Seq && fp != "" && fp != cur.Fingerprint {
 		return fmt.Errorf("%w: primary head (%d, %s) vs local (%d, %s)", errNeedSnapshot, seq, fp, cur.Seq, cur.Fingerprint)
 	}
@@ -363,6 +423,17 @@ func (r *Replica) noteHead(seq uint64, fp string) error {
 	}
 	r.updateCaughtUpLocked(cur.Seq)
 	return nil
+}
+
+// noteContact stamps a successful exchange with the primary and the
+// epoch it reported.
+func (r *Replica) noteContact(epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lastContact = time.Now()
+	if epoch > r.primaryEpoch {
+		r.primaryEpoch = epoch
+	}
 }
 
 // noteApplied records local progress after an apply or install.

@@ -52,10 +52,15 @@ const (
 	FrameEnd = "end"
 )
 
-// Frame is one protocol message of a /v1/wal stream.
+// Frame is one protocol message of a /v1/wal stream. Epoch is the
+// promotion epoch: on a head frame the primary's current epoch, on a
+// record frame the epoch the record was committed under. It is omitted
+// when zero, keeping epoch-0 streams byte-identical to the pre-epoch
+// wire format (and pre-epoch primaries readable as epoch 0).
 type Frame struct {
 	Type        string           `json:"type"`
 	Seq         uint64           `json:"seq,omitempty"`
+	Epoch       uint64           `json:"epoch,omitempty"`
 	Fingerprint string           `json:"fingerprint,omitempty"`
 	Muts        []store.Mutation `json:"muts,omitempty"`
 }
@@ -119,11 +124,11 @@ func ReadFrame(r io.Reader) (Frame, error) {
 }
 
 // HeadFrame builds a head frame.
-func HeadFrame(seq uint64, fingerprint string) Frame {
-	return Frame{Type: FrameHead, Seq: seq, Fingerprint: fingerprint}
+func HeadFrame(seq uint64, fingerprint string, epoch uint64) Frame {
+	return Frame{Type: FrameHead, Seq: seq, Epoch: epoch, Fingerprint: fingerprint}
 }
 
 // RecordFrame wraps one log record.
 func RecordFrame(rec store.LogRecord) Frame {
-	return Frame{Type: FrameRecord, Seq: rec.Seq, Fingerprint: rec.Fingerprint, Muts: rec.Muts}
+	return Frame{Type: FrameRecord, Seq: rec.Seq, Epoch: rec.Epoch, Fingerprint: rec.Fingerprint, Muts: rec.Muts}
 }

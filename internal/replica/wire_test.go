@@ -13,8 +13,8 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	p := 0.4
 	frames := []Frame{
-		HeadFrame(7, "abc@7"),
-		RecordFrame(store.LogRecord{Seq: 8, Fingerprint: "def@8", Muts: []store.Mutation{
+		HeadFrame(7, "abc@7", 2),
+		RecordFrame(store.LogRecord{Seq: 8, Epoch: 2, Fingerprint: "def@8", Muts: []store.Mutation{
 			{Op: store.OpInsert, Rel: "Likes", Tuple: []string{"x", "y"}, P: &p},
 		}}),
 		{Type: FrameEnd},
@@ -30,7 +30,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("ReadFrame %d: %v", i, err)
 		}
-		if got.Type != want.Type || got.Seq != want.Seq || got.Fingerprint != want.Fingerprint || len(got.Muts) != len(want.Muts) {
+		if got.Type != want.Type || got.Seq != want.Seq || got.Epoch != want.Epoch || got.Fingerprint != want.Fingerprint || len(got.Muts) != len(want.Muts) {
 			t.Fatalf("frame %d round-tripped to %+v, want %+v", i, got, want)
 		}
 	}
@@ -42,7 +42,7 @@ func TestFrameRoundTrip(t *testing.T) {
 
 func TestFrameCorruption(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, HeadFrame(3, "x@3")); err != nil {
+	if err := WriteFrame(&buf, HeadFrame(3, "x@3", 0)); err != nil {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()

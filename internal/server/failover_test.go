@@ -1,0 +1,448 @@
+package server
+
+// Failover chaos suite: the fenced-promotion acceptance tests. The full
+// schedule — kill -9 the primary mid-lineage, promote the replica,
+// restart the old primary, fence it, re-seed it — must end with every
+// acknowledged write present on the new lineage, every unacknowledged
+// write cleanly absent, and the fingerprints of the survivors never
+// diverging. Run under -race (the CI failover job does).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"lapushdb"
+	"lapushdb/internal/replica"
+	"lapushdb/internal/store"
+)
+
+// quietf discards log lines from servers and tailers under test.
+func quietf(string, ...any) {}
+
+// startDirReplica opens a dir-backed store tailing primaryURL and
+// serves it with the full replica handler stack (tailer status and
+// StopTailer wired, as cmd/lapushd wires them).
+func startDirReplica(t *testing.T, dir, primaryURL string) (*store.Store, *replica.Replica, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(lapushdb.Open(), store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailer, err := replica.Start(replica.Options{
+		Primary:          primaryURL,
+		Store:            st,
+		ReconnectBackoff: 20 * time.Millisecond,
+		MaxBackoff:       200 * time.Millisecond,
+		StreamWindow:     time.Second,
+		Logf:             quietf,
+	})
+	if err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithStore(st, Config{
+		ReplicaOf:     primaryURL,
+		ReplicaStatus: tailer.Status,
+		StopTailer:    tailer.Close,
+		Logf:          quietf,
+	}))
+	return st, tailer, ts
+}
+
+// saveBytes snapshots db for bit-identity comparisons.
+func saveBytes(t *testing.T, db *lapushdb.DB) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := db.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// countTuples asks url's /v1/query how many Likes tuples mention user.
+func countTuples(t *testing.T, url, user string) int {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/query", map[string]any{
+		"query": fmt.Sprintf("q(movie) :- Likes('%s', movie)", user),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query on %s: %d (%s)", url, resp.StatusCode, body)
+	}
+	var out struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Count
+}
+
+// TestFailoverCrashPromoteFence is the full failover schedule.
+func TestFailoverCrashPromoteFence(t *testing.T) {
+	pdir := t.TempDir()
+	pst, err := store.Open(movieDB(t), store.Options{Dir: pdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(NewWithStore(pst, Config{WALStreamWindow: time.Second, Logf: quietf}))
+
+	rdir := t.TempDir()
+	rst, _, rts := startDirReplica(t, rdir, pts.URL)
+	defer rts.Close()
+	defer rst.Close()
+
+	// Phase 1: concurrent ingest workers. Every 200 is an acknowledged,
+	// WAL-durable write; the workers record exactly which tuples were
+	// acked so the post-failover audit can demand each one back.
+	var mu sync.Mutex
+	var ackedSeq uint64
+	var ackedTuples []string
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				movie := fmt.Sprintf("m-%d-%d", w, j)
+				resp, body := postJSON(t, pts.URL+"/v1/ingest", map[string]any{
+					"mutations": []map[string]any{
+						{"op": "insert", "rel": "Likes", "tuple": []string{"acked", movie}, "p": 0.5},
+					},
+				})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("ingest %s: %d (%s)", movie, resp.StatusCode, body)
+					return
+				}
+				var ir struct {
+					Version uint64 `json:"version"`
+				}
+				if err := json.Unmarshal(body, &ir); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				ackedTuples = append(ackedTuples, movie)
+				if ir.Version > ackedSeq {
+					ackedSeq = ir.Version
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Let the WAL shipping drain to the max acked seq, then crash the
+	// primary abruptly: connections cut, listener closed, no drain.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := rst.WaitForSeq(ctx, ackedSeq); err != nil {
+		t.Fatalf("replica never reached acked seq %d: %v", ackedSeq, err)
+	}
+	pts.CloseClientConnections()
+	pts.Close()
+
+	// One write lands in the dead primary's WAL without ever being
+	// acknowledged over HTTP — the in-flight casualty of the crash. It
+	// must not survive failover.
+	if _, err := pst.Apply([]store.Mutation{
+		{Op: store.OpInsert, Rel: "Likes", Tuple: []string{"ghost", "never-acked"}, P: pFloat(0.5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pst.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: promote the replica with the min_seq guard at the highest
+	// acked seq — the promotion that proves zero acked-write loss.
+	resp, body := postJSON(t, rts.URL+"/v1/promote", map[string]any{"min_seq": ackedSeq})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: %d (%s)", resp.StatusCode, body)
+	}
+	var pr promoteResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Promoted || pr.Epoch != 1 || pr.Role != "primary" {
+		t.Fatalf("promote response = %+v, want promoted on epoch 1", pr)
+	}
+	// The new lineage accepts writes immediately.
+	if resp, body := postJSON(t, rts.URL+"/v1/ingest", map[string]any{
+		"mutations": []map[string]any{
+			{"op": "insert", "rel": "Likes", "tuple": []string{"post", "failover"}, "p": 0.5},
+		},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest on promoted primary: %d (%s)", resp.StatusCode, body)
+	}
+
+	// Phase 3: the old primary restarts from its directory. Recovery
+	// replays its WAL — including the unacknowledged write — onto the
+	// stale epoch-0 lineage.
+	pst2, err := store.Open(nil, store.Options{Dir: pdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := pst2.Current(); v.Epoch != 0 || v.Seq != ackedSeq+1 {
+		t.Fatalf("old primary recovered (%d, epoch %d), want (%d, epoch 0)", v.Seq, v.Epoch, ackedSeq+1)
+	}
+
+	// Its startup handshake reaches the promoted node, observes epoch 1,
+	// and self-fences before serving a single write.
+	osrv := NewWithStore(pst2, Config{
+		Peers:             []string{rts.URL},
+		FencePollInterval: 25 * time.Millisecond,
+		Logf:              quietf,
+	})
+	defer osrv.Close()
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	fenced := osrv.CheckPeers(hctx)
+	hcancel()
+	if !fenced {
+		t.Fatal("restarted old primary did not fence on the startup handshake")
+	}
+	ots := httptest.NewServer(osrv)
+	defer ots.Close()
+
+	resp, body = getBody(t, ots.URL+"/healthz")
+	var h map[string]any
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["role"] != "fenced" || h["status"] != "degraded" || h["primary"] != rts.URL {
+		t.Fatalf("fenced healthz = %v", h)
+	}
+	resp, body = postJSON(t, ots.URL+"/v1/ingest", map[string]any{
+		"mutations": []map[string]any{
+			{"op": "insert", "rel": "Likes", "tuple": []string{"split", "brain"}, "p": 0.5},
+		},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable || decodeErr(t, body).Code != "fenced" {
+		t.Fatalf("fenced ingest: %d %s (%s)", resp.StatusCode, resp.Header.Get("X-Lapushd-Primary"), body)
+	}
+	if got := resp.Header.Get("X-Lapushd-Primary"); got != rts.URL {
+		t.Fatalf("X-Lapushd-Primary = %q, want %q", got, rts.URL)
+	}
+	// Promoting a fenced node is refused — it would resurrect the stale
+	// lineage.
+	if resp, body := postJSON(t, ots.URL+"/v1/promote", map[string]any{}); resp.StatusCode != http.StatusConflict || decodeErr(t, body).Code != "fenced" {
+		t.Fatalf("promote on fenced node: %d (%s)", resp.StatusCode, body)
+	}
+
+	// Phase 4: re-seed the fenced node as a replica of the promoted
+	// primary. Its diverged tail (the unacknowledged write) forces a 409,
+	// a snapshot bootstrap onto epoch 1, and full convergence.
+	tailer2, err := replica.Start(replica.Options{
+		Primary:          rts.URL,
+		Store:            pst2,
+		ReconnectBackoff: 20 * time.Millisecond,
+		MaxBackoff:       200 * time.Millisecond,
+		StreamWindow:     time.Second,
+		Logf:             quietf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tailer2.Close()
+	// Convergence here means more than reaching the sequence number: the
+	// old primary's stale tail collides with the new lineage on both seq
+	// and fingerprint (same schema, same tuple counts), so the tailer
+	// must detect the epoch boundary and re-anchor by snapshot.
+	want := rst.Current()
+	deadline := time.Now().Add(15 * time.Second)
+	for pst2.Current().Epoch != want.Epoch || pst2.Current().Seq < want.Seq {
+		if time.Now().After(deadline) {
+			t.Fatalf("re-seeded old primary stuck at %+v, want (%d, epoch %d)", pst2.Current(), want.Seq, want.Epoch)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The audit: fingerprint parity, bit-identity, every acked write
+	// present, the unacked write gone, the post-failover write present.
+	got := pst2.Current()
+	if got.Seq != want.Seq || got.Fingerprint != want.Fingerprint || got.Epoch != 1 {
+		t.Fatalf("re-seeded head (%d, %s, epoch %d), want (%d, %s, epoch 1)",
+			got.Seq, got.Fingerprint, got.Epoch, want.Seq, want.Fingerprint)
+	}
+	if !bytes.Equal(saveBytes(t, want.DB), saveBytes(t, got.DB)) {
+		t.Fatal("re-seeded old primary is not bit-identical to the promoted primary")
+	}
+	if n := countTuples(t, rts.URL, "acked"); n != len(ackedTuples) {
+		t.Fatalf("new lineage has %d acked tuples, want %d", n, len(ackedTuples))
+	}
+	if n := countTuples(t, rts.URL, "ghost"); n != 0 {
+		t.Fatalf("unacknowledged write survived failover (%d tuples)", n)
+	}
+	if n := countTuples(t, rts.URL, "post"); n != 1 {
+		t.Fatalf("post-failover write missing (%d tuples)", n)
+	}
+	if err := pst2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPromoteIdempotent pins the handler's state machine: promoting a
+// node that already is the primary is a 200 no-op, and a replica
+// promotion repeated lands on the same epoch.
+func TestPromoteIdempotent(t *testing.T) {
+	// On a standalone primary, promote reports the current state without
+	// bumping anything.
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/promote", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote on primary: %d (%s)", resp.StatusCode, body)
+	}
+	var pr promoteResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Promoted || pr.Epoch != 0 || pr.Role != "primary" {
+		t.Fatalf("promote on primary = %+v, want a promoted=false no-op at epoch 0", pr)
+	}
+
+	// On a replica: first promote bumps to epoch 1, the retry is a no-op
+	// at the same epoch.
+	pair, err := NewHermeticPair(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+	for i, wantPromoted := range []bool{true, false} {
+		resp, body := postJSON(t, pair.Replica.URL+"/v1/promote", map[string]any{})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("promote %d: %d (%s)", i, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatal(err)
+		}
+		if pr.Promoted != wantPromoted || pr.Epoch != 1 || pr.Role != "primary" {
+			t.Fatalf("promote %d = %+v, want promoted=%v at epoch 1", i, pr, wantPromoted)
+		}
+	}
+}
+
+// TestPromoteRefusesWhenBehind pins the zero-acked-write-loss guard: a
+// replica that provably has not applied min_seq refuses with 409 and
+// keeps its role, so it keeps converging and a later retry can succeed.
+func TestPromoteRefusesWhenBehind(t *testing.T) {
+	st, err := store.Open(movieDB(t), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// A replica-role server with its (empty-history) store at seq 0; no
+	// tailer, so it can never reach min_seq during the test.
+	ts := httptest.NewServer(NewWithStore(st, Config{ReplicaOf: "http://dead-primary.example", Logf: quietf}))
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/promote", map[string]any{"min_seq": 42})
+	if resp.StatusCode != http.StatusConflict || decodeErr(t, body).Code != "behind" {
+		t.Fatalf("promote behind min_seq: %d (%s)", resp.StatusCode, body)
+	}
+	// Still a replica, still refusing writes, still at epoch 0.
+	if resp, body := postJSON(t, ts.URL+"/v1/ingest", map[string]any{
+		"mutations": []map[string]any{{"op": "set_prob", "rel": "Likes", "tuple": []string{"ann", "heat"}, "p": 0.1}},
+	}); resp.StatusCode != http.StatusServiceUnavailable || decodeErr(t, body).Code != "read_only_replica" {
+		t.Fatalf("refused promotion changed the role: %d (%s)", resp.StatusCode, body)
+	}
+	if got := st.Epoch(); got != 0 {
+		t.Fatalf("refused promotion bumped the epoch to %d", got)
+	}
+}
+
+// TestWALEpochFencing pins the tailing-attempt fence channel: a /v1/wal
+// request presenting a higher epoch is refused with 409 stale_primary
+// (reporting the local epoch), and the node self-fences on the spot.
+func TestWALEpochFencing(t *testing.T) {
+	s, ts := newTestServer(t, Config{Logf: quietf})
+
+	// An epoch-0 follower streams fine.
+	resp, _ := getBody(t, ts.URL+"/v1/wal?from=0&wait_ms=0&epoch=0")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("epoch-0 wal read: %d", resp.StatusCode)
+	}
+
+	// A follower on epoch 2 means this primary was failed over: refuse
+	// and fence.
+	resp, body := getBody(t, ts.URL+"/v1/wal?from=0&wait_ms=0&epoch=2")
+	if resp.StatusCode != http.StatusConflict || decodeErr(t, body).Code != "stale_primary" {
+		t.Fatalf("higher-epoch wal read: %d (%s)", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Lapushd-Epoch"); got != "0" {
+		t.Fatalf("X-Lapushd-Epoch = %q, want 0", got)
+	}
+	if s.currentRole() != roleFenced {
+		t.Fatalf("role after higher-epoch wal read = %v, want fenced", s.currentRole())
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/ingest", map[string]any{
+		"mutations": []map[string]any{{"op": "set_prob", "rel": "Likes", "tuple": []string{"ann", "heat"}, "p": 0.1}},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable || decodeErr(t, body).Code != "fenced" {
+		t.Fatalf("ingest after self-fence: %d (%s)", resp.StatusCode, body)
+	}
+	// Reads keep serving from the last published version.
+	if resp, _ := postJSON(t, ts.URL+"/v1/query", map[string]any{"query": testQuery}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fenced node refused a read: %d", resp.StatusCode)
+	}
+	// And the metrics expose the transition.
+	_, mb := getBody(t, ts.URL+"/metrics")
+	for _, metric := range []string{`lapushd_role{role="fenced"} 1`, "lapushd_fenced_total 1", "lapushd_store_epoch 0"} {
+		if !bytes.Contains(mb, []byte(metric)) {
+			t.Fatalf("/metrics is missing %q", metric)
+		}
+	}
+}
+
+// TestHealthzReportsEpochAndContact pins satellite 2: every role's
+// /healthz carries the epoch, and a replica's reports the primary's
+// epoch plus seconds since it last heard from it.
+func TestHealthzReportsEpochAndContact(t *testing.T) {
+	pair, err := NewHermeticPair(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+	if resp, _ := postJSON(t, pair.Primary.URL+"/v1/ingest", map[string]any{
+		"mutations": []map[string]any{
+			{"op": "create_relation", "rel": "Likes", "cols": []string{"user", "movie"}},
+			{"op": "insert", "rel": "Likes", "tuple": []string{"ann", "heat"}, "p": 0.9},
+		},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d", resp.StatusCode)
+	}
+	waitPairConverged(t, pair)
+
+	_, pb := getBody(t, pair.Primary.URL+"/healthz")
+	var ph map[string]any
+	if err := json.Unmarshal(pb, &ph); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ph["epoch"]; !ok {
+		t.Fatalf("primary healthz has no epoch: %v", ph)
+	}
+	_, rb := getBody(t, pair.Replica.URL+"/healthz")
+	var rh map[string]any
+	if err := json.Unmarshal(rb, &rh); err != nil {
+		t.Fatal(err)
+	}
+	lc, ok := rh["last_contact_seconds"].(float64)
+	if !ok || lc < 0 || lc > 60 {
+		t.Fatalf("replica healthz last_contact_seconds = %v", rh["last_contact_seconds"])
+	}
+	if rh["primary_epoch"] != float64(0) {
+		t.Fatalf("replica healthz primary_epoch = %v, want 0", rh["primary_epoch"])
+	}
+	_, mb := getBody(t, pair.Replica.URL+"/metrics")
+	if !bytes.Contains(mb, []byte("lapushd_replica_last_contact_seconds")) {
+		t.Fatal("replica /metrics is missing lapushd_replica_last_contact_seconds")
+	}
+}

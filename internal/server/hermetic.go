@@ -34,12 +34,21 @@ type HermeticPair struct {
 	rstore *store.Store
 }
 
-// Close shuts the pair down (replica tailer, then both servers).
+// Close shuts the pair down (replica tailer, then both servers). Safe
+// after KillPrimary and after a promotion already stopped the tailer.
 func (p *HermeticPair) Close() {
 	_ = p.Tailer.Close()
 	p.Replica.Close()
 	p.Primary.Close()
 	_ = p.rstore.Close()
+}
+
+// KillPrimary terminates the primary abruptly — in-flight connections
+// cut, listener closed — simulating a primary crash for failover
+// drills. In-flight ingests die unacknowledged, exactly like kill -9.
+func (p *HermeticPair) KillPrimary() {
+	p.Primary.CloseClientConnections()
+	p.Primary.Close()
 }
 
 // NewHermeticPair boots a hermetic primary and one replica tailing it.
@@ -68,6 +77,8 @@ func NewHermeticPair(cfg Config) (*HermeticPair, error) {
 	rcfg := cfg
 	rcfg.ReplicaOf = primary.URL
 	rcfg.ReplicaStatus = tailer.Status
+	rcfg.StopTailer = tailer.Close
+	rcfg.Logf = func(string, ...any) {}
 	rep := httptest.NewServer(NewWithStore(rst, rcfg))
 	return &HermeticPair{Primary: primary, Replica: rep, Tailer: tailer, rstore: rst}, nil
 }

@@ -43,11 +43,17 @@ type metrics struct {
 	shedTotal        atomic.Int64 // requests shed at admission (deadline < queue wait)
 	budgetExceeded   atomic.Int64 // queries aborted by their row budget
 
+	fencedTotal atomic.Int64 // primary→fenced transitions (0 or 1 per process)
+
 	storeStats func() store.Stats // reads the store's counters at render time
 
 	// replicaStatus, when non-nil, reads the replica tailer's state at
 	// render time; the lapushd_replica_* family is emitted only then.
 	replicaStatus func() replica.Status
+
+	// serverRole, when non-nil, reads the failover role ("primary",
+	// "replica", "fenced") at render time.
+	serverRole func() string
 }
 
 // latencyBuckets are the histogram upper bounds in seconds.
@@ -244,6 +250,18 @@ func (m *metrics) render(b *strings.Builder) {
 		fmt.Fprintf(b, "lapushd_store_wal_truncations_total %d\n", st.WALTruncations)
 		b.WriteString("# TYPE lapushd_store_readonly gauge\n")
 		fmt.Fprintf(b, "lapushd_store_readonly %d\n", boolGauge(st.ReadOnly))
+		b.WriteString("# TYPE lapushd_store_epoch gauge\n")
+		fmt.Fprintf(b, "lapushd_store_epoch %d\n", st.Epoch)
+	}
+
+	if m.serverRole != nil {
+		role := m.serverRole()
+		b.WriteString("# TYPE lapushd_role gauge\n")
+		for _, r := range []string{"primary", "replica", "fenced"} {
+			fmt.Fprintf(b, "lapushd_role{role=%q} %d\n", r, boolGauge(r == role))
+		}
+		b.WriteString("# TYPE lapushd_fenced_total counter\n")
+		fmt.Fprintf(b, "lapushd_fenced_total %d\n", m.fencedTotal.Load())
 	}
 
 	if m.replicaStatus != nil {
@@ -260,6 +278,10 @@ func (m *metrics) render(b *strings.Builder) {
 		fmt.Fprintf(b, "lapushd_replica_reconnects_total %d\n", rs.Reconnects)
 		b.WriteString("# TYPE lapushd_replica_bootstraps_total counter\n")
 		fmt.Fprintf(b, "lapushd_replica_bootstraps_total %d\n", rs.Bootstraps)
+		b.WriteString("# TYPE lapushd_replica_last_contact_seconds gauge\n")
+		fmt.Fprintf(b, "lapushd_replica_last_contact_seconds %s\n", formatFloat(rs.LastContactSeconds))
+		b.WriteString("# TYPE lapushd_replica_primary_epoch gauge\n")
+		fmt.Fprintf(b, "lapushd_replica_primary_epoch %d\n", rs.PrimaryEpoch)
 	}
 }
 

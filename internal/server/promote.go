@@ -1,0 +1,269 @@
+package server
+
+// Fenced failover: the server-side role state machine over the store's
+// promotion epochs.
+//
+// Every lapushd is in exactly one of three roles. A *primary* accepts
+// writes and serves /v1/wal + /v1/checkpoint to tailing replicas. A
+// *replica* refuses writes and follows a primary (the tailer lives in
+// internal/replica; the server only serves the role). A *fenced* node
+// is an ex-primary that has observed a higher promotion epoch somewhere
+// in the cluster: it keeps serving reads from its last published
+// version but refuses writes with 503 and points clients at the node it
+// observed the newer lineage on, because accepting a write would fork
+// the WAL into a lineage no replica will ever follow.
+//
+// POST /v1/promote turns a caught-up replica into a primary: stop the
+// tailer, durably bump the store's epoch (checkpoint protocol), start
+// answering writes. The optional min_seq guard makes "zero acked-write
+// loss" enforceable rather than aspirational: operators pass the
+// highest sequence number a client saw acknowledged, and promotion is
+// refused (409 "behind") if this replica never applied it.
+//
+// An old primary learns it was fenced through either of two channels:
+// a peer handshake (Config.Peers; polled by the fence watcher and once
+// synchronously at startup via CheckPeers) or a tailing attempt — every
+// /v1/wal request carries the caller's epoch, so a node serving its log
+// to a higher-epoch caller fences itself on the spot.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"lapushdb/internal/store"
+)
+
+// role is the server's position in the failover state machine.
+type role int32
+
+const (
+	rolePrimary role = iota
+	roleReplica
+	roleFenced
+)
+
+func (ro role) String() string {
+	switch ro {
+	case roleReplica:
+		return "replica"
+	case roleFenced:
+		return "fenced"
+	default:
+		return "primary"
+	}
+}
+
+func (s *Server) currentRole() role { return role(s.role.Load()) }
+
+// fencedPrimary returns the base URL of the node the server observed a
+// newer epoch on, or "" when unknown (fenced via an anonymous tailing
+// attempt).
+func (s *Server) fencedPrimary() string {
+	if v, ok := s.fencedBy.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// fence moves a primary into the fenced role after observing peerEpoch
+// (> the local epoch) at peer. Replicas are never fenced — they already
+// refuse writes and follow whatever lineage their primary serves — and
+// fencing is sticky: only a process restart (re-seeded as a replica of
+// the new primary) leaves the role.
+func (s *Server) fence(peer string, peerEpoch uint64) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if s.currentRole() != rolePrimary || peerEpoch <= s.store.Epoch() {
+		return
+	}
+	if peer != "" {
+		s.fencedBy.Store(peer)
+	}
+	s.role.Store(int32(roleFenced))
+	s.metrics.fencedTotal.Add(1)
+	at := peer
+	if at == "" {
+		at = "a tailing peer"
+	}
+	s.logf("lapushd: fenced: observed promotion epoch %d at %s (local epoch %d); refusing writes to avoid forking the WAL", peerEpoch, at, s.store.Epoch())
+}
+
+type promoteRequest struct {
+	// MinSeq refuses the promotion unless this replica has applied at
+	// least this sequence number. Pass the highest seq any client saw
+	// acknowledged; zero skips the guard.
+	MinSeq uint64 `json:"min_seq"`
+}
+
+type promoteResponse struct {
+	// Promoted is false when the node already was the primary (the call
+	// is idempotent).
+	Promoted    bool   `json:"promoted"`
+	Role        string `json:"role"`
+	Epoch       uint64 `json:"epoch"`
+	Version     uint64 `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// handlePromote is POST /v1/promote: promote this replica to primary on
+// a new, durably recorded epoch. Idempotent on a node that already is
+// the primary; refused on a fenced node (promoting it would resurrect
+// the stale lineage) and on a replica that has not reached min_seq.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req promoteRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("malformed request body: %v", err))
+		return
+	}
+
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	switch s.currentRole() {
+	case roleFenced:
+		if p := s.fencedPrimary(); p != "" {
+			w.Header().Set("X-Lapushd-Primary", p)
+		}
+		writeError(w, http.StatusConflict, "fenced",
+			"this lapushd observed a newer promotion epoch and is fenced; re-seed it as a replica of the new primary instead of promoting it")
+		return
+	case rolePrimary:
+		v := s.store.Current()
+		if v.Seq < req.MinSeq {
+			writeError(w, http.StatusConflict, "behind",
+				fmt.Sprintf("primary head %d has not reached required min_seq %d", v.Seq, req.MinSeq))
+			return
+		}
+		writeJSON(w, http.StatusOK, promoteResponse{
+			Promoted: false, Role: rolePrimary.String(),
+			Epoch: v.Epoch, Version: v.Seq, Fingerprint: v.Fingerprint,
+		})
+		return
+	}
+
+	// Replica path. Refuse a provably lossy promotion before touching the
+	// tailer, so a refused node keeps converging and a retry can succeed.
+	if v := s.store.Current(); v.Seq < req.MinSeq {
+		writeError(w, http.StatusConflict, "behind",
+			fmt.Sprintf("replica applied through seq %d, short of required min_seq %d; writes acknowledged past its head would be lost", v.Seq, req.MinSeq))
+		return
+	}
+	if s.cfg.StopTailer != nil {
+		if err := s.cfg.StopTailer(); err != nil {
+			writeError(w, http.StatusInternalServerError, "internal", fmt.Sprintf("stop tailer: %v", err))
+			return
+		}
+	}
+	v, err := s.store.Promote(req.MinSeq)
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrBehind):
+			writeError(w, http.StatusConflict, "behind", err.Error())
+		case errors.Is(err, store.ErrReadOnly):
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeError(w, http.StatusServiceUnavailable, "read_only", err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, "durability_failure", err.Error())
+		}
+		return
+	}
+	s.role.Store(int32(rolePrimary))
+	s.logf("lapushd: promoted to primary at version %d on epoch %d", v.Seq, v.Epoch)
+	writeJSON(w, http.StatusOK, promoteResponse{
+		Promoted: true, Role: rolePrimary.String(),
+		Epoch: v.Epoch, Version: v.Seq, Fingerprint: v.Fingerprint,
+	})
+}
+
+// peerHealth is the slice of a peer's /healthz body the handshake needs.
+type peerHealth struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// fetchPeerEpoch asks one peer for its current promotion epoch.
+func fetchPeerEpoch(ctx context.Context, client *http.Client, peer string) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("peer %s answered %d", peer, resp.StatusCode)
+	}
+	var ph peerHealth
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ph); err != nil {
+		return 0, fmt.Errorf("peer %s: parse healthz: %w", peer, err)
+	}
+	return ph.Epoch, nil
+}
+
+// CheckPeers runs one synchronous handshake round against Config.Peers,
+// fencing this node if any reachable peer reports a higher epoch, and
+// reports whether the node is fenced afterwards. cmd/lapushd calls it
+// once before serving, so a restarted old primary that can reach the
+// promoted replica never answers a single write on the stale lineage;
+// unreachable peers are skipped (a dead peer must not block startup).
+func (s *Server) CheckPeers(ctx context.Context) bool {
+	for _, peer := range s.cfg.Peers {
+		if s.currentRole() != rolePrimary {
+			break
+		}
+		ep, err := fetchPeerEpoch(ctx, s.peerClient, peer)
+		if err != nil {
+			continue
+		}
+		if ep > s.store.Epoch() {
+			s.fence(peer, ep)
+		}
+	}
+	return s.currentRole() == roleFenced
+}
+
+// fenceWatcher polls the peers for higher epochs until Close. It keeps
+// running after the node fences (the role transition is sticky, so the
+// extra polls are cheap no-ops) to keep the code path single-shaped.
+func (s *Server) fenceWatcher() {
+	defer close(s.fenceDone)
+	t := time.NewTicker(s.cfg.FencePollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.fenceStop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FencePollInterval)
+			s.CheckPeers(ctx)
+			cancel()
+		}
+	}
+}
+
+// Close stops the fence watcher, if one was started. The HTTP handlers
+// stay usable; Close only releases the server's background goroutine.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.fenceDone != nil {
+			close(s.fenceStop)
+			<-s.fenceDone
+		}
+	})
+}

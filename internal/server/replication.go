@@ -58,6 +58,22 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_param", err.Error())
 		return
 	}
+	reqEpoch, err := parseUintParam(r, "epoch", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_param", err.Error())
+		return
+	}
+	// A tailer presenting a higher epoch than ours is following a newer
+	// lineage: this node was failed over while it wasn't looking. Fence
+	// (a no-op unless we're a primary) and refuse, reporting our epoch so
+	// the caller can tell a stale primary from genuine divergence.
+	if localEpoch := s.store.Epoch(); reqEpoch > localEpoch {
+		s.fence("", reqEpoch)
+		w.Header().Set("X-Lapushd-Epoch", strconv.FormatUint(localEpoch, 10))
+		writeError(w, http.StatusConflict, "stale_primary",
+			fmt.Sprintf("caller is on promotion epoch %d but this node is on %d; it must not serve a newer lineage's follower", reqEpoch, localEpoch))
+		return
+	}
 	window := time.Duration(waitMS) * time.Millisecond
 	if window > s.cfg.WALStreamWindow {
 		window = s.cfg.WALStreamWindow
@@ -107,8 +123,8 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		// Drained to the head: report it, then long-poll for more.
-		headSeq, headFP := s.store.Head()
-		if err := replica.WriteFrame(w, replica.HeadFrame(headSeq, headFP)); err != nil {
+		head := s.store.Current()
+		if err := replica.WriteFrame(w, replica.HeadFrame(head.Seq, head.Fingerprint, head.Epoch)); err != nil {
 			return
 		}
 		flush()
@@ -140,6 +156,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Lapushd-Seq", strconv.FormatUint(v.Seq, 10))
 	w.Header().Set("X-Lapushd-Fingerprint", v.Fingerprint)
+	w.Header().Set("X-Lapushd-Epoch", strconv.FormatUint(v.Epoch, 10))
 	w.WriteHeader(http.StatusOK)
 	// Mid-write failures surface to the client as a short body; the
 	// loader's format checks catch it there.

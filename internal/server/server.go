@@ -28,10 +28,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"runtime/debug"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"lapushdb"
@@ -93,10 +96,27 @@ type Config struct {
 	// ReplicaStatus supplies the tailer's status for /healthz and the
 	// lapushd_replica_* metrics. Required when ReplicaOf is set.
 	ReplicaStatus func() replica.Status
+	// StopTailer, on a replica, stops the WAL tailer; POST /v1/promote
+	// invokes it before bumping the store's epoch so the new primary
+	// never races its own old primary's log.
+	StopTailer func() error
+	// Peers are base URLs of other lapushd nodes in the same cluster
+	// (typically the replicas, from the primary's point of view). The
+	// fence watcher polls their /healthz for promotion epochs: a peer on
+	// a higher epoch means this node was failed over while it was down
+	// or partitioned, and it fences itself instead of accepting writes
+	// on the stale lineage.
+	Peers []string
+	// FencePollInterval is the fence watcher's polling period (default
+	// 2s; only used when Peers is non-empty).
+	FencePollInterval time.Duration
 	// WALStreamWindow caps one /v1/wal long-poll window: a tail stream
 	// is cleanly ended (frame "end") at most this long after it opened,
 	// whatever wait_ms the client asked for (default 20s).
 	WALStreamWindow time.Duration
+	// Logf receives operational log lines (role transitions, fencing).
+	// Nil selects the standard logger.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +156,9 @@ func (c Config) withDefaults() Config {
 	if c.WALStreamWindow <= 0 {
 		c.WALStreamWindow = 20 * time.Second
 	}
+	if c.FencePollInterval <= 0 {
+		c.FencePollInterval = 2 * time.Second
+	}
 	return c
 }
 
@@ -149,6 +172,17 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 	start   time.Time
+
+	// Failover role state (see promote.go). role holds a role value;
+	// promoteMu serializes transitions; fencedBy holds the base URL of
+	// the higher-epoch node a fenced server observed ("" when unknown).
+	role       atomic.Int32
+	promoteMu  sync.Mutex
+	fencedBy   atomic.Value
+	peerClient *http.Client
+	fenceStop  chan struct{}
+	fenceDone  chan struct{}
+	closeOnce  sync.Once
 
 	// testHookAfterAcquire, when non-nil, runs while a worker slot is
 	// held, between acquire and evaluation. Tests use it to inject a
@@ -183,9 +217,14 @@ func NewWithStore(st *store.Store, cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.Workers),
 		start:   time.Now(),
 	}
-	s.metrics = newMetrics([]string{"query", "rank_batch", "explain", "ingest", "relations", "store", "healthz", "metrics", "wal", "checkpoint"}, s.cache.len)
+	if cfg.ReplicaOf != "" {
+		s.role.Store(int32(roleReplica))
+	}
+	s.peerClient = &http.Client{Timeout: cfg.FencePollInterval}
+	s.metrics = newMetrics([]string{"query", "rank_batch", "explain", "ingest", "relations", "store", "healthz", "metrics", "wal", "checkpoint", "promote"}, s.cache.len)
 	s.metrics.storeStats = st.Stats
 	s.metrics.replicaStatus = cfg.ReplicaStatus
+	s.metrics.serverRole = func() string { return s.currentRole().String() }
 	s.metrics.resultCacheEntries = s.results.len
 	s.cache.onEvict = func() { s.metrics.cacheEvictions.Add(1) }
 	s.results.onEvict = func() { s.metrics.resultCacheEvictions.Add(1) }
@@ -200,7 +239,21 @@ func NewWithStore(st *store.Store, cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
 	s.mux.HandleFunc("/v1/wal", s.instrument("wal", http.MethodGet, s.handleWAL))
 	s.mux.HandleFunc("/v1/checkpoint", s.instrument("checkpoint", http.MethodGet, s.handleCheckpoint))
+	s.mux.HandleFunc("/v1/promote", s.instrument("promote", http.MethodPost, s.handlePromote))
+	if len(cfg.Peers) > 0 {
+		s.fenceStop = make(chan struct{})
+		s.fenceDone = make(chan struct{})
+		go s.fenceWatcher()
+	}
 	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // ServeHTTP implements http.Handler.
@@ -790,33 +843,39 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// A read-only store is degraded, not down: queries keep serving the
 	// last published version, so the endpoint stays 200 (a probe that
 	// evicted the instance would lose the surviving read capacity) and
-	// reports the state in the body instead.
+	// reports the state in the body instead. The same goes for a fenced
+	// ex-primary: its reads are still good, only writes are refused.
+	ro := s.currentRole()
 	status := "ok"
 	readOnly := s.store.ReadOnly()
-	if readOnly {
+	if readOnly || ro == roleFenced {
 		status = "degraded"
-	}
-	role := "primary"
-	if s.cfg.ReplicaOf != "" {
-		role = "replica"
 	}
 	body := map[string]any{
 		"status":      status,
-		"role":        role,
+		"role":        ro.String(),
 		"read_only":   readOnly,
 		"uptime_s":    time.Since(s.start).Seconds(),
 		"relations":   len(infos),
 		"tuples":      tuples,
 		"version":     v.Seq,
 		"fingerprint": v.Fingerprint,
+		"epoch":       v.Epoch,
 	}
-	if s.cfg.ReplicaOf != "" {
+	if ro == roleFenced {
+		if p := s.fencedPrimary(); p != "" {
+			body["primary"] = p
+		}
+	}
+	if ro == roleReplica {
 		body["primary"] = s.cfg.ReplicaOf
 		if s.cfg.ReplicaStatus != nil {
 			rs := s.cfg.ReplicaStatus()
 			body["replica"] = rs
 			body["applied_seq"] = rs.AppliedSeq
 			body["lag_seconds"] = rs.LagSeconds
+			body["last_contact_seconds"] = rs.LastContactSeconds
+			body["primary_epoch"] = rs.PrimaryEpoch
 		}
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -841,12 +900,23 @@ type ingestResponse struct {
 // that has tripped into read-only mode returns 503 with a Retry-After
 // hint while its probe works on re-arming the breaker.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.ReplicaOf != "" {
-		// Replicas are permanently read-only: a write accepted here
+	switch s.currentRole() {
+	case roleReplica:
+		// Replicas are read-only until promoted: a write accepted here
 		// would fork the replica's history away from the log it tails.
 		w.Header().Set("X-Lapushd-Primary", s.cfg.ReplicaOf)
 		writeError(w, http.StatusServiceUnavailable, "read_only_replica",
 			fmt.Sprintf("this lapushd is a read replica; send writes to the primary at %s", s.cfg.ReplicaOf))
+		return
+	case roleFenced:
+		// A fenced ex-primary observed a newer promotion epoch: a write
+		// here would land on a lineage the cluster has moved past.
+		msg := "this lapushd is fenced (a newer promotion epoch exists); send writes to the promoted primary"
+		if p := s.fencedPrimary(); p != "" {
+			w.Header().Set("X-Lapushd-Primary", p)
+			msg = fmt.Sprintf("this lapushd is fenced (a newer promotion epoch exists); send writes to the promoted primary at %s", p)
+		}
+		writeError(w, http.StatusServiceUnavailable, "fenced", msg)
 		return
 	}
 	var req ingestRequest

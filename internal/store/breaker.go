@@ -56,7 +56,7 @@ func (s *Store) tryRearm() bool {
 		return true
 	}
 	v := s.cur.Load()
-	if err := s.writeCheckpoint(v.DB, v.Seq); err != nil {
+	if err := s.writeCheckpoint(v.DB, v.Seq, s.epoch); err != nil {
 		s.logf("store: re-arm probe: %v", err)
 		return false
 	}

@@ -1,0 +1,289 @@
+package store
+
+// Promotion-epoch tests: the epoch must bump durably on Promote, ride
+// replicated records across crashes, refuse stale lineages, and — the
+// compatibility half — stay entirely absent from the bytes an epoch-0
+// store writes, so stores produced by pre-epoch binaries and stores
+// produced by this one are interchangeable until the first promotion.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lapushdb"
+)
+
+// shipRecords applies n batches on a fresh primary and returns its
+// retained log records, a canned record stream for replica-side tests.
+func shipRecords(t *testing.T, n int) []LogRecord {
+	t.Helper()
+	pst, err := Open(testSeedDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pst.Close()
+	applyN(t, pst, n)
+	recs, err := pst.ReadLog(0, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("got %d records, want %d", len(recs), n)
+	}
+	return recs
+}
+
+func TestPromoteBumpsEpochDurably(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(testSeedDB(t), Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyN(t, st, 3)
+	before := st.Current()
+
+	v, err := st.Promote(before.Seq)
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if v.Epoch != 1 || v.Seq != before.Seq || v.Fingerprint != before.Fingerprint {
+		t.Fatalf("promoted to (%d, %s, epoch %d), want (%d, %s, epoch 1)",
+			v.Seq, v.Fingerprint, v.Epoch, before.Seq, before.Fingerprint)
+	}
+	// Writes continue on the new lineage and stamp the new epoch.
+	applyN(t, st, 2)
+	if got := st.Current().Epoch; got != 1 {
+		t.Fatalf("post-promotion writes published epoch %d, want 1", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The lineage claim survives a restart — manifest plus the replayed
+	// WAL records both carry it.
+	re, err := Open(nil, Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	rv := re.Current()
+	if rv.Epoch != 1 || rv.Seq != before.Seq+2 {
+		t.Fatalf("recovered (%d, epoch %d), want (%d, epoch 1)", rv.Seq, rv.Epoch, before.Seq+2)
+	}
+
+	// Promotion is monotonic: a second promotion moves to epoch 2.
+	if v, err := re.Promote(0); err != nil || v.Epoch != 2 {
+		t.Fatalf("second Promote = (%+v, %v), want epoch 2", v, err)
+	}
+}
+
+func TestPromoteRefusesWhenBehindMinSeq(t *testing.T) {
+	st, err := Open(testSeedDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	applyN(t, st, 2)
+	head := st.Current()
+
+	if _, err := st.Promote(head.Seq + 5); !errors.Is(err, ErrBehind) {
+		t.Fatalf("Promote past the head = %v, want ErrBehind", err)
+	}
+	if got := st.Current(); got.Epoch != 0 || got.Seq != head.Seq {
+		t.Fatalf("refused promotion still changed the version: %+v", got)
+	}
+}
+
+func TestApplyReplicatedAdoptsNewerEpoch(t *testing.T) {
+	recs := shipRecords(t, 3)
+	dir := t.TempDir()
+	rst, err := Open(testSeedDB(t), Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Records 1 and 2 arrive on epoch 0; record 3 arrives stamped with
+	// epoch 2 (its producer was promoted twice) and must be adopted.
+	for i, rec := range recs {
+		if i == 2 {
+			rec.Epoch = 2
+		}
+		if _, err := rst.ApplyReplicated(rec); err != nil {
+			t.Fatalf("ApplyReplicated %d: %v", rec.Seq, err)
+		}
+	}
+	if got := rst.Epoch(); got != 2 {
+		t.Fatalf("epoch after adoption = %d, want 2", got)
+	}
+	if err := rst.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The adoption is crash-durable without any checkpoint: the epoch
+	// rides the replicated record's own WAL entry.
+	re, err := Open(nil, Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if got := re.Epoch(); got != 2 {
+		t.Fatalf("recovered epoch = %d, want 2", got)
+	}
+}
+
+func TestApplyReplicatedRefusesOlderEpoch(t *testing.T) {
+	recs := shipRecords(t, 2)
+	rst, err := Open(testSeedDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+
+	first := recs[0]
+	first.Epoch = 3
+	if _, err := rst.ApplyReplicated(first); err != nil {
+		t.Fatal(err)
+	}
+	// A record from the lineage this store has moved past is fenced out,
+	// and nothing is published.
+	stale := recs[1]
+	stale.Epoch = 1
+	if _, err := rst.ApplyReplicated(stale); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale-epoch record = %v, want ErrFenced", err)
+	}
+	if v := rst.Current(); v.Seq != first.Seq || v.Epoch != 3 {
+		t.Fatalf("fenced record still moved the store: %+v", v)
+	}
+}
+
+// TestEpochZeroManifestCompat pins backward compatibility with stores
+// written by pre-epoch binaries: a hand-authored MANIFEST and WAL in
+// the exact pre-epoch layout (no "epoch" key anywhere) must open
+// cleanly at epoch 0 with every record replayed.
+func TestEpochZeroManifestCompat(t *testing.T) {
+	dir := t.TempDir()
+
+	// Checkpoint: an empty database snapshot at seq 0, as a pre-epoch
+	// first boot would write it.
+	db := lapushdb.Open()
+	if _, err := db.CreateRelation("Likes", "user", "movie"); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := db.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	ckName := "checkpoint-000000000.lpd"
+	if err := os.WriteFile(filepath.Join(dir, ckName), snap.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// MANIFEST: literal pre-epoch JSON, no epoch key.
+	man := fmt.Sprintf(`{"seq":0,"checkpoint":"%s"}`, ckName)
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(man), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// WAL: magic header plus one CRC-framed record, also without an
+	// epoch key.
+	payload := []byte(`{"seq":1,"muts":[{"op":"insert","rel":"Likes","tuple":["ann","heat"],"p":0.9}]}`)
+	var wal bytes.Buffer
+	wal.WriteString(walMagic)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	wal.Write(hdr[:])
+	wal.Write(payload)
+	if err := os.WriteFile(filepath.Join(dir, walName), wal.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Open(nil, Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("open pre-epoch store: %v", err)
+	}
+	defer st.Close()
+	v := st.Current()
+	if v.Seq != 1 || v.Epoch != 0 {
+		t.Fatalf("recovered (%d, epoch %d), want (1, epoch 0)", v.Seq, v.Epoch)
+	}
+	if rel := v.DB.Relation("Likes"); rel == nil || rel.Len() != 1 {
+		t.Fatalf("replayed state: Likes = %v, want 1 tuple", rel)
+	}
+}
+
+// TestEpochZeroOutputHasNoEpochKey pins the other direction: everything
+// an epoch-0 store writes — MANIFEST and WAL alike — must stay byte-
+// compatible with pre-epoch readers, which means no "epoch" key may
+// ever appear until the first promotion.
+func TestEpochZeroOutputHasNoEpochKey(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(testSeedDB(t), Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyN(t, st, 3)
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	applyN(t, st, 2)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{manifestName, walName} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(data, []byte(`"epoch"`)) {
+			t.Fatalf("%s written at epoch 0 contains an epoch key: %s", name, data)
+		}
+	}
+
+	// Whereas after a promotion the epoch is recorded in both.
+	st2, err := Open(nil, Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Promote(0); err != nil {
+		t.Fatal(err)
+	}
+	applyN(t, st2, 1)
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{manifestName, walName} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(data, []byte(`"epoch":1`)) {
+			t.Fatalf("%s written at epoch 1 does not record the epoch: %s", name, data)
+		}
+	}
+}
+
+// TestLogRecordEpochWireCompat pins the JSON wire shape both ways: an
+// epoch-0 record marshals without the key, and a pre-epoch consumer's
+// record (no key) unmarshals to epoch 0.
+func TestLogRecordEpochWireCompat(t *testing.T) {
+	b, err := json.Marshal(LogRecord{Seq: 4, Fingerprint: "fp@4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte("epoch")) {
+		t.Fatalf("epoch-0 record marshals the key: %s", b)
+	}
+	var rec LogRecord
+	if err := json.Unmarshal([]byte(`{"seq":9,"fingerprint":"fp@9","muts":[]}`), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != 0 || rec.Seq != 9 {
+		t.Fatalf("pre-epoch record decoded as %+v", rec)
+	}
+}

@@ -38,11 +38,15 @@ var ErrLogTruncated = errors.New("store: log truncated before requested position
 var ErrDiverged = errors.New("store: fingerprint divergence")
 
 // LogRecord is one replicable mutation batch: the batch itself, the
-// sequence number of the version it produced, and that version's
-// fingerprint, so every consumer can verify it arrived at the same
-// state the producer did.
+// sequence number of the version it produced, that version's
+// fingerprint (so every consumer can verify it arrived at the same
+// state the producer did), and the promotion epoch it was committed
+// under (so every consumer can prove which write lineage it belongs
+// to). Epoch is omitted when zero for compatibility with pre-epoch
+// consumers.
 type LogRecord struct {
 	Seq         uint64     `json:"seq"`
+	Epoch       uint64     `json:"epoch,omitempty"`
 	Fingerprint string     `json:"fingerprint"`
 	Muts        []Mutation `json:"muts"`
 }
@@ -201,6 +205,12 @@ func (s *Store) WaitForSeq(ctx context.Context, seq uint64) error {
 // carries, or nothing is published and ErrDiverged is reported — a
 // replica that cannot reproduce the primary's state bit-for-bit must
 // not pretend to serve it.
+//
+// Epoch handling enforces lineage monotonicity: a record from a newer
+// epoch is adopted (the epoch bump rides the record's own WAL entry, so
+// it survives a crash), while a record from an older epoch than the
+// store has already observed is refused with ErrFenced — it belongs to
+// a lineage this store has moved past.
 func (s *Store) ApplyReplicated(rec LogRecord) (*Version, error) {
 	if len(rec.Muts) == 0 {
 		return nil, errors.New("store: empty replicated batch")
@@ -212,6 +222,9 @@ func (s *Store) ApplyReplicated(rec LogRecord) (*Version, error) {
 	}
 	if s.readOnly.Load() {
 		return nil, ErrReadOnly
+	}
+	if rec.Epoch < s.epoch {
+		return nil, fmt.Errorf("%w: record epoch %d predates local epoch %d", ErrFenced, rec.Epoch, s.epoch)
 	}
 	cur := s.cur.Load()
 	if rec.Seq != cur.Seq+1 {
@@ -226,16 +239,24 @@ func (s *Store) ApplyReplicated(rec LogRecord) (*Version, error) {
 			return nil, fmt.Errorf("%w: applying record %d yields %s, log records %s", ErrDiverged, rec.Seq, got, rec.Fingerprint)
 		}
 	}
+	s.epoch = rec.Epoch // adopt (no-op when equal) before the commit stamps it
 	return s.commitLocked(next, rec.Seq, rec.Muts)
 }
 
-// InstallSnapshot replaces the whole database with db at sequence seq:
-// the bootstrap (and divergence-recovery) path of a replica that cannot
-// reach seq through the log. On a durable store the snapshot goes
-// through the regular checkpoint protocol — checkpoint file, manifest,
-// WAL reset — so a restart recovers from it exactly like from any other
-// checkpoint. The caller must not use db afterwards.
-func (s *Store) InstallSnapshot(db *lapushdb.DB, seq uint64) (*Version, error) {
+// InstallSnapshot replaces the whole database with db at sequence seq
+// and promotion epoch epoch: the bootstrap (and divergence-recovery)
+// path of a replica that cannot reach seq through the log. On a durable
+// store the snapshot goes through the regular checkpoint protocol —
+// checkpoint file, manifest, WAL reset — so a restart recovers from it
+// exactly like from any other checkpoint. The caller must not use db
+// afterwards.
+//
+// Installing a snapshot is the one sanctioned way to move a store to a
+// different lineage, including re-seeding a fenced old primary from the
+// promoted one, so unlike ApplyReplicated it accepts any epoch — the
+// caller (the tailer) is responsible for refusing to bootstrap from a
+// stale-epoch source.
+func (s *Store) InstallSnapshot(db *lapushdb.DB, seq, epoch uint64) (*Version, error) {
 	if db == nil {
 		return nil, errors.New("store: nil snapshot")
 	}
@@ -248,7 +269,7 @@ func (s *Store) InstallSnapshot(db *lapushdb.DB, seq uint64) (*Version, error) {
 		return nil, ErrReadOnly
 	}
 	if s.wal != nil {
-		if err := s.writeCheckpoint(db, seq); err != nil {
+		if err := s.writeCheckpoint(db, seq, epoch); err != nil {
 			s.noteDurabilityFailureLocked()
 			return nil, err
 		}
@@ -261,6 +282,55 @@ func (s *Store) InstallSnapshot(db *lapushdb.DB, seq uint64) (*Version, error) {
 		s.sinceCheckpoint = 0
 		s.removeStaleCheckpoints()
 	}
+	s.epoch = epoch
 	s.resetLog(seq, Fingerprint(db, seq))
 	return s.publish(db, seq), nil
+}
+
+// Epoch returns the promotion epoch of the currently published version.
+func (s *Store) Epoch() uint64 { return s.cur.Load().Epoch }
+
+// Promote durably bumps the store's promotion epoch, turning a caught-up
+// replica's store into the head of a new write lineage. minSeq guards
+// against lossy promotions: if the published head has not reached it,
+// nothing changes and ErrBehind is reported — callers pass the highest
+// sequence number known to have been acknowledged to a client, so the
+// system never silently promotes past acknowledged writes.
+//
+// The bump goes through the full checkpoint protocol (snapshot, then a
+// manifest carrying the new epoch, then WAL reset), so the new lineage
+// claim is crash-durable before any write is accepted under it. The
+// re-published version keeps its sequence number and fingerprint —
+// only the epoch changes.
+func (s *Store) Promote(minSeq uint64) (*Version, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("store: closed")
+	}
+	if s.readOnly.Load() {
+		return nil, ErrReadOnly
+	}
+	cur := s.cur.Load()
+	if cur.Seq < minSeq {
+		return nil, fmt.Errorf("%w: head %d has not reached required seq %d", ErrBehind, cur.Seq, minSeq)
+	}
+	newEpoch := s.epoch + 1
+	if s.wal != nil {
+		if err := s.writeCheckpoint(cur.DB, cur.Seq, newEpoch); err != nil {
+			s.noteDurabilityFailureLocked()
+			return nil, err
+		}
+		if err := s.wal.reset(); err != nil {
+			s.noteDurabilityFailureLocked()
+			return nil, fmt.Errorf("%w: truncate wal: %v", ErrDurability, err)
+		}
+		s.failures = 0
+		s.checkpointSeq = cur.Seq
+		s.sinceCheckpoint = 0
+		s.removeStaleCheckpoints()
+	}
+	s.epoch = newEpoch
+	s.trimLog(cur.Seq, cur.Fingerprint)
+	return s.publish(cur.DB, cur.Seq), nil
 }

@@ -292,7 +292,7 @@ func TestInstallSnapshotDurable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := replica.InstallSnapshot(snap, pv.Seq)
+	v, err := replica.InstallSnapshot(snap, pv.Seq, pv.Epoch)
 	if err != nil {
 		t.Fatalf("InstallSnapshot: %v", err)
 	}

@@ -63,6 +63,18 @@ var ErrDurability = errors.New("store: durability failure")
 // finds the directory writable again.
 var ErrReadOnly = errors.New("store: read-only (degraded after durability failures)")
 
+// ErrFenced reports a write lineage conflict: the store has observed a
+// newer promotion epoch than the one a replicated record (or caller)
+// belongs to. Accepting the write would fork the WAL across lineages,
+// so it is refused; the stale side must re-seed from the new lineage.
+var ErrFenced = errors.New("store: fenced (newer promotion epoch observed)")
+
+// ErrBehind reports a promotion refused because the store's applied
+// head has not reached the caller's required minimum sequence number:
+// promoting would silently discard acknowledged writes the caller
+// knows exist.
+var ErrBehind = errors.New("store: behind required sequence")
+
 // FsyncPolicy selects when the WAL is fsynced.
 type FsyncPolicy string
 
@@ -121,17 +133,24 @@ type Options struct {
 // Version is one immutable published database version. DB must be
 // treated as read-only; the fingerprint combines the schema fingerprint
 // with the sequence number, so it changes on every mutation batch —
-// plan-cache keys scoped by it invalidate naturally.
+// plan-cache keys scoped by it invalidate naturally. Epoch is the
+// promotion epoch the version was published under: it proves which
+// write lineage the version belongs to (the fingerprint alone cannot,
+// because it covers schema shape and tuple counts, not tuple contents).
 type Version struct {
 	DB          *lapushdb.DB
 	Seq         uint64
 	Fingerprint string
+	Epoch       uint64
 }
 
 // Stats is a point-in-time snapshot of the store's counters.
 type Stats struct {
 	Seq                 uint64 `json:"version"`
 	Fingerprint         string `json:"fingerprint"`
+	// Epoch is the store's current promotion epoch (0 until the first
+	// promotion anywhere in the lineage).
+	Epoch uint64 `json:"epoch"`
 	Durable             bool   `json:"durable"`
 	Fsync               string `json:"fsync,omitempty"`
 	WALBytes            int64  `json:"wal_bytes"`
@@ -154,10 +173,14 @@ type Stats struct {
 	WALTruncatedBytes int64 `json:"wal_truncated_bytes_total,omitempty"`
 }
 
-// manifest is the JSON sidecar naming the live checkpoint.
+// manifest is the JSON sidecar naming the live checkpoint. Epoch is
+// omitted when zero, so epoch-0 manifests are byte-identical to the
+// pre-epoch format and manifests written by pre-epoch binaries decode
+// as epoch 0.
 type manifest struct {
 	Seq        uint64 `json:"seq"`
 	Checkpoint string `json:"checkpoint"`
+	Epoch      uint64 `json:"epoch,omitempty"`
 }
 
 // Store is a concurrently-mutable versioned database. Readers call
@@ -173,6 +196,7 @@ type Store struct {
 	mu              sync.Mutex // serializes Apply, Checkpoint, Close, Stats
 	wal             *walWriter // nil in ephemeral mode
 	closed          bool
+	epoch           uint64 // promotion epoch; mutated under mu, read via published Versions
 	checkpointSeq   uint64
 	sinceCheckpoint int
 	checkpoints     int64
@@ -257,10 +281,11 @@ func Open(seed *lapushdb.DB, opts Options) (*Store, error) {
 			return nil, fmt.Errorf("store: load checkpoint %s: %w", man.Checkpoint, err)
 		}
 		s.checkpointSeq = man.Seq
+		s.epoch = man.Epoch
 	case errors.Is(err, os.ErrNotExist):
 		// First boot: anchor recovery with a checkpoint of the seed.
 		db = seed.CloneCOW()
-		if err := s.writeCheckpoint(db, 0); err != nil {
+		if err := s.writeCheckpoint(db, 0, 0); err != nil {
 			return nil, err
 		}
 	default:
@@ -291,7 +316,12 @@ func Open(seed *lapushdb.DB, opts Options) (*Store, error) {
 		db = next
 		last = rec.Seq
 		replayed++
-		s.appendLog(LogRecord{Seq: rec.Seq, Fingerprint: Fingerprint(next, rec.Seq), Muts: rec.Muts})
+		// A replicated record committed under a newer epoch re-adopts it
+		// on recovery, even if no checkpoint captured it before the crash.
+		if rec.Epoch > s.epoch {
+			s.epoch = rec.Epoch
+		}
+		s.appendLog(LogRecord{Seq: rec.Seq, Epoch: rec.Epoch, Fingerprint: Fingerprint(next, rec.Seq), Muts: rec.Muts})
 		return nil
 	}
 	walPath := filepath.Join(opts.Dir, walName)
@@ -353,7 +383,7 @@ func (s *Store) Apply(muts []Mutation) (*Version, error) {
 // version, and checkpoint when due. Caller holds s.mu.
 func (s *Store) commitLocked(next *lapushdb.DB, seq uint64, muts []Mutation) (*Version, error) {
 	if s.wal != nil {
-		payload, err := json.Marshal(walRecord{Seq: seq, Muts: muts})
+		payload, err := json.Marshal(walRecord{Seq: seq, Epoch: s.epoch, Muts: muts})
 		if err != nil {
 			return nil, fmt.Errorf("%w: encode batch: %v", ErrDurability, err)
 		}
@@ -365,7 +395,7 @@ func (s *Store) commitLocked(next *lapushdb.DB, seq uint64, muts []Mutation) (*V
 	}
 	// Retain the record before publishing: a log reader woken by the
 	// publish must find the record already in the tail.
-	s.appendLog(LogRecord{Seq: seq, Fingerprint: Fingerprint(next, seq), Muts: muts})
+	s.appendLog(LogRecord{Seq: seq, Epoch: s.epoch, Fingerprint: Fingerprint(next, seq), Muts: muts})
 	v := s.publish(next, seq)
 	s.mutations.Add(int64(len(muts)))
 	s.batches.Add(1)
@@ -439,6 +469,7 @@ func (s *Store) Stats() Stats {
 	st := Stats{
 		Seq:                 v.Seq,
 		Fingerprint:         v.Fingerprint,
+		Epoch:               s.epoch,
 		Durable:             s.wal != nil,
 		CheckpointSeq:       s.checkpointSeq,
 		Checkpoints:         s.checkpoints,
@@ -474,7 +505,7 @@ func (s *Store) Close() error {
 }
 
 func (s *Store) publish(db *lapushdb.DB, seq uint64) *Version {
-	v := &Version{DB: db, Seq: seq, Fingerprint: Fingerprint(db, seq)}
+	v := &Version{DB: db, Seq: seq, Fingerprint: Fingerprint(db, seq), Epoch: s.epoch}
 	s.cur.Store(v)
 	s.notifyPublish()
 	return v
@@ -491,7 +522,7 @@ func (s *Store) logf(format string, args ...any) {
 // checkpointLocked runs the checkpoint protocol for version v and
 // resets the WAL. Caller holds s.mu.
 func (s *Store) checkpointLocked(v *Version) error {
-	if err := s.writeCheckpoint(v.DB, v.Seq); err != nil {
+	if err := s.writeCheckpoint(v.DB, v.Seq, s.epoch); err != nil {
 		return err
 	}
 	if err := s.wal.reset(); err != nil {
@@ -506,13 +537,14 @@ func (s *Store) checkpointLocked(v *Version) error {
 
 // writeCheckpoint durably writes checkpoint-<seq>.lpd and points the
 // manifest at it (snapshot first, manifest second, each via fsynced
-// temp file + rename).
-func (s *Store) writeCheckpoint(db *lapushdb.DB, seq uint64) error {
+// temp file + rename). The manifest records epoch, making the lineage
+// claim durable.
+func (s *Store) writeCheckpoint(db *lapushdb.DB, seq, epoch uint64) error {
 	name := fmt.Sprintf("checkpoint-%09d.lpd", seq)
 	if err := writeFileDurable(s.fs, s.opts.Dir, name, func(f File) error { return db.Save(f) }); err != nil {
 		return fmt.Errorf("%w: write checkpoint: %v", ErrDurability, err)
 	}
-	buf, err := json.Marshal(manifest{Seq: seq, Checkpoint: name})
+	buf, err := json.Marshal(manifest{Seq: seq, Checkpoint: name, Epoch: epoch})
 	if err != nil {
 		return fmt.Errorf("%w: encode manifest: %v", ErrDurability, err)
 	}

@@ -37,10 +37,14 @@ const (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// walRecord is one durably-logged mutation batch.
+// walRecord is one durably-logged mutation batch. Epoch is the
+// promotion epoch the batch was committed under; it is omitted when
+// zero so epoch-0 WALs are byte-identical to the pre-epoch format and
+// WALs written by pre-epoch binaries decode as epoch 0.
 type walRecord struct {
-	Seq  uint64     `json:"seq"`
-	Muts []Mutation `json:"muts"`
+	Seq   uint64     `json:"seq"`
+	Epoch uint64     `json:"epoch,omitempty"`
+	Muts  []Mutation `json:"muts"`
 }
 
 // walWriter appends records to an open WAL file.
