@@ -39,8 +39,8 @@ replication:
 # fencing, and the tailer's reconnect-backoff cap. Hermetic — httptest
 # pairs, no ports.
 failover:
-	$(GO) test -race -run 'TestPromote|TestApplyReplicatedAdopts|TestApplyReplicatedRefuses|TestEpoch|TestLogRecordEpoch' ./internal/store
-	$(GO) test -race -run 'TestFailover|TestPromote|TestWALEpoch|TestHealthzReportsEpoch' ./internal/server
+	$(GO) test -race -run 'TestPromote|TestApplyReplicatedAdopts|TestApplyReplicatedRefuses|TestEpoch|TestLogRecordEpoch|TestReadLogEpoch|TestFence' ./internal/store
+	$(GO) test -race -run 'TestFailover|TestPromote|TestWALEpoch|TestWALRefuses|TestHealthzReportsEpoch' ./internal/server
 	$(GO) test -race -run 'TestReconnectBackoffCapped|TestCloseInterruptsBackoff' ./internal/replica
 
 vet:

@@ -213,6 +213,26 @@ func TestPutTighter(t *testing.T) {
 	if c, _ := s.results.get(key); c.width != 0.2 {
 		t.Fatalf("wider entry must not overwrite: width %g", c.width)
 	}
+
+	// The width comparison and the insert are one atomic step (putIf):
+	// however two concurrent evaluations of the same key interleave, a
+	// wide degraded interval can never overwrite a tight one — once the
+	// tight entry lands, it must still be there after both writers stop.
+	key2 := "k2"
+	var wg sync.WaitGroup
+	for _, w := range []float64{0.05, 0.9} {
+		wg.Add(1)
+		go func(w float64) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.putTighter(key2, &cachedResult{anytime: true, width: w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c, _ := s.results.get(key2); c.width != 0.05 {
+		t.Fatalf("concurrent wider writer overwrote the tighter entry: width %g", c.width)
+	}
 }
 
 // TestAnytimeShedServesStale exercises the degraded-200 shed path: with

@@ -59,11 +59,22 @@ func (c *lruCache[V]) get(key string) (V, bool) {
 // put inserts a value, evicting the least recently used entry when the
 // cache is full. Re-inserting an existing key refreshes its value and
 // recency.
-func (c *lruCache[V]) put(key string, v V) {
+func (c *lruCache[V]) put(key string, v V) { c.putIf(key, v, nil) }
+
+// putIf is put with a compare-and-swap guard: when the key is already
+// present and keep(old) reports true, the existing value is retained
+// (its recency still refreshes). The check and the write happen under
+// one lock acquisition, so two concurrent inserts can never interleave
+// a get-then-put and let the value keep() meant to protect be
+// overwritten. A nil keep always replaces.
+func (c *lruCache[V]) putIf(key string, v V, keep func(old V) bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry[V]).val = v
+		ent := el.Value.(*lruEntry[V])
+		if keep == nil || !keep(ent.val) {
+			ent.val = v
+		}
 		c.ll.MoveToFront(el)
 		return
 	}

@@ -402,6 +402,55 @@ func TestWALEpochFencing(t *testing.T) {
 	}
 }
 
+// TestWALRefusesForkedEpochClaim pins the position check's lineage
+// half end to end: a follower whose (seq, fingerprint) matches the log
+// — count-based fingerprints collide across forks at equal seq for an
+// insert-only/fixed-shape workload — but whose epoch predates the
+// record at that position is answered 409 diverged instead of being
+// served the new lineage's records.
+func TestWALRefusesForkedEpochClaim(t *testing.T) {
+	s, ts := newTestServer(t, Config{Logf: quietf})
+	for i := 0; i < 3; i++ {
+		if _, err := s.store.Apply([]store.Mutation{
+			{Op: store.OpSetProb, Rel: "Likes", Tuple: []string{"ann", "heat"}, P: pFloat(0.1 + float64(i)/10)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fork := s.store.Current()
+	if _, err := s.store.Promote(0); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.store.Apply([]store.Mutation{
+			{Op: store.OpSetProb, Rel: "Likes", Tuple: []string{"ann", "heat"}, P: pFloat(0.5 + float64(i)/10)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := s.store.ReadLog(fork.Seq, "", 0, 0)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("ReadLog = %v, %v", recs, err)
+	}
+	rec4 := recs[0]
+
+	// The forked replica presents the colliding fingerprint on epoch 0.
+	resp, body := getBody(t, ts.URL+fmt.Sprintf("/v1/wal?from=%d&fp=%s&epoch=0&wait_ms=0", rec4.Seq, rec4.Fingerprint))
+	if resp.StatusCode != http.StatusConflict || decodeErr(t, body).Code != "diverged" {
+		t.Fatalf("forked epoch-0 claim: %d (%s), want 409 diverged", resp.StatusCode, body)
+	}
+	// The genuine epoch-1 follower at the same position streams fine.
+	resp, _ = getBody(t, ts.URL+fmt.Sprintf("/v1/wal?from=%d&fp=%s&epoch=1&wait_ms=0", rec4.Seq, rec4.Fingerprint))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("epoch-1 claim: %d, want 200", resp.StatusCode)
+	}
+	// As does a fork-point follower still carrying the old epoch.
+	resp, _ = getBody(t, ts.URL+fmt.Sprintf("/v1/wal?from=%d&fp=%s&epoch=0&wait_ms=0", fork.Seq, fork.Fingerprint))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fork-point epoch-0 claim: %d, want 200", resp.StatusCode)
+	}
+}
+
 // TestHealthzReportsEpochAndContact pins satellite 2: every role's
 // /healthz carries the epoch, and a replica's reports the primary's
 // epoch plus seconds since it last heard from it.

@@ -78,6 +78,11 @@ func (s *Server) fencedPrimary() string {
 func (s *Server) fence(peer string, peerEpoch uint64) {
 	s.promoteMu.Lock()
 	defer s.promoteMu.Unlock()
+	// Record the observation at the store level first: Store.Apply
+	// rechecks it under the applier's lock, so an ingest that passed the
+	// role check before this transition still cannot commit on the stale
+	// lineage afterwards.
+	s.store.Fence(peerEpoch)
 	if s.currentRole() != rolePrimary || peerEpoch <= s.store.Epoch() {
 		return
 	}

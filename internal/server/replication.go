@@ -80,9 +80,13 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 	}
 	fp := r.URL.Query().Get("fp")
 
-	// Validate the position (and fingerprint parity) before committing
-	// to a 200: refusals must arrive as statuses, not mid-stream cuts.
-	recs, err := s.store.ReadLog(from, fp, walChunk)
+	// Validate the position — fingerprint parity AND epoch lineage —
+	// before committing to a 200: refusals must arrive as statuses, not
+	// mid-stream cuts. The epoch check is what catches a replica that
+	// forked past the promotion point: count-based fingerprints can
+	// collide across lineages at equal seq, but the epoch stamped on the
+	// record at the claimed position cannot.
+	recs, err := s.store.ReadLog(from, fp, reqEpoch, walChunk)
 	switch {
 	case errors.Is(err, store.ErrLogTruncated):
 		writeError(w, http.StatusGone, "log_truncated", err.Error())
@@ -115,7 +119,7 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 			}
 			flush()
 			// The position is our own now; no fingerprint re-check.
-			if recs, err = s.store.ReadLog(pos, "", walChunk); err != nil {
+			if recs, err = s.store.ReadLog(pos, "", 0, walChunk); err != nil {
 				// A concurrent trim overtook the stream position; close
 				// so the client re-requests and gets the 410 properly.
 				return
@@ -137,7 +141,7 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			break // window elapsed or client gone; end cleanly either way
 		}
-		if recs, err = s.store.ReadLog(pos, "", walChunk); err != nil {
+		if recs, err = s.store.ReadLog(pos, "", 0, walChunk); err != nil {
 			return
 		}
 	}

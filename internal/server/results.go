@@ -119,10 +119,12 @@ func anytimeEntry(res *lapushdb.AnytimeResult) *cachedResult {
 
 // putTighter inserts an anytime entry unless the cache already holds a
 // tighter one for the key: a degraded wide interval must not overwrite
-// the converged narrow interval another request just paid for.
+// the converged narrow interval another request just paid for. The
+// width comparison and the insert run atomically inside the cache lock
+// (putIf), so two concurrent evaluations of the same key cannot
+// interleave and lose the tighter result.
 func (s *Server) putTighter(key string, entry *cachedResult) {
-	if old, ok := s.results.get(key); ok && old.anytime && old.width <= entry.width {
-		return
-	}
-	s.results.put(key, entry)
+	s.results.putIf(key, entry, func(old *cachedResult) bool {
+		return old.anytime && old.width <= entry.width
+	})
 }

@@ -501,8 +501,13 @@ type intervalJSON struct {
 type answerJSON struct {
 	Values []string `json:"values"`
 	Score  float64  `json:"score"`
-	// Interval is present on anytime responses: the true probability
-	// lies in [Lower, Upper], and Score echoes the upper bound.
+	// Interval is present on anytime responses; Score echoes the upper
+	// bound. Upper is a guaranteed bound from the deterministic
+	// dissociation stages. Lower is guaranteed when the exact stage
+	// produced it; once Monte Carlo refinement takes over, it is a
+	// one-sided normal-tail confidence bound (z = 6, see
+	// internal/anytime.DefaultMCZ) — the true probability lies above it
+	// with overwhelming statistical confidence, not with certainty.
 	Interval *intervalJSON `json:"interval,omitempty"`
 }
 
@@ -931,6 +936,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	v, err := s.store.Apply(req.Mutations)
 	if err != nil {
 		switch {
+		case errors.Is(err, store.ErrFenced):
+			// The store observed a newer epoch between the role check above
+			// and the commit; same contract as the fenced role path.
+			if p := s.fencedPrimary(); p != "" {
+				w.Header().Set("X-Lapushd-Primary", p)
+			}
+			writeError(w, http.StatusServiceUnavailable, "fenced", err.Error())
 		case errors.Is(err, store.ErrReadOnly):
 			w.Header().Set("Retry-After", retryAfterSeconds)
 			writeError(w, http.StatusServiceUnavailable, "read_only", err.Error())

@@ -30,7 +30,7 @@ func shipRecords(t *testing.T, n int) []LogRecord {
 	}
 	defer pst.Close()
 	applyN(t, pst, n)
-	recs, err := pst.ReadLog(0, "", 0)
+	recs, err := pst.ReadLog(0, "", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,6 +160,109 @@ func TestApplyReplicatedRefusesOlderEpoch(t *testing.T) {
 	}
 	if v := rst.Current(); v.Seq != first.Seq || v.Epoch != 3 {
 		t.Fatalf("fenced record still moved the store: %+v", v)
+	}
+}
+
+// TestReadLogEpochRejectsForkedLineage pins the log read's lineage
+// check. The workload mutates one tuple's probability over and over, so
+// the count-based fingerprint at a given seq is identical across forked
+// lineages — exactly the collision a replica that applied unacked
+// epoch-0 records past the promotion point would present. Only the
+// epoch stamped on the record at the claimed position can refuse it.
+func TestReadLogEpochRejectsForkedLineage(t *testing.T) {
+	st, err := Open(testSeedDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	applyN(t, st, 3)
+	fork := st.Current() // promotion point: (3, fp, epoch 0)
+	if _, err := st.Promote(0); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	applyN(t, st, 2) // seqs 4 and 5, committed under epoch 1
+
+	// At the fork point both the producing epoch (0) and the relabeled
+	// epoch (1) identify the same state; both claims must be served.
+	recs, err := st.ReadLog(fork.Seq, fork.Fingerprint, 0, 0)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("fork-point read (old epoch) = %v, %v; want records 4 and 5", recs, err)
+	}
+	if _, err := st.ReadLog(fork.Seq, fork.Fingerprint, 1, 0); err != nil {
+		t.Fatalf("fork-point read (relabeled epoch): %v", err)
+	}
+	// Any other epoch at the fork point is a different lineage.
+	if _, err := st.ReadLog(fork.Seq, fork.Fingerprint, 2, 0); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("fork-point read on epoch 2 = %v, want ErrDiverged", err)
+	}
+
+	// A forked replica: it applied its own unacked record 4 under epoch
+	// 0, and the fingerprints collide with the promoted lineage's record
+	// 4. The epoch-0 claim must be refused — serving it would silently
+	// fork the replica forever.
+	rec4 := recs[0]
+	if rec4.Seq != 4 || rec4.Epoch != 1 {
+		t.Fatalf("record 4 = %+v, want seq 4 on epoch 1", rec4)
+	}
+	if _, err := st.ReadLog(rec4.Seq, rec4.Fingerprint, 0, 0); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("forked epoch-0 claim at seq 4 = %v, want ErrDiverged", err)
+	}
+	// The genuine epoch-1 follower at the same position is served.
+	got, err := st.ReadLog(rec4.Seq, rec4.Fingerprint, 1, 0)
+	if err != nil || len(got) != 1 || got[0].Seq != 5 {
+		t.Fatalf("epoch-1 claim at seq 4 = %v, %v; want record 5", got, err)
+	}
+	// And the same holds at the head.
+	head := st.Current()
+	if _, err := st.ReadLog(head.Seq, head.Fingerprint, 0, 0); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("forked epoch-0 claim at the head = %v, want ErrDiverged", err)
+	}
+	if _, err := st.ReadLog(head.Seq, head.Fingerprint, head.Epoch, 0); err != nil {
+		t.Fatalf("epoch-1 claim at the head: %v", err)
+	}
+}
+
+// TestFenceRefusesApply pins the store-level fence: once a higher epoch
+// has been observed anywhere in the cluster, Apply refuses new batches
+// under the applier's lock (closing the race with the server's
+// asynchronous role transition), and a subsequent promotion claims an
+// epoch above every observed one, lifting the fence on the new lineage.
+func TestFenceRefusesApply(t *testing.T) {
+	st, err := Open(testSeedDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	applyN(t, st, 1)
+
+	st.Fence(3)
+	if _, err := st.Apply([]Mutation{
+		{Op: OpSetProb, Rel: "Likes", Tuple: []string{"ann", "heat"}, P: pf(0.5)},
+	}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("Apply under fence = %v, want ErrFenced", err)
+	}
+	if got := st.Stats().FencedEpoch; got != 3 {
+		t.Fatalf("Stats().FencedEpoch = %d, want 3", got)
+	}
+	// A lower observation never regresses the fence.
+	st.Fence(2)
+	if got := st.Stats().FencedEpoch; got != 3 {
+		t.Fatalf("Fence(2) regressed the fence to %d", got)
+	}
+
+	// Promotion skips past the observed epoch: the new lineage must
+	// outrank the one that fenced us.
+	v, err := st.Promote(0)
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if v.Epoch != 4 {
+		t.Fatalf("promoted to epoch %d, want 4 (observed 3 + 1)", v.Epoch)
+	}
+	if _, err := st.Apply([]Mutation{
+		{Op: OpSetProb, Rel: "Likes", Tuple: []string{"ann", "heat"}, P: pf(0.6)},
+	}); err != nil {
+		t.Fatalf("Apply after promotion: %v", err)
 	}
 }
 

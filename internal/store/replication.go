@@ -69,13 +69,17 @@ func (s *Store) appendLog(rec LogRecord) {
 	if n := len(s.logTail) - s.opts.LogRetention; n > 0 {
 		last := s.logTail[n-1]
 		s.logTail = append([]LogRecord(nil), s.logTail[n:]...)
-		s.anchorSeq, s.anchorFP = last.Seq, last.Fingerprint
+		s.anchorSeq, s.anchorFP, s.anchorEpoch = last.Seq, last.Fingerprint, last.Epoch
 	}
 }
 
 // trimLog drops retained records at or below seq after a checkpoint
-// captured them; the anchor moves to the checkpointed version.
-func (s *Store) trimLog(seq uint64, fp string) {
+// captured them; the anchor moves to the checkpointed version. epoch is
+// the epoch the anchor state was *produced* under — on a promotion trim
+// that is the pre-bump epoch, which is what lets a follower still
+// sitting at the fork point (same state, old epoch) tail the new
+// lineage without a needless snapshot bootstrap.
+func (s *Store) trimLog(seq uint64, fp string, epoch uint64) {
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
 	i := 0
@@ -83,15 +87,15 @@ func (s *Store) trimLog(seq uint64, fp string) {
 		i++
 	}
 	s.logTail = append([]LogRecord(nil), s.logTail[i:]...)
-	s.anchorSeq, s.anchorFP = seq, fp
+	s.anchorSeq, s.anchorFP, s.anchorEpoch = seq, fp, epoch
 }
 
 // resetLog empties the tail and re-anchors it, for snapshot installs.
-func (s *Store) resetLog(seq uint64, fp string) {
+func (s *Store) resetLog(seq uint64, fp string, epoch uint64) {
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
 	s.logTail = nil
-	s.anchorSeq, s.anchorFP = seq, fp
+	s.anchorSeq, s.anchorFP, s.anchorEpoch = seq, fp, epoch
 }
 
 // Head returns the published head's sequence number and fingerprint.
@@ -103,11 +107,24 @@ func (s *Store) Head() (uint64, string) {
 // ReadLog returns up to max retained records with sequence numbers in
 // (after, head], oldest first. afterFP, when non-empty, is the
 // fingerprint the caller's state has at sequence `after` and is
-// verified against the log: a mismatch (or a position past the head)
-// reports ErrDiverged, a position older than the retained tail reports
-// ErrLogTruncated. max <= 0 means no bound. The returned records alias
-// the retained tail and must be treated as immutable.
-func (s *Store) ReadLog(after uint64, afterFP string, max int) ([]LogRecord, error) {
+// verified against the log — and so is afterEpoch, the promotion epoch
+// the caller's state at that position was published under. The epoch
+// check is what makes position claims forgery-proof across failovers:
+// the fingerprint covers schema shape and tuple counts only, so two
+// forked lineages can collide at the same (seq, fingerprint), but they
+// can never collide at the same (seq, fingerprint, epoch) — epochs are
+// bumped exactly once per promotion and stamped into every record. A
+// mismatch on either (or a position past the head) reports ErrDiverged,
+// a position older than the retained tail reports ErrLogTruncated.
+// max <= 0 means no bound. The returned records alias the retained tail
+// and must be treated as immutable.
+//
+// At the anchor two epochs are accepted: the epoch the anchor state was
+// produced under, and the epoch it was re-published under when the
+// anchor is a promotion point (a promotion relabels the fork-point
+// state without changing it, so a follower carrying either label holds
+// the identical state and may tail from here).
+func (s *Store) ReadLog(after uint64, afterFP string, afterEpoch uint64, max int) ([]LogRecord, error) {
 	s.logMu.RLock()
 	defer s.logMu.RUnlock()
 	head := s.cur.Load()
@@ -119,21 +136,46 @@ func (s *Store) ReadLog(after uint64, afterFP string, max int) ([]LogRecord, err
 	}
 	if afterFP != "" {
 		want := s.anchorFP
+		okEpochs := []uint64{s.anchorEpoch}
 		if after > s.anchorSeq {
 			rec, ok := s.recordAtLocked(after)
 			if !ok {
 				// Published but not yet retained (the applier is between
 				// commit steps) — only reachable for after == head.Seq,
 				// where the published fingerprint is authoritative.
-				want = head.Fingerprint
+				want, okEpochs = head.Fingerprint, []uint64{head.Epoch}
 			} else {
-				want = rec.Fingerprint
+				want, okEpochs = rec.Fingerprint, []uint64{rec.Epoch}
+			}
+			if after == head.Seq && head.Epoch != okEpochs[0] {
+				okEpochs = append(okEpochs, head.Epoch)
 			}
 		} else if after == head.Seq {
+			// Anchor == head: a promotion or snapshot install re-anchored
+			// here; the relabeled epoch is as valid a claim as the
+			// producing one.
 			want = head.Fingerprint
+			okEpochs = append(okEpochs, head.Epoch)
+		} else if len(s.logTail) > 0 {
+			// Anchor with retained records after it. If the first retained
+			// record carries a newer epoch than the anchor, the promotion
+			// happened exactly at the anchor, so the relabeled claim is
+			// valid too.
+			okEpochs = append(okEpochs, s.logTail[0].Epoch)
 		}
 		if afterFP != want {
 			return nil, fmt.Errorf("%w: at seq %d the log has %s, reader claims %s", ErrDiverged, after, want, afterFP)
+		}
+		epochOK := false
+		for _, e := range okEpochs {
+			if afterEpoch == e {
+				epochOK = true
+				break
+			}
+		}
+		if !epochOK {
+			return nil, fmt.Errorf("%w: at seq %d the log is on promotion epoch %d, reader claims epoch %d (forked lineage)",
+				ErrDiverged, after, okEpochs[0], afterEpoch)
 		}
 	}
 	out := make([]LogRecord, 0)
@@ -283,7 +325,7 @@ func (s *Store) InstallSnapshot(db *lapushdb.DB, seq, epoch uint64) (*Version, e
 		s.removeStaleCheckpoints()
 	}
 	s.epoch = epoch
-	s.resetLog(seq, Fingerprint(db, seq))
+	s.resetLog(seq, Fingerprint(db, seq), epoch)
 	return s.publish(db, seq), nil
 }
 
@@ -315,7 +357,14 @@ func (s *Store) Promote(minSeq uint64) (*Version, error) {
 	if cur.Seq < minSeq {
 		return nil, fmt.Errorf("%w: head %d has not reached required seq %d", ErrBehind, cur.Seq, minSeq)
 	}
+	// The new lineage must outrank not only our own epoch but every
+	// epoch observed elsewhere in the cluster (Fence): promoting to an
+	// epoch some other lineage already claimed would make the two
+	// indistinguishable.
 	newEpoch := s.epoch + 1
+	if s.fencedEpoch >= newEpoch {
+		newEpoch = s.fencedEpoch + 1
+	}
 	if s.wal != nil {
 		if err := s.writeCheckpoint(cur.DB, cur.Seq, newEpoch); err != nil {
 			s.noteDurabilityFailureLocked()
@@ -331,6 +380,25 @@ func (s *Store) Promote(minSeq uint64) (*Version, error) {
 		s.removeStaleCheckpoints()
 	}
 	s.epoch = newEpoch
-	s.trimLog(cur.Seq, cur.Fingerprint)
+	// The anchor keeps the epoch the fork-point state was produced
+	// under: followers still sitting there on the old epoch hold the
+	// identical state and may tail the new lineage from it.
+	s.trimLog(cur.Seq, cur.Fingerprint, cur.Epoch)
 	return s.publish(cur.DB, cur.Seq), nil
+}
+
+// Fence records a promotion epoch observed elsewhere in the cluster
+// (a peer handshake, a higher-epoch tailer). Once an epoch higher than
+// the store's own has been recorded, Apply refuses new write batches
+// with ErrFenced — the check happens under the applier's lock, so a
+// write racing the server-level role transition still cannot commit on
+// the stale lineage. Replication entry points are unaffected:
+// ApplyReplicated and InstallSnapshot adopt newer epochs by design, and
+// Promote picks an epoch above every observed one.
+func (s *Store) Fence(epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch > s.fencedEpoch {
+		s.fencedEpoch = epoch
+	}
 }

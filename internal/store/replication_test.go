@@ -53,7 +53,7 @@ func TestReadLogBasics(t *testing.T) {
 	v0 := st.Current()
 	applyN(t, st, 5)
 
-	recs, err := st.ReadLog(0, v0.Fingerprint, 0)
+	recs, err := st.ReadLog(0, v0.Fingerprint, 0, 0)
 	if err != nil {
 		t.Fatalf("ReadLog(0): %v", err)
 	}
@@ -77,7 +77,7 @@ func TestReadLogBasics(t *testing.T) {
 	}
 
 	// max bounds the page.
-	recs, err = st.ReadLog(1, "", 2)
+	recs, err = st.ReadLog(1, "", 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,18 +86,18 @@ func TestReadLogBasics(t *testing.T) {
 	}
 
 	// Reading at the head returns nothing.
-	recs, err = st.ReadLog(head.Seq, head.Fingerprint, 0)
+	recs, err = st.ReadLog(head.Seq, head.Fingerprint, 0, 0)
 	if err != nil || len(recs) != 0 {
 		t.Fatalf("read at head = %v, %v", recs, err)
 	}
 
 	// A position past the head is divergence.
-	if _, err := st.ReadLog(head.Seq+3, "", 0); !errors.Is(err, ErrDiverged) {
+	if _, err := st.ReadLog(head.Seq+3, "", 0, 0); !errors.Is(err, ErrDiverged) {
 		t.Fatalf("past-head read: %v, want ErrDiverged", err)
 	}
 
 	// A wrong fingerprint at a valid position is divergence.
-	if _, err := st.ReadLog(2, "bogus@2", 0); !errors.Is(err, ErrDiverged) {
+	if _, err := st.ReadLog(2, "bogus@2", 0, 0); !errors.Is(err, ErrDiverged) {
 		t.Fatalf("wrong-fingerprint read: %v, want ErrDiverged", err)
 	}
 }
@@ -114,11 +114,11 @@ func TestReadLogTruncatedByCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Records 1..4 folded into the checkpoint; the anchor is now 4.
-	if _, err := st.ReadLog(2, "", 0); !errors.Is(err, ErrLogTruncated) {
+	if _, err := st.ReadLog(2, "", 0, 0); !errors.Is(err, ErrLogTruncated) {
 		t.Fatalf("pre-checkpoint read: %v, want ErrLogTruncated", err)
 	}
 	applyN(t, st, 2)
-	recs, err := st.ReadLog(4, st.Current().DB.SchemaFingerprint()+"@4", 0)
+	recs, err := st.ReadLog(4, st.Current().DB.SchemaFingerprint()+"@4", 0, 0)
 	if err != nil {
 		t.Fatalf("read from checkpoint anchor: %v", err)
 	}
@@ -134,10 +134,10 @@ func TestReadLogRetentionAgesOut(t *testing.T) {
 	}
 	defer st.Close()
 	applyN(t, st, 10)
-	if _, err := st.ReadLog(0, "", 0); !errors.Is(err, ErrLogTruncated) {
+	if _, err := st.ReadLog(0, "", 0, 0); !errors.Is(err, ErrLogTruncated) {
 		t.Fatalf("aged-out read: %v, want ErrLogTruncated", err)
 	}
-	recs, err := st.ReadLog(7, "", 0)
+	recs, err := st.ReadLog(7, "", 0, 0)
 	if err != nil {
 		t.Fatalf("read inside retention: %v", err)
 	}
@@ -153,7 +153,7 @@ func TestReplayRebuildsLogTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	applyN(t, st, 3)
-	want, err := st.ReadLog(0, "", 0)
+	want, err := st.ReadLog(0, "", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestReplayRebuildsLogTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	got, err := st2.ReadLog(0, "", 0)
+	got, err := st2.ReadLog(0, "", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestApplyReplicatedParity(t *testing.T) {
 	defer replica.Close()
 
 	applyN(t, primary, 4)
-	recs, err := primary.ReadLog(0, "", 0)
+	recs, err := primary.ReadLog(0, "", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestApplyReplicatedPersists(t *testing.T) {
 	}
 	defer primary.Close()
 	applyN(t, primary, 3)
-	recs, err := primary.ReadLog(0, "", 0)
+	recs, err := primary.ReadLog(0, "", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ func TestInstallSnapshotDurable(t *testing.T) {
 	}
 	// The log tail re-anchored: reads from the install point work,
 	// earlier positions are truncated.
-	if _, err := replica.ReadLog(pv.Seq-1, "", 0); !errors.Is(err, ErrLogTruncated) {
+	if _, err := replica.ReadLog(pv.Seq-1, "", 0, 0); !errors.Is(err, ErrLogTruncated) {
 		t.Fatalf("pre-install read: %v, want ErrLogTruncated", err)
 	}
 	if err := replica.Close(); err != nil {

@@ -151,6 +151,10 @@ type Stats struct {
 	// Epoch is the store's current promotion epoch (0 until the first
 	// promotion anywhere in the lineage).
 	Epoch uint64 `json:"epoch"`
+	// FencedEpoch is the highest promotion epoch observed elsewhere in
+	// the cluster (via Fence); while it exceeds Epoch, Apply refuses
+	// writes with ErrFenced.
+	FencedEpoch uint64 `json:"fenced_epoch,omitempty"`
 	Durable             bool   `json:"durable"`
 	Fsync               string `json:"fsync,omitempty"`
 	WALBytes            int64  `json:"wal_bytes"`
@@ -197,6 +201,7 @@ type Store struct {
 	wal             *walWriter // nil in ephemeral mode
 	closed          bool
 	epoch           uint64 // promotion epoch; mutated under mu, read via published Versions
+	fencedEpoch     uint64 // highest epoch observed elsewhere (Fence); Apply refuses while it exceeds epoch
 	checkpointSeq   uint64
 	sinceCheckpoint int
 	checkpoints     int64
@@ -211,12 +216,14 @@ type Store struct {
 
 	// Replication log tail (see replication.go): records since the last
 	// checkpoint, each with the fingerprint of the version it produced.
-	// anchorSeq/anchorFP identify the state just before the oldest
-	// retained record.
-	logMu     sync.RWMutex
-	logTail   []LogRecord
-	anchorSeq uint64
-	anchorFP  string
+	// anchorSeq/anchorFP/anchorEpoch identify the state just before the
+	// oldest retained record (the epoch is the one that state was
+	// produced under, which ReadLog verifies position claims against).
+	logMu       sync.RWMutex
+	logTail     []LogRecord
+	anchorSeq   uint64
+	anchorFP    string
+	anchorEpoch uint64
 
 	// notify is closed and replaced on every publish; WaitForSeq
 	// watchers block on it.
@@ -299,7 +306,7 @@ func Open(seed *lapushdb.DB, opts Options) (*Store, error) {
 	// Adopted records are retained in the replication log tail (with
 	// their recomputed fingerprints), so a freshly recovered store can
 	// serve replicas from the same positions the WAL covers.
-	s.anchorSeq, s.anchorFP = s.checkpointSeq, Fingerprint(db, s.checkpointSeq)
+	s.anchorSeq, s.anchorFP, s.anchorEpoch = s.checkpointSeq, Fingerprint(db, s.checkpointSeq), s.epoch
 	last := s.checkpointSeq
 	replayed := 0
 	apply := func(rec walRecord) error {
@@ -369,6 +376,13 @@ func (s *Store) Apply(muts []Mutation) (*Version, error) {
 	}
 	if s.readOnly.Load() {
 		return nil, ErrReadOnly
+	}
+	if s.fencedEpoch > s.epoch {
+		// A newer lineage exists somewhere in the cluster (Fence observed
+		// it); committing here would fork the WAL no replica will follow.
+		// Checked under s.mu so a write racing the server-level role
+		// transition still cannot slip through.
+		return nil, fmt.Errorf("%w: observed promotion epoch %d exceeds local epoch %d", ErrFenced, s.fencedEpoch, s.epoch)
 	}
 	cur := s.cur.Load()
 	next := cur.DB.CloneCOW()
@@ -470,6 +484,7 @@ func (s *Store) Stats() Stats {
 		Seq:                 v.Seq,
 		Fingerprint:         v.Fingerprint,
 		Epoch:               s.epoch,
+		FencedEpoch:         s.fencedEpoch,
 		Durable:             s.wal != nil,
 		CheckpointSeq:       s.checkpointSeq,
 		Checkpoints:         s.checkpoints,
@@ -531,7 +546,7 @@ func (s *Store) checkpointLocked(v *Version) error {
 	s.checkpointSeq = v.Seq
 	s.sinceCheckpoint = 0
 	s.removeStaleCheckpoints()
-	s.trimLog(v.Seq, v.Fingerprint)
+	s.trimLog(v.Seq, v.Fingerprint, v.Epoch)
 	return nil
 }
 
