@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-smoke microbench chaos replication failover cover
+.PHONY: build test race vet check bench bench-smoke microbench chaos replication failover cover oracle-diff
 
 build:
 	$(GO) build ./...
@@ -46,20 +46,36 @@ failover:
 vet:
 	$(GO) vet ./...
 
-# Statement-coverage gate. The per-package summary comes from go test's
-# own "coverage: X% of statements" lines; the total must stay at or
-# above the recorded baseline (measured 84.8% when the gate landed,
-# with a small buffer for timing-dependent paths).
+# Statement-coverage gate. Coverage is measured across packages
+# (-coverpkg=./...): several packages are exercised mostly or entirely
+# by the top-level differential suites (internal/anytime, the
+# internal/engine/oracle facade, chunks of the engine's parallel paths),
+# which per-package profiling would not count. The total must stay at
+# or above the recorded baseline (measured 84.7% when the gate moved to
+# cross-package profiling, with a small buffer for timing-dependent
+# paths).
 COVER_BASELINE ?= 84.0
 
 cover:
-	$(GO) test -count=1 -coverprofile=cover.out ./...
+	$(GO) test -count=1 -coverpkg=./... -coverprofile=cover.out ./...
 	@$(GO) tool cover -func=cover.out | awk -v base=$(COVER_BASELINE) ' \
 		/^total:/ { total = $$3; gsub(/%/, "", total); print "total coverage: " $$3; \
 			if (total + 0 < base + 0) { print "FAIL: coverage " total "% below baseline " base "%"; exit 1 } \
 			else { print "ok: coverage " total "% >= baseline " base "%" } }'
 
-check: build vet test
+# Executor-vs-oracle differential suite under the race detector: the
+# columnar streaming executor must produce byte-identical results and
+# identical typed errors to the retained row-at-a-time oracle
+# (internal/engine/oracle.go) on random CQs and on the chain/star/TPC-H
+# shapes at Workers 1 and 4, plus budget-accounting parity and the
+# chain-join allocation gate (the gate itself skips under -race and
+# runs in the plain test pass).
+oracle-diff:
+	$(GO) test -race -run 'OracleDifferential|TestPropExecutorOracle|TestBudgetBatchChargingParity|FuzzMorselDifferential' ./internal/engine
+	$(GO) test -race -run 'TestDifferentialWorkloads|TestRankBatchOracleDifferential|TestAnytimeOracleBoundsDifferential' .
+	$(GO) test -run 'TestChainJoinAllocGate' ./internal/engine
+
+check: build vet test oracle-diff
 
 # Standing load harness (cmd/loadgen): mixed workloads against an
 # in-process lapushd, results merged into BENCH_<rev>.json. `bench` is

@@ -9,12 +9,16 @@ package lapushdb
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"testing"
 	"time"
 
 	"lapushdb/internal/anytime"
+	"lapushdb/internal/core"
+	"lapushdb/internal/cq"
 	"lapushdb/internal/engine"
+	"lapushdb/internal/engine/oracle"
 	"lapushdb/internal/workload"
 )
 
@@ -109,6 +113,50 @@ func TestAnytimeSandwich(t *testing.T) {
 		tp := workload.NewTPCH(0.01, 0.1, rng)
 		sandwichWorkload(t, "tpch", tp.DB, tp.Query(tp.Suppliers, "%red%").String(), 0.05)
 	})
+}
+
+// TestAnytimeOracleBoundsDifferential pins the upper bounds the anytime
+// sandwich refines: the dissociation plan scores feeding the anytime
+// evaluator are bit-identical between the columnar executor and the
+// retained row-at-a-time oracle at Workers 1 and 4, on the sandwich's
+// workload shapes.
+func TestAnytimeOracleBoundsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	chainDB, chainQ := workload.Chain(3, 500, 70, 0.5, rng)
+	starDB, starQ := workload.Star(3, 40, 12, 0.5, rng)
+	tp := workload.NewTPCH(0.01, 0.1, rng)
+	for _, tc := range []struct {
+		label string
+		edb   *engine.DB
+		q     string
+	}{
+		{"chain3", chainDB, chainQ.String()},
+		{"star3", starDB, starQ.String()},
+		{"tpch", tp.DB, tp.Query(tp.Suppliers, "%red%").String()},
+	} {
+		q := cq.MustParse(tc.q)
+		plans := core.MinimalPlans(q, nil)
+		for _, w := range []int{1, 4} {
+			opts := engine.Options{Workers: w}
+			got := engine.EvalPlans(tc.edb, q, plans, opts)
+			want := oracle.EvalPlans(tc.edb, q, plans, opts)
+			if got.Len() != want.Len() {
+				t.Fatalf("%s/w=%d: %d rows vs oracle %d", tc.label, w, got.Len(), want.Len())
+			}
+			for i := 0; i < want.Len(); i++ {
+				gr, wr := got.Row(i), want.Row(i)
+				for j := range wr {
+					if gr[j] != wr[j] {
+						t.Fatalf("%s/w=%d: row %d differs: %v vs %v", tc.label, w, i, gr, wr)
+					}
+				}
+				if math.Float64bits(got.Score(i)) != math.Float64bits(want.Score(i)) {
+					t.Fatalf("%s/w=%d: row %d bound bits differ: %v vs oracle %v",
+						tc.label, w, i, got.Score(i), want.Score(i))
+				}
+			}
+		}
+	}
 }
 
 // TestAnytimeWorkerDeterminism pins the bit-identity contract: the

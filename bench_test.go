@@ -325,18 +325,36 @@ func exactProb(clauses [][]int32, probs []float64) (float64, error) {
 // 3-chain at different intra-query worker counts. The morsel
 // determinism contract makes every variant produce byte-identical
 // rankings, which the benchmark verifies against the Workers=1 output.
+// With BENCH_JSON=<path> set, ns/op plus allocation metrics land in the
+// shared trajectory schema — the before/after pair for the columnar
+// executor refactor is recorded this way.
 func BenchmarkRank(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
 	edb, q := workload.Chain(3, 30000, 2000, 0.5, rng)
 	plans := core.MinimalPlans(q, nil)
 	ref := engine.EvalPlans(edb, q, plans, engine.Options{Workers: 1, ReuseSubplans: true, SemiJoin: true})
 	for _, w := range []int{1, 2, 4} {
+		name := fmt.Sprintf("BenchmarkRank/workers=%d", w)
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
 			var res *engine.Result
 			for i := 0; i < b.N; i++ {
 				res = engine.EvalPlans(edb, q, plans, engine.Options{Workers: w, ReuseSubplans: true, SemiJoin: true})
 			}
 			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			m := microResults[name]
+			if m == nil {
+				m = &bench.MicroResult{Name: name}
+				microResults[name] = m
+			}
+			m.AddRun(b.Elapsed().Nanoseconds() / int64(b.N))
+			m.Metrics = map[string]float64{
+				"allocs_per_op": float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N),
+				"bytes_per_op":  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(b.N),
+			}
 			if res.Len() != ref.Len() {
 				b.Fatalf("workers=%d: %d rows vs %d", w, res.Len(), ref.Len())
 			}
@@ -352,6 +370,9 @@ func BenchmarkRank(b *testing.B) {
 				}
 			}
 		})
+	}
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		writeMicroBenchJSON(b, path)
 	}
 }
 
@@ -407,19 +428,20 @@ func BenchmarkRankBatch(b *testing.B) {
 	})
 }
 
-// anytimeMicro accumulates BenchmarkAnytime's measurements across
-// sub-benchmark invocations (go test may call each closure several
-// times while sizing b.N, and -count reruns them all); the final state
-// is flushed to $BENCH_JSON in the shared internal/bench schema.
-var anytimeMicro = map[string]*bench.MicroResult{}
+// microResults accumulates BenchmarkRank's and BenchmarkAnytime's
+// measurements across sub-benchmark invocations (go test may call each
+// closure several times while sizing b.N, and -count reruns them all);
+// the final state is flushed to $BENCH_JSON in the shared
+// internal/bench schema.
+var microResults = map[string]*bench.MicroResult{}
 
-// writeAnytimeBenchJSON merges the accumulated BenchmarkAnytime
-// results into the BENCH_<rev>.json named by $BENCH_JSON, sharing the
+// writeMicroBenchJSON merges the accumulated micro-benchmark results
+// into the BENCH_<rev>.json named by $BENCH_JSON, sharing the
 // trajectory schema (and file) with cmd/loadgen's workload results.
-func writeAnytimeBenchJSON(b *testing.B, path string) {
+func writeMicroBenchJSON(b *testing.B, path string) {
 	b.Helper()
-	names := make([]string, 0, len(anytimeMicro))
-	for name := range anytimeMicro {
+	names := make([]string, 0, len(microResults))
+	for name := range microResults {
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -435,7 +457,7 @@ func writeAnytimeBenchJSON(b *testing.B, path string) {
 			r.CPU = cpu
 		}
 		for _, name := range names {
-			r.ReplaceBenchmark(*anytimeMicro[name])
+			r.ReplaceBenchmark(*microResults[name])
 		}
 	})
 	if err != nil {
@@ -476,10 +498,10 @@ func BenchmarkAnytime(b *testing.B) {
 			b.ReportMetric(float64(res.PlansEvaluated), "plans")
 			b.ReportMetric(float64(res.MCSamples), "mc-samples")
 			b.ReportMetric(res.Width, "width")
-			m := anytimeMicro[name]
+			m := microResults[name]
 			if m == nil {
 				m = &bench.MicroResult{Name: name}
-				anytimeMicro[name] = m
+				microResults[name] = m
 			}
 			m.AddRun(b.Elapsed().Nanoseconds() / int64(b.N))
 			m.Metrics = map[string]float64{
@@ -490,6 +512,6 @@ func BenchmarkAnytime(b *testing.B) {
 		})
 	}
 	if path := os.Getenv("BENCH_JSON"); path != "" {
-		writeAnytimeBenchJSON(b, path)
+		writeMicroBenchJSON(b, path)
 	}
 }

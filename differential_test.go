@@ -17,6 +17,7 @@ import (
 	"lapushdb/internal/core"
 	"lapushdb/internal/cq"
 	"lapushdb/internal/engine"
+	"lapushdb/internal/engine/oracle"
 	"lapushdb/internal/workload"
 )
 
@@ -49,7 +50,8 @@ func assertSameResult(t *testing.T, label string, seq, par *engine.Result) {
 }
 
 // diffWorkload evaluates q's minimal plans at Workers ∈ {1, 2, 8} and
-// asserts the outputs are identical.
+// asserts the outputs are identical, and cross-checks the columnar
+// executor against the retained row-at-a-time oracle at Workers 1 and 4.
 func diffWorkload(t *testing.T, label string, db *engine.DB, q *cq.Query) {
 	t.Helper()
 	plans := core.MinimalPlans(q, nil)
@@ -57,6 +59,10 @@ func diffWorkload(t *testing.T, label string, db *engine.DB, q *cq.Query) {
 	for _, w := range []int{2, 8} {
 		par := engine.EvalPlans(db, q, plans, engine.Options{Workers: w, ReuseSubplans: true, SemiJoin: true})
 		assertSameResult(t, fmt.Sprintf("%s/w=%d", label, w), seq, par)
+	}
+	for _, w := range []int{1, 4} {
+		orc := oracle.EvalPlans(db, q, plans, engine.Options{Workers: w, ReuseSubplans: true, SemiJoin: true})
+		assertSameResult(t, fmt.Sprintf("%s/oracle/w=%d", label, w), seq, orc)
 	}
 }
 

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lapushdb/internal/core"
+	"lapushdb/internal/cq"
+)
+
+// TestChainJoinAllocGate is the allocation-regression gate for the
+// columnar executor on the join-heavy chain shape: evaluating the
+// 3-chain's minimal plans sequentially must stay under a pinned
+// allocation ceiling. The ceiling is set from a post-refactor
+// measurement (see the constant below) with ~30% headroom. The retained
+// row-at-a-time oracle measures ~33k allocs/op on the same instance, so
+// any slide back toward per-row appends or map-backed group tables
+// trips the gate long before it shows up in benchmarks.
+func TestChainJoinAllocGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation skews allocation counts")
+	}
+	if testing.Short() {
+		t.Skip("alloc gate skipped in -short")
+	}
+	// chainAllocCeiling: measured 1286 allocs/op after the columnar
+	// refactor (exact pre-sizing of join output, open-addressing group
+	// tables, single-pass streamed projection), rounded up with headroom.
+	const chainAllocCeiling = 1700
+	rng := rand.New(rand.NewSource(71))
+	q := cq.MustParse("q(x0, x3) :- R1(x0, x1), R2(x1, x2), R3(x2, x3)")
+	db := NewDB()
+	n := 2*morselSize + 100
+	domain := 400
+	for ri := 1; ri <= 3; ri++ {
+		r := db.CreateRelation(fmt.Sprintf("R%d", ri), []string{"a", "b"})
+		for i := 0; i < n; i++ {
+			r.Insert([]Value{Value(rng.Intn(domain)), Value(rng.Intn(domain))}, rng.Float64())
+		}
+	}
+	plans := core.MinimalPlans(q, nil)
+	var out *Result
+	allocs := testing.AllocsPerRun(3, func() {
+		out = EvalPlans(db, q, plans, Options{Workers: 1})
+	})
+	if out.Len() == 0 {
+		t.Fatal("chain evaluation returned no rows")
+	}
+	t.Logf("chain3 eval: %.0f allocs/op (%d answers)", allocs, out.Len())
+	if allocs > chainAllocCeiling {
+		t.Errorf("chain join allocations %.0f exceed pinned ceiling %d", allocs, chainAllocCeiling)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"lapushdb/internal/core"
@@ -53,10 +54,10 @@ func TestBudgetExceededParallel(t *testing.T) {
 	// directly with a pooled exec so the input spans several morsels and
 	// every fresh group charges from a helper goroutine.
 	n := 3 * morselSize
-	in := &Result{Cols: []cq.Var{"x"}}
+	in := newResult([]cq.Var{"x"})
 	for i := 0; i < n; i++ {
-		in.rows = append(in.rows, Value(i))
-		in.ids = append(in.ids, int32(i))
+		in.vals[0] = append(in.vals[0], Value(i))
+		in.ids[0] = append(in.ids[0], int32(i))
 		in.scores = append(in.scores, 0.5)
 	}
 	ex := &exec{
@@ -67,6 +68,61 @@ func TestBudgetExceededParallel(t *testing.T) {
 	err := TrapCancel(func() { project(in, []cq.Var{"x"}, ex) })
 	if !errors.Is(err, ErrBudget) {
 		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+// TestBudgetBatchChargingParity is the accounting property behind the
+// 422 contract: the columnar executor charges MaxIntermediateRows in
+// per-batch increments (one charge per scan selection, probe chunk, or
+// projection chunk), but its charge totals equal the oracle's per-tuple
+// totals exactly — so for every workload the minimal budget that
+// evaluates without ErrBudget is identical in both executors (stronger
+// than the ±1-morsel tolerance the batching would naively allow,
+// because tripping depends only on the shared running total).
+func TestBudgetBatchChargingParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	minBudget := func(db *DB, q *cq.Query, plans []plan.Node, oracle bool) int {
+		eval := func(limit int) bool {
+			err := TrapCancel(func() {
+				EvalPlansCtx(nil, db, q, plans, Options{
+					MaxIntermediateRows: limit,
+					Workers:             1,
+					Oracle:              oracle,
+				})
+			})
+			if err != nil && !errors.Is(err, ErrBudget) {
+				t.Fatalf("unexpected error at limit %d: %v", limit, err)
+			}
+			return err == nil
+		}
+		lo, hi := 0, 1<<22 // lo always trips (limit>0 semantics aside), hi always passes
+		if !eval(hi) {
+			t.Fatalf("budget %d still trips", hi)
+		}
+		for lo+1 < hi {
+			mid := lo + (hi-lo)/2
+			if mid == 0 {
+				lo = 0
+				continue
+			}
+			if eval(mid) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		return hi
+	}
+	for iter := 0; iter < 10; iter++ {
+		qs := propQueries[iter%len(propQueries)]
+		q := cq.MustParse(qs)
+		db := randomDB(q, 4, 200, 1.0, rng)
+		plans := core.MinimalPlans(q, nil)
+		got := minBudget(db, q, plans, false)
+		want := minBudget(db, q, plans, true)
+		if got != want {
+			t.Errorf("%s: minimal passing budget %d (batched) != %d (per-tuple)", qs, got, want)
+		}
 	}
 }
 

@@ -52,6 +52,13 @@ func planCost(db *DB, p plan.Node) (cost, rows float64, vars []cq.Var) {
 		return n, n, t.Head()
 	case *plan.Project:
 		c, r, _ := planCost(db, t.Child)
+		if _, ok := t.Child.(*plan.Join); ok {
+			// The fused streaming Project(Join) path (stream.go) never
+			// materializes the join output: probe matches stream through
+			// morsel-sized grouping windows. Charge the grouping pass but
+			// not a second full materialization of the join output.
+			return c + 0.25*r, r, t.OnTo
+		}
 		return c + r, r, t.OnTo
 	case *plan.Join:
 		c := 0.0

@@ -11,13 +11,16 @@ import (
 	"lapushdb/internal/plan"
 )
 
-// Result is a relation-shaped evaluation result: one row of values per
-// output tuple over Cols, with a probability score each. Row order is
-// unspecified; use Sorted or Score for stable access.
+// Result is a relation-shaped evaluation result: one tuple of values per
+// output row over Cols, with a probability score each. Storage is
+// columnar (struct-of-arrays): one contiguous []Value and []int32 per
+// column plus one contiguous []float64 score column, so operators run as
+// tight kernels over slices instead of per-tuple calls. Row order is
+// unspecified; use Sorted or ScoreOf for stable access.
 type Result struct {
 	Cols   []cq.Var
-	rows   []Value // flattened, len = len(Cols) * n
-	ids    []int32 // dense value ids (DB.noteValue), parallel to rows
+	vals   [][]Value // vals[k][i]: value of column k in row i
+	ids    [][]int32 // dense value ids (DB.noteValue), parallel to vals
 	scores []float64
 
 	// Lazy ScoreOf index: hash of the row values -> first row with that
@@ -27,23 +30,25 @@ type Result struct {
 	idxNext []int32
 }
 
+// newResult returns an empty result with per-column slice headers
+// allocated for the given layout.
+func newResult(cols []cq.Var) *Result {
+	return &Result{Cols: cols, vals: make([][]Value, len(cols)), ids: make([][]int32, len(cols))}
+}
+
 // Len returns the number of result tuples.
 func (r *Result) Len() int { return len(r.scores) }
 
-// Row returns the i-th tuple (a view; do not modify).
+// Row gathers the i-th tuple from the column arrays into a fresh slice.
 func (r *Result) Row(i int) []Value {
-	a := len(r.Cols)
-	if a == 0 {
+	if len(r.Cols) == 0 {
 		return nil
 	}
-	return r.rows[i*a : (i+1)*a]
-}
-
-// idRow returns the dense value ids of the i-th tuple (a view; do not
-// modify).
-func (r *Result) idRow(i int) []int32 {
-	a := len(r.Cols)
-	return r.ids[i*a : (i+1)*a]
+	out := make([]Value, len(r.Cols))
+	for k, c := range r.vals {
+		out[k] = c[i]
+	}
+	return out
 }
 
 // Score returns the probability score of the i-th tuple.
@@ -58,6 +63,16 @@ func (r *Result) BooleanScore() float64 {
 	return r.scores[0]
 }
 
+// rowHash hashes the i-th tuple's values, matching valueKeyHash over the
+// gathered row.
+func (r *Result) rowHash(i int) uint64 {
+	h := uint64(len(r.Cols)) + 0x9e3779b97f4a7c15
+	for _, c := range r.vals {
+		h = mix64(h ^ uint64(c[i]))
+	}
+	return h
+}
+
 // ScoreOf returns the score of the tuple with the given values, and
 // whether it exists. The first call builds a hash index over the rows,
 // so a batch of lookups costs O(n + lookups) instead of O(n·lookups).
@@ -69,10 +84,9 @@ func (r *Result) ScoreOf(key []Value) (float64, bool) {
 	r.idxOnce.Do(r.buildScoreIndex)
 	j, ok := r.idx[valueKeyHash(key)]
 	for ok {
-		row := r.Row(int(j))
 		match := true
-		for i := range key {
-			if row[i] != key[i] {
+		for k := range key {
+			if r.vals[k][j] != key[k] {
 				match = false
 				break
 			}
@@ -94,7 +108,7 @@ func (r *Result) buildScoreIndex() {
 	r.idxNext = make([]int32, n)
 	for i := 0; i < n; i++ {
 		r.idxNext[i] = -1
-		h := valueKeyHash(r.Row(i))
+		h := r.rowHash(i)
 		first, ok := r.idx[h]
 		if !ok {
 			r.idx[h] = int32(i)
@@ -118,14 +132,14 @@ func (r *Result) Sorted() []int {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		sa, sb := r.scores[idx[a]], r.scores[idx[b]]
+		ia, ib := idx[a], idx[b]
+		sa, sb := r.scores[ia], r.scores[ib]
 		if sa != sb {
 			return sa > sb
 		}
-		ra, rb := r.Row(idx[a]), r.Row(idx[b])
-		for j := range ra {
-			if ra[j] != rb[j] {
-				return ra[j] < rb[j]
+		for _, c := range r.vals {
+			if c[ia] != c[ib] {
+				return c[ia] < c[ib]
 			}
 		}
 		return false
@@ -173,6 +187,12 @@ type Options struct {
 	// a row budget it replaces MaxIntermediateRows: the budget spans the
 	// whole batch instead of one evaluation.
 	Memo *BatchMemo
+	// Oracle routes evaluation through the retained row-at-a-time
+	// reference operators (see oracle.go) instead of the streaming
+	// columnar executor. Outputs are bit-identical by contract; the flag
+	// exists so differential suites and fuzzers can cross-check the two
+	// executors. Test-only: it is never set on production paths.
+	Oracle bool
 }
 
 // Evaluator evaluates plans over a database under the extensional score
@@ -272,11 +292,18 @@ func (e *Evaluator) Eval(p plan.Node) *Result {
 // evalNode computes one plan node, recursing through Eval so children
 // hit the caches.
 func (e *Evaluator) evalNode(p plan.Node) *Result {
+	if e.opts.Oracle {
+		return e.oracleEvalNode(p)
+	}
 	var out *Result
 	switch t := p.(type) {
 	case *plan.Scan:
 		out = e.scan(t)
 	case *plan.Project:
+		if jn, ok := t.Child.(*plan.Join); ok && e.canStream(jn) {
+			out = e.streamProjectJoin(jn, t.OnTo)
+			break
+		}
 		out = project(e.Eval(t.Child), t.OnTo, e.ex())
 	case *plan.Join:
 		results := make([]*Result, len(t.Subs))
@@ -290,8 +317,12 @@ func (e *Evaluator) evalNode(p plan.Node) *Result {
 		}
 	case *plan.Min:
 		out = e.Eval(t.Subs[0])
-		for _, c := range t.Subs[1:] {
-			out = combineMin(out, e.Eval(c), e.ex())
+		if len(t.Subs) > 1 {
+			fold := newMinFold(out, e.ex())
+			for _, c := range t.Subs[1:] {
+				fold.merge(e.Eval(c))
+			}
+			out = fold.out
 		}
 	default:
 		panic("engine: unknown plan node")
@@ -309,6 +340,7 @@ func EvalPlans(db *DB, q *cq.Query, plans []plan.Node, opts Options) *Result {
 // EvalPlansCtx is EvalPlans bound to a context (see NewEvaluatorCtx).
 func EvalPlansCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan.Node, opts Options) *Result {
 	var out *Result
+	var fold *minFold
 	// One row budget spans every plan: MaxIntermediateRows bounds the
 	// query, not each of its (possibly many) minimal plans. A batch
 	// memo's budget wins — it spans the whole batch.
@@ -320,10 +352,17 @@ func EvalPlansCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan.Node, o
 		e := NewEvaluatorCtx(ctx, db, q, opts)
 		e.budget = budget
 		r := e.Eval(p)
-		if out == nil {
+		switch {
+		case out == nil:
 			out = r
-		} else {
-			out = combineMin(out, r, e.ex())
+		case opts.Oracle:
+			out = oracleCombineMin(out, r, e.ex())
+		default:
+			if fold == nil {
+				fold = newMinFold(out, e.ex())
+			}
+			fold.merge(r)
+			out = fold.out
 		}
 	}
 	return out
@@ -331,18 +370,73 @@ func EvalPlansCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan.Node, o
 
 // scan reads an atom's relation, applying constant selections, repeated-
 // variable equality, pushed-down predicates, and — when the evaluator has
-// a semi-join reduction — the reduced row set.
+// a semi-join reduction — the reduced row set. The filter runs as
+// component-at-a-time kernels producing a selection vector, then each
+// output column is gathered in one pre-sized pass.
 func (e *Evaluator) scan(s *plan.Scan) *Result {
-	rel := e.db.Relation(s.Atom.Rel)
+	rel, cols, pos := scanLayout(e.db, s)
+	filter := newRowFilter(e.db, rel, s)
+	out := newResult(cols)
+	// Candidate rows: the semi-join reduction wins, then any index.
+	var cand []int32
+	restricted := false
+	if e.reduced != nil {
+		if idxs, ok := e.reduced[rel.Name]; ok {
+			cand, restricted = idxs, true
+		}
+	}
+	if !restricted {
+		if c2, ok := rel.indexCandidates(e.db, s); ok {
+			cand, restricted = c2, true
+		}
+	}
+	sel, all := filter.apply(rel, cand, restricted, &e.cancel)
+	m := len(sel)
+	if all {
+		m = rel.Len()
+	}
+	e.budget.charge(m)
+	out.scores = make([]float64, m)
+	if all {
+		copy(out.scores, rel.prob)
+	} else {
+		for x, ri := range sel {
+			out.scores[x] = rel.prob[ri]
+		}
+	}
+	a := rel.Arity()
+	for k, j := range pos {
+		vdst := make([]Value, m)
+		idst := make([]int32, m)
+		if all {
+			for i := 0; i < m; i++ {
+				vdst[i] = rel.rows[i*a+j]
+				idst[i] = rel.vids[i*a+j]
+			}
+		} else {
+			for x, ri := range sel {
+				ii := int(ri)*a + j
+				vdst[x] = rel.rows[ii]
+				idst[x] = rel.vids[ii]
+			}
+		}
+		out.vals[k], out.ids[k] = vdst, idst
+	}
+	return out
+}
+
+// scanLayout resolves a scan's relation and output column layout: the
+// atom's distinct variables sorted, and for each output column the first
+// argument position holding it.
+func scanLayout(db *DB, s *plan.Scan) (*Relation, []cq.Var, []int) {
+	rel := db.Relation(s.Atom.Rel)
 	if rel == nil {
 		panic(fmt.Sprintf("engine: unknown relation %s", s.Atom.Rel))
 	}
 	if len(s.Atom.Args) != rel.Arity() {
 		panic(fmt.Sprintf("engine: atom %s has arity %d, relation has %d", s.Atom, len(s.Atom.Args), rel.Arity()))
 	}
-	// Column layout of the output: the atom's distinct variables, sorted.
 	cols := append([]cq.Var(nil), s.Head()...)
-	// For each output column, the first argument position holding it.
 	pos := make([]int, len(cols))
 	for i, v := range cols {
 		for j, t := range s.Atom.Args {
@@ -352,40 +446,7 @@ func (e *Evaluator) scan(s *plan.Scan) *Result {
 			}
 		}
 	}
-	filter := newRowFilter(e.db, rel, s)
-	out := &Result{Cols: cols}
-	emit := func(i int) {
-		e.cancel.check()
-		row := rel.Row(i)
-		if !filter.ok(row) {
-			return
-		}
-		e.budget.charge(1)
-		vrow := rel.vidRow(i)
-		for _, j := range pos {
-			out.rows = append(out.rows, row[j])
-			out.ids = append(out.ids, vrow[j])
-		}
-		out.scores = append(out.scores, rel.Prob(i))
-	}
-	if e.reduced != nil {
-		if idxs, ok := e.reduced[rel.Name]; ok {
-			for _, i := range idxs {
-				emit(int(i))
-			}
-			return out
-		}
-	}
-	if cand, ok := rel.indexCandidates(e.db, s); ok {
-		for _, i := range cand {
-			emit(int(i))
-		}
-		return out
-	}
-	for i := 0; i < rel.Len(); i++ {
-		emit(i)
-	}
-	return out
+	return rel, cols, pos
 }
 
 // rowFilter checks constants, repeated variables, and predicates on one
@@ -424,6 +485,10 @@ func newRowFilter(db *DB, rel *Relation, s *plan.Scan) *rowFilter {
 	return f
 }
 
+func (f *rowFilter) empty() bool {
+	return len(f.consts) == 0 && len(f.equals) == 0 && len(f.preds) == 0
+}
+
 func (f *rowFilter) ok(row []Value) bool {
 	for _, c := range f.consts {
 		if row[c.pos] != c.val {
@@ -436,11 +501,71 @@ func (f *rowFilter) ok(row []Value) bool {
 		}
 	}
 	for _, p := range f.preds {
-		if !p.ok(row) {
+		if !p.okVal(row[p.pos]) {
 			return false
 		}
 	}
 	return true
+}
+
+// apply runs the filter as a sequence of selection-vector kernels: each
+// component refines the vector in one tight pass over the relation's
+// flattened storage. It returns (sel, all); all=true means every row of
+// the relation qualifies and sel is nil (the caller copies the columns
+// wholesale).
+func (f *rowFilter) apply(rel *Relation, cand []int32, restricted bool, c *canceller) ([]int32, bool) {
+	if f.empty() {
+		if restricted {
+			return cand, false
+		}
+		return nil, true
+	}
+	var sel []int32
+	if restricted {
+		// Never compact the caller's candidate slice in place: reductions
+		// and indexes own it.
+		sel = append(make([]int32, 0, len(cand)), cand...)
+	} else {
+		n := rel.Len()
+		sel = make([]int32, n)
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+	}
+	a := rel.Arity()
+	rows := rel.rows
+	for _, cst := range f.consts {
+		out := sel[:0]
+		for _, ri := range sel {
+			c.check()
+			if rows[int(ri)*a+cst.pos] == cst.val {
+				out = append(out, ri)
+			}
+		}
+		sel = out
+	}
+	for _, eq := range f.equals {
+		out := sel[:0]
+		for _, ri := range sel {
+			c.check()
+			base := int(ri) * a
+			if rows[base+eq[0]] == rows[base+eq[1]] {
+				out = append(out, ri)
+			}
+		}
+		sel = out
+	}
+	for _, p := range f.preds {
+		out := sel[:0]
+		for _, ri := range sel {
+			c.check()
+			if p.okVal(rows[int(ri)*a+p.pos]) {
+				out = append(out, ri)
+			}
+		}
+		sel = out
+	}
+	return sel, false
 }
 
 // compiledPred is one pushed-down comparison bound to an argument
@@ -463,8 +588,7 @@ func compilePred(db *DB, p cq.Predicate, pos int) compiledPred {
 	return c
 }
 
-func (c compiledPred) ok(row []Value) bool {
-	v := row[c.pos]
+func (c compiledPred) okVal(v Value) bool {
 	switch c.op {
 	case cq.OpLE:
 		return v >= 0 && c.num >= 0 && v <= c.num
@@ -514,79 +638,101 @@ func LikeMatch(pattern, s string) bool {
 	return pi == len(pattern)
 }
 
-// project groups the child's rows by the kept columns and combines the
-// scores of each group as independent events: 1 − ∏(1 − s). This is the
-// probabilistic duplicate-eliminating projection π^p.
-//
-// The grouping is morsel-parallel: each chunk builds its own group
-// table with per-group complement partials ∏(1 − s) in row order, then
-// one goroutine merges partials chunk-ascending. Group ids follow
-// first-appearance order across chunks, which equals sequential row
-// order, so output rows and scores are bit-identical to a sequential
-// pass: within a chunk the factor order is the row order, and the
-// single-chunk case multiplies the initial 1 by the partial — exact in
-// IEEE arithmetic.
-func project(in *Result, onto []cq.Var, ex *exec) *Result {
-	keep := make([]int, len(onto))
-	for i, v := range onto {
-		keep[i] = colIndex(in.Cols, v)
-	}
-	ka := len(keep)
-	n := in.Len()
-	out := &Result{Cols: append([]cq.Var(nil), onto...)}
-	if n == 0 {
-		return out
-	}
-	type chunkGroups struct {
-		firstRow []int32 // local group id -> first input row of the group
-		partial  []float64
-	}
-	nChunks := numChunks(n)
-	locals := make([]chunkGroups, nChunks)
-	if nChunks > 1 {
-		ex.addPartitions(nChunks)
-	}
-	ex.forChunks(nChunks, func(ci int, c *canceller) {
-		lo, hi := chunkBounds(ci, n)
-		g := newGroupTable(ka, hi-lo)
-		lg := &locals[ci]
-		key := make([]int32, ka)
+// projChunk is one morsel's grouping partial: for each locally-fresh
+// group, the key's ids and values (gathered at first appearance) and the
+// chunk-local complement product ∏(1 − s) accumulated in row order.
+type projChunk struct {
+	keyIDs  [][]int32 // per key column, one entry per local group
+	keyVals [][]Value
+	partial []float64
+}
+
+// projectChunk groups rows [lo, hi) of the given key columns and folds
+// the chunk-local complement products with a tight vectorized kernel:
+// one interning pass assigns group ids, one multiply pass folds
+// 1 − scores[i] into the group partials in row order. Fresh local groups
+// are charged to the budget per chunk (batch granularity; totals match
+// per-tuple charging exactly).
+func projectChunk(keyIDs [][]int32, keyVals [][]Value, scores []float64, lo, hi int, c *canceller, ex *exec) projChunk {
+	m := hi - lo
+	ka := len(keyIDs)
+	g := newGroupTable(ka, m)
+	sg := newColSigner(keyIDs)
+	wide := sg.wide()
+	gids := make([]int32, m)
+	var firstRow []int32
+	if wide {
 		for i := lo; i < hi; i++ {
 			c.check()
-			ids := in.idRow(i)
-			for k, j := range keep {
-				key[k] = ids[j]
-			}
-			gid, fresh := g.intern(key)
+			gid, fresh := g.internSig(sg.sig(i), sg.keyAt(i))
+			gids[i-lo] = gid
 			if fresh {
-				ex.charge(1)
-				lg.firstRow = append(lg.firstRow, int32(i))
-				lg.partial = append(lg.partial, 1)
+				firstRow = append(firstRow, int32(i))
 			}
-			lg.partial[gid] *= 1 - in.scores[i]
 		}
-	})
-	global := newGroupTable(ka, len(locals[0].firstRow))
+	} else {
+		for i := lo; i < hi; i++ {
+			c.check()
+			gid, fresh := g.internSig(sg.sig(i), nil)
+			gids[i-lo] = gid
+			if fresh {
+				firstRow = append(firstRow, int32(i))
+			}
+		}
+	}
+	ex.charge(len(firstRow))
+	pc := projChunk{
+		keyIDs:  make([][]int32, ka),
+		keyVals: make([][]Value, ka),
+		partial: make([]float64, len(firstRow)),
+	}
+	for i := range pc.partial {
+		pc.partial[i] = 1
+	}
+	s := scores[lo:hi]
+	for i, gid := range gids {
+		pc.partial[gid] *= 1 - s[i]
+	}
+	for k := 0; k < ka; k++ {
+		idc := make([]int32, len(firstRow))
+		vc := make([]Value, len(firstRow))
+		for gi, ri := range firstRow {
+			idc[gi] = keyIDs[k][ri]
+			vc[gi] = keyVals[k][ri]
+		}
+		pc.keyIDs[k], pc.keyVals[k] = idc, vc
+	}
+	return pc
+}
+
+// projectMerge combines per-chunk grouping partials chunk-ascending on
+// one goroutine: global group ids follow first-appearance order across
+// chunks (equal to sequential row order), and each group's score starts
+// at 1 and multiplies in its chunk partials in chunk order — the exact
+// float-operation sequence of a sequential pass, so outputs are
+// bit-identical for every chunking of the same input.
+func projectMerge(onto []cq.Var, locals []projChunk, hint int, ex *exec) *Result {
+	out := newResult(append([]cq.Var(nil), onto...))
+	ka := len(onto)
+	global := newGroupTable(ka, hint)
 	cc := ex.canc()
 	key := make([]int32, ka)
-	for ci := range locals {
-		lg := &locals[ci]
-		for li, ri := range lg.firstRow {
+	for li := range locals {
+		lg := &locals[li]
+		for gi := range lg.partial {
 			cc.check()
-			ids := in.idRow(int(ri))
-			for k, j := range keep {
-				key[k] = ids[j]
+			for k := 0; k < ka; k++ {
+				key[k] = lg.keyIDs[k][gi]
 			}
 			gid, fresh := global.intern(key)
 			if fresh {
-				row := in.Row(int(ri))
-				for _, j := range keep {
-					out.rows = append(out.rows, row[j])
-					out.ids = append(out.ids, ids[j])
+				for k := 0; k < ka; k++ {
+					out.ids[k] = append(out.ids[k], lg.keyIDs[k][gi])
+					out.vals[k] = append(out.vals[k], lg.keyVals[k][gi])
 				}
 				out.scores = append(out.scores, 1)
 			}
-			out.scores[gid] *= lg.partial[li]
+			out.scores[gid] *= lg.partial[gi]
 		}
 	}
 	for i := range out.scores {
@@ -595,152 +741,379 @@ func project(in *Result, onto []cq.Var, ex *exec) *Result {
 	return out
 }
 
-// foldJoin joins several results, ordering the folds to avoid cross
-// products: it starts from the smallest input and greedily joins the
-// smallest remaining input that shares a column with the accumulated
-// result, falling back to a cross product only when no input connects.
-func foldJoin(results []*Result, ex *exec) *Result {
-	if len(results) == 1 {
-		return results[0]
+// projAccum folds a streamed (or sequentially scanned) row sequence
+// into the projection's grouping result in one pass: each row interns
+// directly into the global group table, while chunk-local complement
+// partials accumulate in sparse per-chunk scratch (lastChunk/localIdx)
+// and fold into the global scores at every morselSize boundary. The
+// float-operation sequence — per-chunk ∏(1 − s) in row order, partials
+// folded chunk-ascending in first-touch order — is exactly the one
+// projectChunk + projectMerge perform, so outputs are bit-identical to
+// the morsel-parallel materialized path; the single pass just skips the
+// per-chunk hash tables and the merge's re-interning, which profiling
+// showed dominating sequential projection cost.
+type projAccum struct {
+	out     *Result
+	g       *groupTable
+	ka      int
+	key     []int32   // scratch: the current row's key ids
+	val     []Value   // scratch: the current row's key values
+	touched []int32   // gids touched this chunk, in first-touch order
+	partial []float64 // parallel to touched: chunk-local ∏(1 − s)
+	fill    int       // rows accumulated in the current chunk
+	fresh   int       // chunk-local first touches not yet charged
+	ex      *exec
+	chunks  int
+}
+
+// projAccumHint seeds the accumulator's group table: the output group
+// count is unknown before the pass, so start at a couple of morsels and
+// let the table double as needed (rehashing touches only groups, never
+// rows).
+const projAccumHint = 2 * morselSize
+
+func newProjAccum(onto []cq.Var, sizeHint int, ex *exec) *projAccum {
+	ka := len(onto)
+	return &projAccum{
+		out:     newResult(append([]cq.Var(nil), onto...)),
+		g:       newGroupTable(ka, sizeHint),
+		ka:      ka,
+		key:     make([]int32, ka),
+		val:     make([]Value, ka),
+		touched: make([]int32, 0, morselSize),
+		partial: make([]float64, 0, morselSize),
+		ex:      ex,
 	}
-	remaining := append([]*Result(nil), results...)
-	// Start with the smallest input.
-	sort.Slice(remaining, func(i, j int) bool { return remaining[i].Len() < remaining[j].Len() })
-	cur := remaining[0]
+}
+
+// add ingests one row whose key ids and values the caller has gathered
+// into pa.key / pa.val. The chunk-local partial slot lives in the group
+// slot's aux word — the cache line the intern probe already loaded — and
+// is validated against the (small, L1-resident) touched list, so a row
+// costs one random memory access, not three.
+func (pa *projAccum) add(score float64) {
+	s, fresh := pa.g.internSlot(keySig(pa.key), pa.key)
+	if fresh {
+		for k := 0; k < pa.ka; k++ {
+			pa.out.ids[k] = append(pa.out.ids[k], pa.key[k])
+			pa.out.vals[k] = append(pa.out.vals[k], pa.val[k])
+		}
+		pa.out.scores = append(pa.out.scores, 1)
+	}
+	gid := s.ref - 1
+	aux := s.aux
+	// aux identifies this group's slot in the current chunk's partials
+	// iff that slot exists and names this gid back; anything else is a
+	// stale value from an earlier chunk.
+	if int(aux) >= len(pa.touched) || pa.touched[aux] != gid {
+		aux = int32(len(pa.touched))
+		s.aux = aux
+		pa.touched = append(pa.touched, gid)
+		pa.partial = append(pa.partial, 1)
+		pa.fresh++
+	}
+	pa.partial[aux] *= 1 - score
+	pa.fill++
+	if pa.fill == morselSize {
+		pa.flushChunk()
+	}
+}
+
+// flushChunk folds the chunk's partials into the global scores (chunk
+// order, first-touch order within the chunk — projectMerge's order) and
+// charges the chunk's fresh groups to the budget in one batch, exactly
+// the totals projectChunk charges.
+func (pa *projAccum) flushChunk() {
+	if pa.fill == 0 {
+		return
+	}
+	pa.ex.charge(pa.fresh)
+	for i, gid := range pa.touched {
+		pa.out.scores[gid] *= pa.partial[i]
+	}
+	pa.touched = pa.touched[:0]
+	pa.partial = pa.partial[:0]
+	pa.fresh = 0
+	pa.fill = 0
+	pa.chunks++
+}
+
+func (pa *projAccum) finish() *Result {
+	pa.flushChunk()
+	if pa.chunks > 1 {
+		pa.ex.addPartitions(pa.chunks)
+	}
+	for i := range pa.out.scores {
+		pa.out.scores[i] = 1 - pa.out.scores[i]
+	}
+	return pa.out
+}
+
+// project groups the child's rows by the kept columns and combines the
+// scores of each group as independent events: 1 − ∏(1 − s). This is the
+// probabilistic duplicate-eliminating projection π^p.
+//
+// The grouping is morsel-parallel: each chunk builds its own group
+// table with per-group complement partials in row order (projectChunk),
+// then one goroutine merges partials chunk-ascending (projectMerge).
+// Sequential execution takes the equivalent single-pass projAccum
+// route instead.
+func project(in *Result, onto []cq.Var, ex *exec) *Result {
+	keep := make([]int, len(onto))
+	for i, v := range onto {
+		keep[i] = colIndex(in.Cols, v)
+	}
+	n := in.Len()
+	if n == 0 {
+		return newResult(append([]cq.Var(nil), onto...))
+	}
+	keyIDs := make([][]int32, len(keep))
+	keyVals := make([][]Value, len(keep))
+	for k, j := range keep {
+		keyIDs[k] = in.ids[j]
+		keyVals[k] = in.vals[j]
+	}
+	if ex == nil || ex.pool == nil {
+		pa := newProjAccum(onto, projAccumHint, ex)
+		c := ex.canc()
+		ka := len(keep)
+		for i := 0; i < n; i++ {
+			c.check()
+			for k := 0; k < ka; k++ {
+				pa.key[k] = keyIDs[k][i]
+				pa.val[k] = keyVals[k][i]
+			}
+			pa.add(in.scores[i])
+		}
+		return pa.finish()
+	}
+	nChunks := numChunks(n)
+	locals := make([]projChunk, nChunks)
+	if nChunks > 1 {
+		ex.addPartitions(nChunks)
+	}
+	ex.forChunks(nChunks, func(ci int, c *canceller) {
+		lo, hi := chunkBounds(ci, n)
+		locals[ci] = projectChunk(keyIDs, keyVals, in.scores, lo, hi, c, ex)
+	})
+	groupsHint := 0
+	for ci := range locals {
+		groupsHint += len(locals[ci].partial)
+	}
+	return projectMerge(onto, locals, groupsHint, ex)
+}
+
+// joinFn is a binary join operator — the streaming columnar join or the
+// retained row-at-a-time oracle join. Fold ordering is shared between
+// them so both executors make identical fold decisions.
+type joinFn func(l, r *Result, ex *exec) *Result
+
+// greedyJoinOrder replicates the fold ordering of the original
+// evaluator: inputs sorted by size ascending, then greedily the smallest
+// remaining input sharing a column with the accumulated column set,
+// falling back to a cross product only when no input connects. Returns
+// indices into results.
+func greedyJoinOrder(results []*Result) []int {
+	type item struct {
+		idx int
+		r   *Result
+	}
+	remaining := make([]item, len(results))
+	for i, r := range results {
+		remaining[i] = item{i, r}
+	}
+	sort.Slice(remaining, func(i, j int) bool { return remaining[i].r.Len() < remaining[j].r.Len() })
+	order := make([]int, 0, len(results))
+	order = append(order, remaining[0].idx)
+	have := cq.NewVarSet(remaining[0].r.Cols...)
 	remaining = remaining[1:]
 	for len(remaining) > 0 {
-		have := cq.NewVarSet(cur.Cols...)
 		pick := -1
-		for i, r := range remaining {
+		for i, it := range remaining {
 			connected := false
-			for _, c := range r.Cols {
+			for _, c := range it.r.Cols {
 				if have.Has(c) {
 					connected = true
 					break
 				}
 			}
-			if connected && (pick < 0 || r.Len() < remaining[pick].Len()) {
+			if connected && (pick < 0 || it.r.Len() < remaining[pick].r.Len()) {
 				pick = i
 			}
 		}
 		if pick < 0 {
 			pick = 0 // genuine cross product (disconnected plan)
 		}
-		cur = join(cur, remaining[pick], ex)
+		order = append(order, remaining[pick].idx)
+		for _, c := range remaining[pick].r.Cols {
+			have.Add(c)
+		}
 		remaining = append(remaining[:pick], remaining[pick+1:]...)
 	}
+	return order
+}
+
+// foldJoin joins several results in greedy smallest-connected order.
+func foldJoin(results []*Result, ex *exec) *Result {
+	return foldJoinWith(results, ex, join)
+}
+
+func foldJoinWith(results []*Result, ex *exec, jf joinFn) *Result {
+	if len(results) == 1 {
+		return results[0]
+	}
+	order := greedyJoinOrder(results)
+	cur := results[order[0]]
+	for _, i := range order[1:] {
+		cur = jf(cur, results[i], ex)
+	}
 	return cur
+}
+
+// joinLayout fixes the column plumbing of one binary join: the output
+// columns (union, sorted), each output column's source side and
+// position, and the build/probe assignment (build = smaller input).
+type joinLayout struct {
+	outCols   []cq.Var
+	fromBuild []bool
+	pos       []int
+	build     *Result
+	probe     *Result
+	buildPos  []int
+	probePos  []int
+}
+
+func makeJoinLayout(l, r *Result) joinLayout {
+	_, lPos, rPos := sharedCols(l.Cols, r.Cols)
+	colSet := cq.NewVarSet(l.Cols...)
+	for _, c := range r.Cols {
+		colSet.Add(c)
+	}
+	jl := joinLayout{outCols: colSet.Sorted()}
+	jl.build, jl.probe = r, l
+	jl.buildPos, jl.probePos = rPos, lPos
+	buildLeft := false
+	if l.Len() < r.Len() {
+		jl.build, jl.probe = l, r
+		jl.buildPos, jl.probePos = lPos, rPos
+		buildLeft = true
+	}
+	jl.fromBuild = make([]bool, len(jl.outCols))
+	jl.pos = make([]int, len(jl.outCols))
+	for i, c := range jl.outCols {
+		if j := colIndex(l.Cols, c); j >= 0 {
+			jl.fromBuild[i] = buildLeft
+			jl.pos[i] = j
+		} else {
+			jl.fromBuild[i] = !buildLeft
+			jl.pos[i] = colIndex(r.Cols, c)
+		}
+	}
+	return jl
 }
 
 // join computes the natural join of two results on their shared columns,
 // multiplying scores.
 //
-// The build side is hashed into a partitioned table (see buildJoinTable)
-// and the probe side scans in parallel morsels into per-chunk buffers
-// that are concatenated chunk-ascending — the emission order of a
-// sequential probe, with build matches ascending within each probe row,
-// so the output is bit-identical to the sequential join.
+// The build side is hashed into a partitioned table pre-sized from its
+// cardinality (see buildJoinTable). The probe runs in two vectorized
+// passes over morsel chunks: pass one records each probe row's match
+// span (start, count) in the table's row array and charges the budget
+// per chunk; pass two writes every output column directly into its
+// exactly-sized destination slice at the chunk's offset. Chunk offsets
+// follow chunk order, build matches ascend within each probe row, so the
+// output is bit-identical to a sequential row-at-a-time join.
 func join(l, r *Result, ex *exec) *Result {
-	_, lPos, rPos := sharedCols(l.Cols, r.Cols)
-	// Output columns: union, sorted.
-	colSet := cq.NewVarSet(l.Cols...)
-	for _, c := range r.Cols {
-		colSet.Add(c)
+	jl := makeJoinLayout(l, r)
+	jt := buildJoinTable(jl.build, jl.buildPos, ex)
+	out := newResult(jl.outCols)
+	np := jl.probe.Len()
+	if np == 0 {
+		return out
 	}
-	outCols := colSet.Sorted()
-	// For each output column, where to read it from (left first).
-	type src struct {
-		left bool
-		pos  int
-	}
-	srcs := make([]src, len(outCols))
-	for i, c := range outCols {
-		if j := colIndex(l.Cols, c); j >= 0 {
-			srcs[i] = src{true, j}
-		} else {
-			srcs[i] = src{false, colIndex(r.Cols, c)}
-		}
-	}
-	out := &Result{Cols: outCols}
-	// Build on the smaller input.
-	build, probe := r, l
-	buildPos, probePos := rPos, lPos
-	buildLeft := false
-	if l.Len() < r.Len() {
-		build, probe = l, r
-		buildPos, probePos = lPos, rPos
-		buildLeft = true
-	}
-	jt := buildJoinTable(build, buildPos, ex)
-	np := probe.Len()
 	pChunks := numChunks(np)
-	type chunkBuf struct {
-		rows   []Value
-		ids    []int32
-		scores []float64
-	}
-	bufs := make([]chunkBuf, pChunks)
 	if pChunks > 1 {
 		ex.addPartitions(pChunks)
 	}
+	probeKeys := make([][]int32, len(jl.probePos))
+	for k, j := range jl.probePos {
+		probeKeys[k] = jl.probe.ids[j]
+	}
+	starts := make([]int32, np)
+	cnts := make([]int32, np)
+	chunkTotal := make([]int, pChunks)
 	ex.forChunks(pChunks, func(ci int, c *canceller) {
+		sg := newColSigner(probeKeys)
+		wide := sg.wide()
 		lo, hi := chunkBounds(ci, np)
-		b := &bufs[ci]
-		key := make([]int32, len(probePos))
+		t := 0
 		for i := lo; i < hi; i++ {
 			c.check()
-			prow := probe.Row(i)
-			pids := probe.idRow(i)
-			for k, j := range probePos {
-				key[k] = pids[j]
+			var key []int32
+			if wide {
+				key = sg.keyAt(i)
 			}
-			for _, bi := range jt.lookup(keySig(key), key) {
-				c.check()
-				brow := build.Row(int(bi))
-				bids := build.idRow(int(bi))
-				var lrow, rrow []Value
-				var lids, rids []int32
-				var ls, rs float64
-				if buildLeft {
-					lrow, rrow = brow, prow
-					lids, rids = bids, pids
-					ls, rs = build.scores[bi], probe.scores[i]
-				} else {
-					lrow, rrow = prow, brow
-					lids, rids = pids, bids
-					ls, rs = probe.scores[i], build.scores[bi]
-				}
-				for _, s := range srcs {
-					if s.left {
-						b.rows = append(b.rows, lrow[s.pos])
-						b.ids = append(b.ids, lids[s.pos])
-					} else {
-						b.rows = append(b.rows, rrow[s.pos])
-						b.ids = append(b.ids, rids[s.pos])
+			s, n := jt.lookupSpan(sg.sig(i), key)
+			starts[i], cnts[i] = s, n
+			t += int(n)
+		}
+		chunkTotal[ci] = t
+		ex.charge(t)
+	})
+	total := 0
+	offs := make([]int, pChunks)
+	for ci, t := range chunkTotal {
+		offs[ci] = total
+		total += t
+	}
+	out.scores = make([]float64, total)
+	for k := range out.Cols {
+		out.vals[k] = make([]Value, total)
+		out.ids[k] = make([]int32, total)
+	}
+	bscores, pscores := jl.build.scores, jl.probe.scores
+	ex.forChunks(pChunks, func(ci int, c *canceller) {
+		lo, hi := chunkBounds(ci, np)
+		o := offs[ci]
+		oo := o
+		for i := lo; i < hi; i++ {
+			c.check()
+			st, n := int(starts[i]), int(cnts[i])
+			s := pscores[i]
+			for j := 0; j < n; j++ {
+				out.scores[oo] = s * bscores[jt.rows[st+j]]
+				oo++
+			}
+		}
+		for k := range out.Cols {
+			vdst, idst := out.vals[k], out.ids[k]
+			oo = o
+			if jl.fromBuild[k] {
+				vsrc, isrc := jl.build.vals[jl.pos[k]], jl.build.ids[jl.pos[k]]
+				for i := lo; i < hi; i++ {
+					st, n := int(starts[i]), int(cnts[i])
+					for j := 0; j < n; j++ {
+						ri := jt.rows[st+j]
+						vdst[oo], idst[oo] = vsrc[ri], isrc[ri]
+						oo++
 					}
 				}
-				b.scores = append(b.scores, ls*rs)
-				ex.charge(1)
+			} else {
+				vsrc, isrc := jl.probe.vals[jl.pos[k]], jl.probe.ids[jl.pos[k]]
+				for i := lo; i < hi; i++ {
+					n := int(cnts[i])
+					if n == 0 {
+						continue
+					}
+					v, id := vsrc[i], isrc[i]
+					for j := 0; j < n; j++ {
+						vdst[oo], idst[oo] = v, id
+						oo++
+					}
+				}
 			}
 		}
 	})
-	if pChunks == 1 {
-		out.rows, out.ids, out.scores = bufs[0].rows, bufs[0].ids, bufs[0].scores
-		return out
-	}
-	total := 0
-	for i := range bufs {
-		total += len(bufs[i].scores)
-	}
-	width := len(outCols)
-	out.rows = make([]Value, 0, total*width)
-	out.ids = make([]int32, 0, total*width)
-	out.scores = make([]float64, 0, total)
-	for i := range bufs {
-		out.rows = append(out.rows, bufs[i].rows...)
-		out.ids = append(out.ids, bufs[i].ids...)
-		out.scores = append(out.scores, bufs[i].scores...)
-	}
 	return out
 }
 
@@ -750,40 +1123,96 @@ func join(l, r *Result, ex *exec) *Result {
 // seen on only one side keeps its score (defensive, and correct for the
 // upper-bound semantics).
 func combineMin(a, b *Result, ex *exec) *Result {
-	if !varsSliceEqual(a.Cols, b.Cols) {
-		panic(fmt.Sprintf("engine: min over different columns %v vs %v", a.Cols, b.Cols))
+	f := newMinFold(a, ex)
+	f.merge(b)
+	return f.out
+}
+
+// minFold folds plan results under the per-answer minimum while
+// retaining the accumulator's group table across folds: the first input
+// is copied and interned once, and every later fold only probes with
+// its own rows — O(total rows) interning over a whole fold chain
+// instead of re-interning the growing accumulator per plan. Each step
+// observably equals pairwise combineMin: rows appended during a merge
+// join the table only after that merge's probe pass (so duplicate keys
+// within one input append separately, exactly as a per-step rebuild
+// would re-intern them last-wins), scores merge in the same order, and
+// budget totals are unchanged.
+type minFold struct {
+	out   *Result
+	g     *groupTable
+	rowOf []int32 // per gid: the last row of out holding that key
+	ex    *exec
+}
+
+func newMinFold(a *Result, ex *exec) *minFold {
+	na := a.Len()
+	m := &minFold{g: newGroupTable(len(a.Cols), na), ex: ex}
+	m.out = newResult(a.Cols)
+	for k := range a.vals {
+		m.out.vals[k] = append([]Value(nil), a.vals[k]...)
+		m.out.ids[k] = append([]int32(nil), a.ids[k]...)
 	}
-	cc := ex.canc()
-	g := newGroupTable(len(a.Cols), a.Len())
-	rowOf := make([]int32, 0, a.Len())
-	out := &Result{
-		Cols:   a.Cols,
-		rows:   append([]Value(nil), a.rows...),
-		ids:    append([]int32(nil), a.ids...),
-		scores: append([]float64(nil), a.scores...),
-	}
-	for i := 0; i < a.Len(); i++ {
+	m.out.scores = append([]float64(nil), a.scores...)
+	m.addRows(0, na)
+	return m
+}
+
+// addRows interns out's rows [lo, hi) into the table, last-wins on
+// duplicate keys — the same mapping a fresh rebuild over all of out
+// would produce.
+func (m *minFold) addRows(lo, hi int) {
+	cc := m.ex.canc()
+	sg := newColSigner(m.out.ids)
+	wide := sg.wide()
+	for i := lo; i < hi; i++ {
 		cc.check()
-		gid, fresh := g.intern(a.idRow(i))
+		var key []int32
+		if wide {
+			key = sg.keyAt(i)
+		}
+		gid, fresh := m.g.internSig(sg.sig(i), key)
 		if fresh {
-			rowOf = append(rowOf, int32(i))
+			m.rowOf = append(m.rowOf, int32(i))
 		} else {
-			rowOf[gid] = int32(i) // duplicate key in a: last wins, as before
+			m.rowOf[gid] = int32(i)
 		}
 	}
-	for i := 0; i < b.Len(); i++ {
+}
+
+// merge folds one more plan result into the accumulator.
+func (m *minFold) merge(b *Result) {
+	if !varsSliceEqual(m.out.Cols, b.Cols) {
+		panic(fmt.Sprintf("engine: min over different columns %v vs %v", m.out.Cols, b.Cols))
+	}
+	cc := m.ex.canc()
+	base := m.out.Len()
+	bsg := newColSigner(b.ids)
+	wide := bsg.wide()
+	nb := b.Len()
+	appended := 0
+	for i := 0; i < nb; i++ {
 		cc.check()
-		if gid, ok := g.lookup(b.idRow(i)); ok {
-			j := rowOf[gid]
-			out.scores[j] = math.Min(out.scores[j], b.scores[i])
+		var key []int32
+		if wide {
+			key = bsg.keyAt(i)
+		}
+		if gid, ok := m.g.lookupSig(bsg.sig(i), key); ok {
+			j := m.rowOf[gid]
+			m.out.scores[j] = math.Min(m.out.scores[j], b.scores[i])
 		} else {
-			ex.charge(1)
-			out.rows = append(out.rows, b.Row(i)...)
-			out.ids = append(out.ids, b.idRow(i)...)
-			out.scores = append(out.scores, b.scores[i])
+			appended++
+			for k := range m.out.vals {
+				m.out.vals[k] = append(m.out.vals[k], b.vals[k][i])
+				m.out.ids[k] = append(m.out.ids[k], b.ids[k][i])
+			}
+			m.out.scores = append(m.out.scores, b.scores[i])
 		}
 	}
-	return out
+	if appended > 0 {
+		m.ex.charge(appended)
+		m.addRows(base, base+appended)
+	}
 }
 
 // SemiJoinReduce performs the full deterministic semi-join reduction of
@@ -827,10 +1256,14 @@ func semiJoinReduce(db *DB, q *cq.Query, c *canceller) map[string][]int32 {
 			}
 		}
 		filter := newRowFilter(db, rel, plan.NewScan(a, q.PredsOnAtom(a)))
-		for r := 0; r < rel.Len(); r++ {
-			if filter.ok(rel.Row(r)) {
-				info.live = append(info.live, int32(r))
+		sel, all := filter.apply(rel, nil, false, c)
+		if all {
+			info.live = make([]int32, rel.Len())
+			for r := range info.live {
+				info.live[r] = int32(r)
 			}
+		} else {
+			info.live = sel
 		}
 		infos[i] = info
 	}
@@ -859,14 +1292,23 @@ func semiJoinReduce(db *DB, q *cq.Query, c *canceller) map[string][]int32 {
 				if len(vars) == 0 {
 					continue
 				}
+				// Hoist the variable positions out of the row loops: the
+				// semi-join filter kernels below then run over the flattened
+				// id storage without per-row map lookups.
+				apos := make([]int, len(vars))
+				bpos := make([]int, len(vars))
+				for x, v := range vars {
+					apos[x] = a.varPos[v]
+					bpos[x] = b.varPos[v]
+				}
 				// Keys present in b on the shared vars.
 				keys := newGroupTable(len(vars), len(b.live))
 				key := make([]int32, len(vars))
 				for _, r := range b.live {
 					c.check()
 					row := b.rel.vidRow(int(r))
-					for x, v := range vars {
-						key[x] = row[b.varPos[v]]
+					for x, p := range bpos {
+						key[x] = row[p]
 					}
 					keys.intern(key)
 				}
@@ -875,8 +1317,8 @@ func semiJoinReduce(db *DB, q *cq.Query, c *canceller) map[string][]int32 {
 				for _, r := range a.live {
 					c.check()
 					row := a.rel.vidRow(int(r))
-					for x, v := range vars {
-						key[x] = row[a.varPos[v]]
+					for x, p := range apos {
+						key[x] = row[p]
 					}
 					if _, ok := keys.lookup(key); ok {
 						kept = append(kept, r)

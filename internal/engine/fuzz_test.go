@@ -1,12 +1,36 @@
 package engine
 
 import (
+	"context"
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
 	"lapushdb/internal/core"
 	"lapushdb/internal/cq"
 )
+
+// encodeResult serializes a Result — columns, rows in order, and the
+// raw float64 bits of every score — so two results are byte-identical
+// iff they satisfy the executor bit-identity contract.
+func encodeResult(r *Result) []byte {
+	buf := make([]byte, 0, 64+r.Len()*16)
+	for _, c := range r.Cols {
+		buf = append(buf, c...)
+		buf = append(buf, 0)
+	}
+	for i := 0; i < r.Len(); i++ {
+		for _, v := range r.Row(i) {
+			buf = appendValue(buf, v)
+		}
+		bits := math.Float64bits(r.Score(i))
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(bits>>s))
+		}
+	}
+	return buf
+}
 
 // likeOracle is a naive byte-wise recursive LIKE matcher — exponential
 // but obviously correct, the reference implementation for the fuzzer.
@@ -52,10 +76,13 @@ func FuzzLikeMatch(f *testing.F) {
 	})
 }
 
-// FuzzMorselDifferential fuzzes the morsel-parallel evaluator against
-// the sequential one: for any parseable query and any random instance,
-// every Workers setting must produce the same rows in the same order
-// with bit-identical scores.
+// FuzzMorselDifferential fuzzes the executors against each other: for
+// any parseable query and any random instance, every Workers setting
+// must produce the same rows in the same order with bit-identical
+// scores, the columnar streaming executor must byte-identically match
+// the retained row-at-a-time oracle, and both executors must fail with
+// the same typed error (ErrBudget, context cancellation) on the same
+// inputs.
 func FuzzMorselDifferential(f *testing.F) {
 	type seed struct {
 		query   string
@@ -68,7 +95,10 @@ func FuzzMorselDifferential(f *testing.F) {
 		{"q(z) :- R(z, x), S(x, y), T(y)", 2, 150, 2},
 		{"q() :- R(x), S(y), T(x, y)", 3, 100, 8}, // unsafe 2-star
 		{"q(w) :- R(w, x), S(x), T(x, y), U(y)", 4, 120, 3},
-		{"q() :- R(x), S(x, y)", 5, 80, 2}, // safe: exact either way
+		{"q() :- R(x), S(x, y)", 5, 80, 2},        // safe: exact either way
+		{"q() :- R(x), S(x), T(x, y), U(y)", 6, 300, 4},
+		{"q(x1) :- R0(x1, x2, x3), R1(x1), R2(x2), R3(x3)", 7, 250, 5}, // 3-star with head var
+		{"q() :- A(x), B(y), M(x, y)", 8, 400, 2},
 	}
 	for _, s := range seeds {
 		f.Add(s.query, s.seed, s.rows, s.workers)
@@ -97,21 +127,48 @@ func FuzzMorselDifferential(f *testing.F) {
 		for _, opts := range []Options{{}, {ReuseSubplans: true, SemiJoin: true}} {
 			opts.Workers = 1
 			ref := EvalPlans(db, q, plans, opts)
+			refEnc := encodeResult(ref)
+			// Parallel vs sequential, same executor.
 			opts.Workers = int(workers%8) + 2
 			got := EvalPlans(db, q, plans, opts)
-			if ref.Len() != got.Len() {
-				t.Fatalf("workers=%d: %d rows vs %d", opts.Workers, got.Len(), ref.Len())
+			if string(encodeResult(got)) != string(refEnc) {
+				t.Fatalf("workers=%d: parallel encoding differs from sequential", opts.Workers)
 			}
-			for i := 0; i < ref.Len(); i++ {
-				rr, gr := ref.Row(i), got.Row(i)
-				for j := range rr {
-					if rr[j] != gr[j] {
-						t.Fatalf("workers=%d: row %d differs: %v vs %v", opts.Workers, i, gr, rr)
-					}
+			// Columnar executor vs the row-at-a-time oracle, both Workers
+			// settings: byte-identical encodings.
+			for _, w := range []int{1, opts.Workers} {
+				orcOpts := opts
+				orcOpts.Workers = w
+				orcOpts.Oracle = true
+				orc := EvalPlans(db, q, plans, orcOpts)
+				if string(encodeResult(orc)) != string(refEnc) {
+					t.Fatalf("oracle workers=%d: encoding differs from executor", w)
 				}
-				if ref.Score(i) != got.Score(i) {
-					t.Fatalf("workers=%d: row %d score %v != %v", opts.Workers, i, got.Score(i), ref.Score(i))
-				}
+			}
+			// Typed-error parity under a row budget: both executors charge
+			// identical totals, so they must trip (or not) together, with
+			// the same typed error.
+			budget := int(rows%64) + 1
+			bOpts := opts
+			bOpts.Workers = 1
+			bOpts.MaxIntermediateRows = budget
+			errNew := TrapCancel(func() { EvalPlansCtx(nil, db, q, plans, bOpts) })
+			bOpts.Oracle = true
+			errOrc := TrapCancel(func() { EvalPlansCtx(nil, db, q, plans, bOpts) })
+			if errors.Is(errNew, ErrBudget) != errors.Is(errOrc, ErrBudget) || (errNew == nil) != (errOrc == nil) {
+				t.Fatalf("budget=%d: executor err %v, oracle err %v", budget, errNew, errOrc)
+			}
+			// Typed-error parity under cancellation: a pre-cancelled context
+			// fails both executors with context.Canceled.
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			cOpts := opts
+			cOpts.Workers = 1
+			errNew = TrapCancel(func() { EvalPlansCtx(ctx, db, q, plans, cOpts) })
+			cOpts.Oracle = true
+			errOrc = TrapCancel(func() { EvalPlansCtx(ctx, db, q, plans, cOpts) })
+			if !errors.Is(errNew, context.Canceled) || !errors.Is(errOrc, context.Canceled) {
+				t.Fatalf("cancelled ctx: executor err %v, oracle err %v", errNew, errOrc)
 			}
 		}
 	})

@@ -2,11 +2,16 @@ package engine
 
 // Interned join/project keys. A composite key is the tuple of dense
 // value ids ([]int32, see DB.noteValue) at the key columns. Keys of
-// arity <= 2 pack exactly into one uint64 — a collision-free map key —
+// arity <= 2 pack exactly into one uint64 — a collision-free signature —
 // and wider keys fall back to a 64-bit hash with full-key comparison on
-// collision chains. Both replace the per-row []byte encodings
-// (appendValue) the operators used before: no per-row allocation, no
-// byte-string hashing.
+// signature collisions.
+//
+// groupTable is an open-addressing (linear probing) table rather than a
+// Go map: the columnar operators intern one key per input row, which
+// made map access the dominant cost of project/join under profiling.
+// Open addressing with power-of-two sizing keeps the probe sequence in
+// one cache line for most lookups and pre-sizes exactly from the
+// operator's cardinality hints.
 
 // packKey packs an arity <= 2 key of dense ids into a collision-free
 // uint64.
@@ -22,7 +27,8 @@ func packKey(key []int32) uint64 {
 }
 
 // mix64 is the murmur3 finalizer: a cheap bijective scrambler used both
-// to hash wide keys and to spread packed keys across join partitions.
+// to hash wide keys and to spread packed keys across table slots and
+// join partitions.
 func mix64(x uint64) uint64 {
 	x ^= x >> 33
 	x *= 0xff51afd7ed558ccd
@@ -50,26 +56,88 @@ func keySig(key []int32) uint64 {
 	return hashKey32(key)
 }
 
-// groupTable maps composite keys to dense group ids 0..n-1 assigned in
-// first-appearance order — the deterministic property every operator's
-// output ordering rests on.
-type groupTable struct {
-	arity int
-	exact bool             // arity <= 2: sig is the packed key, no compare needed
-	table map[uint64]int32 // sig -> first group id with that sig
-	next  []int32          // group id -> next group with equal sig, -1 ends
-	keys  []int32          // flattened interned keys, arity per group
+// colSigner computes row signatures directly from parallel id columns —
+// the columnar counterpart of keySig(gather(row)), producing identical
+// signatures without materializing the key tuple.
+type colSigner struct {
+	cols [][]int32
+	key  []int32 // scratch for wide keys
 }
 
-func newGroupTable(arity, sizeHint int) *groupTable {
-	return &groupTable{
-		arity: arity,
-		exact: arity <= 2,
-		table: make(map[uint64]int32, sizeHint),
+func newColSigner(cols [][]int32) *colSigner {
+	return &colSigner{cols: cols, key: make([]int32, len(cols))}
+}
+
+func (s *colSigner) sig(i int) uint64 {
+	switch len(s.cols) {
+	case 0:
+		return 0
+	case 1:
+		return uint64(uint32(s.cols[0][i]))
+	case 2:
+		return uint64(uint32(s.cols[0][i]))<<32 | uint64(uint32(s.cols[1][i]))
+	default:
+		h := uint64(len(s.cols)) + 0x9e3779b97f4a7c15
+		for _, c := range s.cols {
+			h = mix64(h ^ uint64(uint32(c[i])))
+		}
+		return h
 	}
 }
 
-func (g *groupTable) size() int { return len(g.next) }
+// keyAt gathers row i's key into the signer's scratch buffer. Only
+// needed for wide (arity >= 3) keys, where tables compare full keys.
+func (s *colSigner) keyAt(i int) []int32 {
+	for k, c := range s.cols {
+		s.key[k] = c[i]
+	}
+	return s.key
+}
+
+// wide reports whether intern/lookup calls need the full key (arity >=
+// 3); exact tables never dereference it.
+func (s *colSigner) wide() bool { return len(s.cols) > 2 }
+
+// groupSlot is one open-addressing slot: the key signature and the
+// group id + 1 (0 = empty), interleaved so a probe touches exactly one
+// cache location instead of chasing slot -> gid -> signature through
+// two arrays. The aux field rides in the struct's alignment padding
+// (12 bytes round up to 16 either way) and gives operators a free
+// per-group scratch word in the cache line the probe already loaded;
+// grow copies slots wholesale, so aux survives rehashing.
+type groupSlot struct {
+	sig uint64
+	ref int32 // gid + 1, 0 = empty
+	aux int32 // operator scratch (e.g. projAccum's chunk-local slot)
+}
+
+// groupTable maps composite keys to dense group ids 0..n-1 assigned in
+// first-appearance order — the deterministic property every operator's
+// output ordering rests on. Open addressing, linear probing, grown at
+// ~80% load.
+type groupTable struct {
+	arity int
+	exact bool // arity <= 2: sig is the packed key, no compare needed
+	slots []groupSlot
+	mask  uint64
+	n     int     // groups interned
+	keys  []int32 // flattened interned keys, arity per group (wide only)
+}
+
+func newGroupTable(arity, sizeHint int) *groupTable {
+	cap := 8
+	for cap*4 < sizeHint*5 { // hold sizeHint groups below 80% load
+		cap *= 2
+	}
+	return &groupTable{
+		arity: arity,
+		exact: arity <= 2,
+		slots: make([]groupSlot, cap),
+		mask:  uint64(cap - 1),
+	}
+}
+
+func (g *groupTable) size() int { return g.n }
 
 // intern returns the group id of key, adding it when unseen.
 func (g *groupTable) intern(key []int32) (gid int32, fresh bool) {
@@ -77,26 +145,52 @@ func (g *groupTable) intern(key []int32) (gid int32, fresh bool) {
 }
 
 // internSig is intern with the signature precomputed by the caller (the
-// morsel operators compute signatures once per row in parallel).
+// columnar operators compute signatures straight from id columns). For
+// exact tables key may be nil.
 func (g *groupTable) internSig(sig uint64, key []int32) (gid int32, fresh bool) {
-	if first, ok := g.table[sig]; ok {
-		if g.exact {
-			return first, false
+	for i := mix64(sig) & g.mask; ; i = (i + 1) & g.mask {
+		s := &g.slots[i]
+		if s.ref == 0 {
+			gid = int32(g.n)
+			g.n++
+			if !g.exact {
+				g.keys = append(g.keys, key...)
+			}
+			s.sig, s.ref = sig, gid+1
+			if g.n*5 >= len(g.slots)*4 {
+				g.grow()
+			}
+			return gid, true
 		}
-		for id := first; ; id = g.next[id] {
-			if g.keyEqual(id, key) {
-				return id, false
-			}
-			if g.next[id] < 0 {
-				gid = g.add(key)
-				g.next[id] = gid
-				return gid, true
-			}
+		if s.sig == sig && (g.exact || g.keyEqual(s.ref-1, key)) {
+			return s.ref - 1, false
 		}
 	}
-	gid = g.add(key)
-	g.table[sig] = gid
-	return gid, true
+}
+
+// internSlot is internSig returning the slot itself, so callers can use
+// the slot-resident aux scratch without a second gid-indexed lookup.
+// Growth happens before insertion (the returned pointer must stay
+// valid), so the load factor bound matches internSig's.
+func (g *groupTable) internSlot(sig uint64, key []int32) (*groupSlot, bool) {
+	if (g.n+1)*5 >= len(g.slots)*4 {
+		g.grow()
+	}
+	for i := mix64(sig) & g.mask; ; i = (i + 1) & g.mask {
+		s := &g.slots[i]
+		if s.ref == 0 {
+			gid := int32(g.n)
+			g.n++
+			if !g.exact {
+				g.keys = append(g.keys, key...)
+			}
+			s.sig, s.ref, s.aux = sig, gid+1, 0
+			return s, true
+		}
+		if s.sig == sig && (g.exact || g.keyEqual(s.ref-1, key)) {
+			return s, false
+		}
+	}
 }
 
 // lookup returns the group id of key without adding it.
@@ -105,30 +199,31 @@ func (g *groupTable) lookup(key []int32) (int32, bool) {
 }
 
 func (g *groupTable) lookupSig(sig uint64, key []int32) (int32, bool) {
-	first, ok := g.table[sig]
-	if !ok {
-		return 0, false
-	}
-	if g.exact {
-		return first, true
-	}
-	for id := first; ; id = g.next[id] {
-		if g.keyEqual(id, key) {
-			return id, true
-		}
-		if g.next[id] < 0 {
+	for i := mix64(sig) & g.mask; ; i = (i + 1) & g.mask {
+		s := &g.slots[i]
+		if s.ref == 0 {
 			return 0, false
+		}
+		if s.sig == sig && (g.exact || g.keyEqual(s.ref-1, key)) {
+			return s.ref - 1, true
 		}
 	}
 }
 
-func (g *groupTable) add(key []int32) int32 {
-	id := int32(len(g.next))
-	g.next = append(g.next, -1)
-	if !g.exact {
-		g.keys = append(g.keys, key...)
+func (g *groupTable) grow() {
+	slots := make([]groupSlot, len(g.slots)*2)
+	mask := uint64(len(slots) - 1)
+	for _, s := range g.slots {
+		if s.ref == 0 {
+			continue
+		}
+		i := mix64(s.sig) & mask
+		for slots[i].ref != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = s
 	}
-	return id
+	g.slots, g.mask = slots, mask
 }
 
 func (g *groupTable) keyEqual(id int32, key []int32) bool {

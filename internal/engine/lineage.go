@@ -326,19 +326,25 @@ func projectSet(in *Result, onto []cq.Var) *Result {
 
 // dedupeInPlace removes duplicate rows, keeping score 1 (set semantics).
 func dedupeInPlace(r *Result) {
-	seen := newGroupTable(len(r.Cols), r.Len())
+	m := r.Len()
+	seen := newGroupTable(len(r.Cols), m)
 	n := 0
-	a := len(r.Cols)
-	for i := 0; i < r.Len(); i++ {
-		if _, fresh := seen.intern(r.idRow(i)); !fresh {
+	key := make([]int32, 0, len(r.Cols))
+	for i := 0; i < m; i++ {
+		key = r.idRowInto(i, key)
+		if _, fresh := seen.intern(key); !fresh {
 			continue
 		}
-		copy(r.rows[n*a:(n+1)*a], r.Row(i))
-		copy(r.ids[n*a:(n+1)*a], r.idRow(i))
+		for k := range r.ids {
+			r.vals[k][n] = r.vals[k][i]
+			r.ids[k][n] = r.ids[k][i]
+		}
 		r.scores[n] = 1
 		n++
 	}
-	r.rows = r.rows[:n*a]
-	r.ids = r.ids[:n*a]
+	for k := range r.ids {
+		r.vals[k] = r.vals[k][:n]
+		r.ids[k] = r.ids[k][:n]
+	}
 	r.scores = r.scores[:n]
 }

@@ -178,48 +178,54 @@ func (ex *exec) forChunks(n int, fn func(chunk int, c *canceller)) {
 
 // joinTable is the partitioned hash table over the build side of a
 // join: keys (as dense value ids) are interned per partition, with each
-// key's build row ids stored contiguously in ascending order — the same
-// order the sequential bucket lists had, so probes emit identical
-// output.
+// key's build row ids stored contiguously in ascending order in one
+// global row array — the same order the sequential bucket lists had, so
+// probes emit identical output. Probes address matches as (start, count)
+// spans into rows, letting the join's second pass gather output columns
+// without re-probing.
 type joinTable struct {
 	mask  uint64
+	rows  []int32 // build row ids grouped by partition then key, ascending within key
 	parts []joinPartition
 }
 
 type joinPartition struct {
 	g     *groupTable
-	start []int32 // gid -> offset into rows, len = groups+1
-	rows  []int32 // build row ids grouped by key, ascending within key
+	base  int32   // offset of this partition's segment in joinTable.rows
+	start []int32 // gid -> offset into the segment, len = groups+1
 }
 
 // buildJoinTable hashes the build side's key columns in parallel
 // morsels, scatters rows to partitions (a stable counting sort, so row
 // ids stay ascending), and builds the per-partition tables in parallel.
+// Every array is pre-sized exactly from the build cardinality: the
+// signature array, the partition segments, and each partition's group
+// table (sized to its row count, an upper bound on its key count).
 func buildJoinTable(build *Result, pos []int, ex *exec) *joinTable {
 	n := build.Len()
 	ka := len(pos)
+	keyCols := make([][]int32, ka)
+	for k, j := range pos {
+		keyCols[k] = build.ids[j]
+	}
 	sigs := make([]uint64, n)
 	nChunks := numChunks(n)
 	if nChunks > 1 {
 		ex.addPartitions(nChunks)
 	}
 	ex.forChunks(nChunks, func(ci int, c *canceller) {
-		key := make([]int32, ka)
+		sg := newColSigner(keyCols)
 		lo, hi := chunkBounds(ci, n)
 		for i := lo; i < hi; i++ {
 			c.check()
-			ids := build.idRow(i)
-			for k, j := range pos {
-				key[k] = ids[j]
-			}
-			sigs[i] = keySig(key)
+			sigs[i] = sg.sig(i)
 		}
 	})
 	p := 1
 	if n >= morselSize {
 		p = joinPartitions
 	}
-	jt := &joinTable{mask: uint64(p - 1), parts: make([]joinPartition, p)}
+	jt := &joinTable{mask: uint64(p - 1), rows: make([]int32, n), parts: make([]joinPartition, p)}
 	offs := make([]int32, p+1)
 	prows := make([]int32, n)
 	if p == 1 {
@@ -245,15 +251,18 @@ func buildJoinTable(build *Result, pos []int, ex *exec) *joinTable {
 	}
 	ex.forChunks(p, func(pi int, c *canceller) {
 		rows := prows[offs[pi]:offs[pi+1]]
+		seg := jt.rows[offs[pi]:offs[pi+1]]
 		part := &jt.parts[pi]
+		part.base = offs[pi]
 		part.g = newGroupTable(ka, len(rows))
+		sg := newColSigner(keyCols)
+		wide := sg.wide()
 		gids := make([]int32, len(rows))
-		key := make([]int32, ka)
 		for k, ri := range rows {
 			c.check()
-			ids := build.idRow(int(ri))
-			for x, j := range pos {
-				key[x] = ids[j]
+			var key []int32
+			if wide {
+				key = sg.keyAt(int(ri))
 			}
 			gid, _ := part.g.internSig(sigs[ri], key)
 			gids[k] = gid
@@ -268,22 +277,23 @@ func buildJoinTable(build *Result, pos []int, ex *exec) *joinTable {
 			part.start[i+1] = part.start[i] + cnt[i]
 		}
 		cur := append([]int32(nil), part.start[:ng]...)
-		part.rows = make([]int32, len(rows))
 		for k, ri := range rows {
-			part.rows[cur[gids[k]]] = ri
+			seg[cur[gids[k]]] = ri
 			cur[gids[k]]++
 		}
 	})
 	return jt
 }
 
-// lookup returns the build row ids matching the key (ascending), or
-// nil.
-func (jt *joinTable) lookup(sig uint64, key []int32) []int32 {
+// lookupSpan returns the span (start, count) of build row ids matching
+// the key in jt.rows, ascending; count 0 on miss. key may be nil for
+// arity <= 2 signatures.
+func (jt *joinTable) lookupSpan(sig uint64, key []int32) (int32, int32) {
 	part := &jt.parts[mix64(sig)&jt.mask]
 	gid, ok := part.g.lookupSig(sig, key)
 	if !ok {
-		return nil
+		return 0, 0
 	}
-	return part.rows[part.start[gid]:part.start[gid+1]]
+	s := part.start[gid]
+	return part.base + s, part.start[gid+1] - s
 }

@@ -77,8 +77,18 @@ func EvalPlansParallelCtx(ctx context.Context, db *DB, q *cq.Query, plans []plan
 	}
 	out := results[0]
 	rootEx := &exec{c: root, pool: morselPool, stats: opts.Stats}
-	for _, r := range results[1:] {
-		out = combineMin(out, r, rootEx)
+	if opts.Oracle {
+		for _, r := range results[1:] {
+			out = oracleCombineMin(out, r, rootEx)
+		}
+		return out
+	}
+	if len(results) > 1 {
+		fold := newMinFold(out, rootEx)
+		for _, r := range results[1:] {
+			fold.merge(r)
+		}
+		out = fold.out
 	}
 	return out
 }
@@ -92,9 +102,10 @@ type columnStats struct {
 func statsOf(r *Result) columnStats {
 	s := columnStats{rows: r.Len(), distinct: map[cq.Var]int{}}
 	for ci, col := range r.Cols {
-		seen := map[Value]bool{}
-		for i := 0; i < r.Len(); i++ {
-			seen[r.Row(i)[ci]] = true
+		vals := r.vals[ci]
+		seen := make(map[Value]bool, len(vals))
+		for _, v := range vals {
+			seen[v] = true
 		}
 		s.distinct[col] = len(seen)
 	}
@@ -138,66 +149,21 @@ func estimateJoin(a, b columnStats, aCols, bCols []cq.Var) (float64, columnStats
 // program over input subsets (the paper cites System R's access-path
 // selection as the model for its plan enumeration): dp[mask] holds the
 // cheapest left-deep order of the inputs in mask, with cost = sum of
-// estimated intermediate sizes. Falls back to the greedy fold beyond 12
-// inputs (the DP is 2^k).
+// estimated intermediate sizes (see costBasedJoinOrder in stream.go,
+// which the streaming path shares). Falls back to the greedy fold
+// beyond 12 inputs (the DP is 2^k).
 func foldJoinCostBased(results []*Result, ex *exec) *Result {
-	k := len(results)
-	if k == 1 {
-		return results[0]
+	return foldJoinCostBasedWith(results, ex, join)
+}
+
+func foldJoinCostBasedWith(results []*Result, ex *exec, jf joinFn) *Result {
+	order := costBasedJoinOrder(results)
+	if order == nil {
+		return foldJoinWith(results, ex, jf)
 	}
-	if k > 12 {
-		return foldJoin(results, ex)
-	}
-	stats := make([]columnStats, k)
-	cols := make([][]cq.Var, k)
-	for i, r := range results {
-		stats[i] = statsOf(r)
-		cols[i] = r.Cols
-	}
-	type entry struct {
-		cost  float64
-		stats columnStats
-		cols  []cq.Var
-		order []int
-	}
-	dp := make(map[uint32]*entry, 1<<uint(k))
-	for i := 0; i < k; i++ {
-		dp[1<<uint(i)] = &entry{cost: 0, stats: stats[i], cols: cols[i], order: []int{i}}
-	}
-	for mask := uint32(1); mask < 1<<uint(k); mask++ {
-		if dp[mask] != nil {
-			continue // singleton already seeded
-		}
-		var best *entry
-		for i := 0; i < k; i++ {
-			bit := uint32(1) << uint(i)
-			if mask&bit == 0 {
-				continue
-			}
-			rest := mask &^ bit
-			sub := dp[rest]
-			if sub == nil {
-				continue
-			}
-			est, outStats := estimateJoin(sub.stats, stats[i], sub.cols, cols[i])
-			cost := sub.cost + est
-			if best == nil || cost < best.cost {
-				outCols := cq.NewVarSet(sub.cols...)
-				for _, c := range cols[i] {
-					outCols.Add(c)
-				}
-				order := make([]int, len(sub.order)+1)
-				copy(order, sub.order)
-				order[len(sub.order)] = i
-				best = &entry{cost: cost, stats: outStats, cols: outCols.Sorted(), order: order}
-			}
-		}
-		dp[mask] = best
-	}
-	full := dp[(1<<uint(k))-1]
-	cur := results[full.order[0]]
-	for _, i := range full.order[1:] {
-		cur = join(cur, results[i], ex)
+	cur := results[order[0]]
+	for _, i := range order[1:] {
+		cur = jf(cur, results[i], ex)
 	}
 	return cur
 }

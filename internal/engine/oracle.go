@@ -1,0 +1,533 @@
+package engine
+
+// The retained row-at-a-time reference evaluator ("the oracle").
+//
+// This file preserves the pre-columnar operator implementations —
+// per-tuple scan emission, map-backed group tables, bucket-list join
+// tables, append-per-row output construction — verbatim except for the
+// mechanical adaptation to the columnar Result storage. The streaming
+// columnar executor in eval.go/stream.go must produce bit-identical
+// outputs and identical typed errors (ErrBudget, cancellation); the
+// differential suites and FuzzMorselDifferential enforce that by
+// evaluating every workload through both executors.
+//
+// Selected via Options.Oracle (test-only; see the facade package
+// internal/engine/oracle). Fold ordering (greedyJoinOrder,
+// costBasedJoinOrder) is deliberately shared with the production
+// executor: it is plan-level decision logic whose inputs — materialized
+// child sizes — are identical in both executors, and sharing it
+// guarantees both fold in the same order, which the bit-identity
+// contract requires.
+
+import (
+	"math"
+
+	"lapushdb/internal/cq"
+	"lapushdb/internal/plan"
+)
+
+// oracleTable is the original map-backed group table: composite keys to
+// dense group ids 0..n-1 in first-appearance order, with signature
+// collision chains for wide keys.
+type oracleTable struct {
+	arity int
+	exact bool             // arity <= 2: sig is the packed key, no compare needed
+	table map[uint64]int32 // sig -> first group id with that sig
+	next  []int32          // group id -> next group with equal sig, -1 ends
+	keys  []int32          // flattened interned keys, arity per group
+}
+
+func newOracleTable(arity, sizeHint int) *oracleTable {
+	return &oracleTable{
+		arity: arity,
+		exact: arity <= 2,
+		table: make(map[uint64]int32, sizeHint),
+	}
+}
+
+func (g *oracleTable) size() int { return len(g.next) }
+
+func (g *oracleTable) intern(key []int32) (gid int32, fresh bool) {
+	return g.internSig(keySig(key), key)
+}
+
+func (g *oracleTable) internSig(sig uint64, key []int32) (gid int32, fresh bool) {
+	if first, ok := g.table[sig]; ok {
+		if g.exact {
+			return first, false
+		}
+		for id := first; ; id = g.next[id] {
+			if g.keyEqual(id, key) {
+				return id, false
+			}
+			if g.next[id] < 0 {
+				gid = g.add(key)
+				g.next[id] = gid
+				return gid, true
+			}
+		}
+	}
+	gid = g.add(key)
+	g.table[sig] = gid
+	return gid, true
+}
+
+func (g *oracleTable) lookup(key []int32) (int32, bool) {
+	sig := keySig(key)
+	first, ok := g.table[sig]
+	if !ok {
+		return 0, false
+	}
+	if g.exact {
+		return first, true
+	}
+	for id := first; ; id = g.next[id] {
+		if g.keyEqual(id, key) {
+			return id, true
+		}
+		if g.next[id] < 0 {
+			return 0, false
+		}
+	}
+}
+
+func (g *oracleTable) add(key []int32) int32 {
+	id := int32(len(g.next))
+	g.next = append(g.next, -1)
+	if !g.exact {
+		g.keys = append(g.keys, key...)
+	}
+	return id
+}
+
+func (g *oracleTable) keyEqual(id int32, key []int32) bool {
+	base := int(id) * g.arity
+	for i, v := range key {
+		if g.keys[base+i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// idRowInto gathers row i's dense value ids into dst — the oracle's
+// replacement for the row-major idRow view.
+func (r *Result) idRowInto(i int, dst []int32) []int32 {
+	dst = dst[:0]
+	for _, c := range r.ids {
+		dst = append(dst, c[i])
+	}
+	return dst
+}
+
+// oracleEvalNode is the old evalNode: one plan node through the
+// row-at-a-time operators, recursing through Eval so children hit the
+// caches.
+func (e *Evaluator) oracleEvalNode(p plan.Node) *Result {
+	var out *Result
+	switch t := p.(type) {
+	case *plan.Scan:
+		out = e.oracleScan(t)
+	case *plan.Project:
+		out = oracleProject(e.Eval(t.Child), t.OnTo, e.ex())
+	case *plan.Join:
+		results := make([]*Result, len(t.Subs))
+		for i, c := range t.Subs {
+			results[i] = e.Eval(c)
+		}
+		if e.opts.CostBasedJoins {
+			out = foldJoinCostBasedWith(results, e.ex(), oracleJoin)
+		} else {
+			out = foldJoinWith(results, e.ex(), oracleJoin)
+		}
+	case *plan.Min:
+		out = e.Eval(t.Subs[0])
+		for _, c := range t.Subs[1:] {
+			out = oracleCombineMin(out, e.Eval(c), e.ex())
+		}
+	default:
+		panic("engine: unknown plan node")
+	}
+	return out
+}
+
+// oracleScan is the old scan: per-row filter check and append-per-column
+// emission, charging the budget one row at a time.
+func (e *Evaluator) oracleScan(s *plan.Scan) *Result {
+	rel, cols, pos := scanLayout(e.db, s)
+	filter := newRowFilter(e.db, rel, s)
+	out := newResult(cols)
+	emit := func(i int) {
+		e.cancel.check()
+		row := rel.Row(i)
+		if !filter.ok(row) {
+			return
+		}
+		e.budget.charge(1)
+		vrow := rel.vidRow(i)
+		for k, j := range pos {
+			out.vals[k] = append(out.vals[k], row[j])
+			out.ids[k] = append(out.ids[k], vrow[j])
+		}
+		out.scores = append(out.scores, rel.Prob(i))
+	}
+	if e.reduced != nil {
+		if idxs, ok := e.reduced[rel.Name]; ok {
+			for _, i := range idxs {
+				emit(int(i))
+			}
+			return out
+		}
+	}
+	if cand, ok := rel.indexCandidates(e.db, s); ok {
+		for _, i := range cand {
+			emit(int(i))
+		}
+		return out
+	}
+	for i := 0; i < rel.Len(); i++ {
+		emit(i)
+	}
+	return out
+}
+
+// oracleProject is the old morsel-chunked projection: per-chunk
+// map-backed group tables with complement partials in row order, merged
+// chunk-ascending, rows appended one at a time.
+func oracleProject(in *Result, onto []cq.Var, ex *exec) *Result {
+	keep := make([]int, len(onto))
+	for i, v := range onto {
+		keep[i] = colIndex(in.Cols, v)
+	}
+	ka := len(keep)
+	n := in.Len()
+	out := newResult(append([]cq.Var(nil), onto...))
+	if n == 0 {
+		return out
+	}
+	type chunkGroups struct {
+		firstRow []int32 // local group id -> first input row of the group
+		partial  []float64
+	}
+	nChunks := numChunks(n)
+	locals := make([]chunkGroups, nChunks)
+	if nChunks > 1 {
+		ex.addPartitions(nChunks)
+	}
+	ex.forChunks(nChunks, func(ci int, c *canceller) {
+		lo, hi := chunkBounds(ci, n)
+		g := newOracleTable(ka, hi-lo)
+		lg := &locals[ci]
+		key := make([]int32, ka)
+		for i := lo; i < hi; i++ {
+			c.check()
+			for k, j := range keep {
+				key[k] = in.ids[j][i]
+			}
+			gid, fresh := g.intern(key)
+			if fresh {
+				ex.charge(1)
+				lg.firstRow = append(lg.firstRow, int32(i))
+				lg.partial = append(lg.partial, 1)
+			}
+			lg.partial[gid] *= 1 - in.scores[i]
+		}
+	})
+	global := newOracleTable(ka, len(locals[0].firstRow))
+	cc := ex.canc()
+	key := make([]int32, ka)
+	for ci := range locals {
+		lg := &locals[ci]
+		for li, ri := range lg.firstRow {
+			cc.check()
+			for k, j := range keep {
+				key[k] = in.ids[j][ri]
+			}
+			gid, fresh := global.intern(key)
+			if fresh {
+				for k, j := range keep {
+					out.vals[k] = append(out.vals[k], in.vals[j][ri])
+					out.ids[k] = append(out.ids[k], in.ids[j][ri])
+				}
+				out.scores = append(out.scores, 1)
+			}
+			out.scores[gid] *= lg.partial[li]
+		}
+	}
+	for i := range out.scores {
+		out.scores[i] = 1 - out.scores[i]
+	}
+	return out
+}
+
+// oracleJoinTable is the old partitioned bucket-list join table: keys
+// interned per partition via oracleTable, each key's build rows stored
+// contiguously ascending.
+type oracleJoinTable struct {
+	mask  uint64
+	parts []oracleJoinPartition
+}
+
+type oracleJoinPartition struct {
+	g     *oracleTable
+	start []int32 // gid -> offset into rows, len = groups+1
+	rows  []int32 // build row ids grouped by key, ascending within key
+}
+
+func buildOracleJoinTable(build *Result, pos []int, ex *exec) *oracleJoinTable {
+	n := build.Len()
+	ka := len(pos)
+	sigs := make([]uint64, n)
+	nChunks := numChunks(n)
+	if nChunks > 1 {
+		ex.addPartitions(nChunks)
+	}
+	ex.forChunks(nChunks, func(ci int, c *canceller) {
+		key := make([]int32, ka)
+		lo, hi := chunkBounds(ci, n)
+		for i := lo; i < hi; i++ {
+			c.check()
+			for k, j := range pos {
+				key[k] = build.ids[j][i]
+			}
+			sigs[i] = keySig(key)
+		}
+	})
+	p := 1
+	if n >= morselSize {
+		p = joinPartitions
+	}
+	jt := &oracleJoinTable{mask: uint64(p - 1), parts: make([]oracleJoinPartition, p)}
+	offs := make([]int32, p+1)
+	prows := make([]int32, n)
+	if p == 1 {
+		offs[1] = int32(n)
+		for i := range prows {
+			prows[i] = int32(i)
+		}
+	} else {
+		counts := make([]int32, p)
+		for i := 0; i < n; i++ {
+			counts[mix64(sigs[i])&jt.mask]++
+		}
+		for i := 0; i < p; i++ {
+			offs[i+1] = offs[i] + counts[i]
+		}
+		cursor := append([]int32(nil), offs[:p]...)
+		for i := 0; i < n; i++ {
+			pi := mix64(sigs[i]) & jt.mask
+			prows[cursor[pi]] = int32(i)
+			cursor[pi]++
+		}
+		ex.addPartitions(p)
+	}
+	ex.forChunks(p, func(pi int, c *canceller) {
+		rows := prows[offs[pi]:offs[pi+1]]
+		part := &jt.parts[pi]
+		part.g = newOracleTable(ka, len(rows))
+		gids := make([]int32, len(rows))
+		key := make([]int32, ka)
+		for k, ri := range rows {
+			c.check()
+			for x, j := range pos {
+				key[x] = build.ids[j][ri]
+			}
+			gid, _ := part.g.internSig(sigs[ri], key)
+			gids[k] = gid
+		}
+		ng := part.g.size()
+		cnt := make([]int32, ng)
+		for _, gid := range gids {
+			cnt[gid]++
+		}
+		part.start = make([]int32, ng+1)
+		for i := 0; i < ng; i++ {
+			part.start[i+1] = part.start[i] + cnt[i]
+		}
+		cur := append([]int32(nil), part.start[:ng]...)
+		part.rows = make([]int32, len(rows))
+		for k, ri := range rows {
+			part.rows[cur[gids[k]]] = ri
+			cur[gids[k]]++
+		}
+	})
+	return jt
+}
+
+func (jt *oracleJoinTable) lookup(sig uint64, key []int32) []int32 {
+	part := &jt.parts[mix64(sig)&jt.mask]
+	gid, ok := part.g.lookupSig(sig, key)
+	if !ok {
+		return nil
+	}
+	return part.rows[part.start[gid]:part.start[gid+1]]
+}
+
+func (g *oracleTable) lookupSig(sig uint64, key []int32) (int32, bool) {
+	first, ok := g.table[sig]
+	if !ok {
+		return 0, false
+	}
+	if g.exact {
+		return first, true
+	}
+	for id := first; ; id = g.next[id] {
+		if g.keyEqual(id, key) {
+			return id, true
+		}
+		if g.next[id] < 0 {
+			return 0, false
+		}
+	}
+}
+
+// oracleJoin is the old natural join: per-chunk probe with one output
+// value appended at a time, chunks concatenated ascending.
+func oracleJoin(l, r *Result, ex *exec) *Result {
+	_, lPos, rPos := sharedCols(l.Cols, r.Cols)
+	colSet := cq.NewVarSet(l.Cols...)
+	for _, c := range r.Cols {
+		colSet.Add(c)
+	}
+	outCols := colSet.Sorted()
+	type src struct {
+		left bool
+		pos  int
+	}
+	srcs := make([]src, len(outCols))
+	for i, c := range outCols {
+		if j := colIndex(l.Cols, c); j >= 0 {
+			srcs[i] = src{true, j}
+		} else {
+			srcs[i] = src{false, colIndex(r.Cols, c)}
+		}
+	}
+	out := newResult(outCols)
+	build, probe := r, l
+	buildPos, probePos := rPos, lPos
+	buildLeft := false
+	if l.Len() < r.Len() {
+		build, probe = l, r
+		buildPos, probePos = lPos, rPos
+		buildLeft = true
+	}
+	jt := buildOracleJoinTable(build, buildPos, ex)
+	np := probe.Len()
+	pChunks := numChunks(np)
+	type chunkBuf struct {
+		vals   [][]Value
+		ids    [][]int32
+		scores []float64
+	}
+	bufs := make([]chunkBuf, pChunks)
+	if pChunks > 1 {
+		ex.addPartitions(pChunks)
+	}
+	ex.forChunks(pChunks, func(ci int, c *canceller) {
+		lo, hi := chunkBounds(ci, np)
+		b := &bufs[ci]
+		b.vals = make([][]Value, len(outCols))
+		b.ids = make([][]int32, len(outCols))
+		key := make([]int32, len(probePos))
+		for i := lo; i < hi; i++ {
+			c.check()
+			for k, j := range probePos {
+				key[k] = probe.ids[j][i]
+			}
+			for _, bi := range jt.lookup(keySig(key), key) {
+				c.check()
+				var lres, rres *Result
+				var li, ri int
+				var ls, rs float64
+				if buildLeft {
+					lres, li = build, int(bi)
+					rres, ri = probe, i
+					ls, rs = build.scores[bi], probe.scores[i]
+				} else {
+					lres, li = probe, i
+					rres, ri = build, int(bi)
+					ls, rs = probe.scores[i], build.scores[bi]
+				}
+				for k, s := range srcs {
+					if s.left {
+						b.vals[k] = append(b.vals[k], lres.vals[s.pos][li])
+						b.ids[k] = append(b.ids[k], lres.ids[s.pos][li])
+					} else {
+						b.vals[k] = append(b.vals[k], rres.vals[s.pos][ri])
+						b.ids[k] = append(b.ids[k], rres.ids[s.pos][ri])
+					}
+				}
+				b.scores = append(b.scores, ls*rs)
+				ex.charge(1)
+			}
+		}
+	})
+	if pChunks == 1 {
+		out.vals, out.ids, out.scores = bufs[0].vals, bufs[0].ids, bufs[0].scores
+		if out.vals == nil {
+			out.vals = make([][]Value, len(outCols))
+			out.ids = make([][]int32, len(outCols))
+		}
+		return out
+	}
+	total := 0
+	for i := range bufs {
+		total += len(bufs[i].scores)
+	}
+	out.scores = make([]float64, 0, total)
+	for k := range outCols {
+		out.vals[k] = make([]Value, 0, total)
+		out.ids[k] = make([]int32, 0, total)
+	}
+	for i := range bufs {
+		for k := range outCols {
+			out.vals[k] = append(out.vals[k], bufs[i].vals[k]...)
+			out.ids[k] = append(out.ids[k], bufs[i].ids[k]...)
+		}
+		out.scores = append(out.scores, bufs[i].scores...)
+	}
+	return out
+}
+
+// oracleCombineMin is the old per-tuple minimum merge.
+func oracleCombineMin(a, b *Result, ex *exec) *Result {
+	if !varsSliceEqual(a.Cols, b.Cols) {
+		panic("engine: min over different columns")
+	}
+	cc := ex.canc()
+	g := newOracleTable(len(a.Cols), a.Len())
+	rowOf := make([]int32, 0, a.Len())
+	out := newResult(a.Cols)
+	for k := range a.vals {
+		out.vals[k] = append([]Value(nil), a.vals[k]...)
+		out.ids[k] = append([]int32(nil), a.ids[k]...)
+	}
+	out.scores = append([]float64(nil), a.scores...)
+	key := make([]int32, 0, len(a.Cols))
+	for i := 0; i < a.Len(); i++ {
+		cc.check()
+		key = a.idRowInto(i, key)
+		gid, fresh := g.intern(key)
+		if fresh {
+			rowOf = append(rowOf, int32(i))
+		} else {
+			rowOf[gid] = int32(i) // duplicate key in a: last wins, as before
+		}
+	}
+	for i := 0; i < b.Len(); i++ {
+		cc.check()
+		key = b.idRowInto(i, key)
+		if gid, ok := g.lookup(key); ok {
+			j := rowOf[gid]
+			out.scores[j] = math.Min(out.scores[j], b.scores[i])
+		} else {
+			ex.charge(1)
+			for k := range out.vals {
+				out.vals[k] = append(out.vals[k], b.vals[k][i])
+				out.ids[k] = append(out.ids[k], b.ids[k][i])
+			}
+			out.scores = append(out.scores, b.scores[i])
+		}
+	}
+	return out
+}

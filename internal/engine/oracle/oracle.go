@@ -1,0 +1,44 @@
+// Package oracle exposes the engine's retained row-at-a-time reference
+// evaluator for differential testing.
+//
+// The production executor (internal/engine eval.go, stream.go) is
+// columnar and vectorized; the oracle preserves the original per-tuple
+// operators (internal/engine oracle.go). Both must produce bit-identical
+// Results and identical typed errors on every workload — the test suites
+// under the repository root and internal/engine evaluate each workload
+// through both and compare byte-for-byte.
+//
+// This package is test-only: nothing in the production server or public
+// lapushdb API imports it.
+package oracle
+
+import (
+	"context"
+
+	"lapushdb/internal/cq"
+	"lapushdb/internal/engine"
+	"lapushdb/internal/plan"
+)
+
+// Options returns o with the oracle executor selected.
+func Options(o engine.Options) engine.Options {
+	o.Oracle = true
+	return o
+}
+
+// EvalPlans evaluates plans through the row-at-a-time reference
+// executor. Semantics otherwise match engine.EvalPlans.
+func EvalPlans(db *engine.DB, q *cq.Query, plans []plan.Node, o engine.Options) *engine.Result {
+	return engine.EvalPlans(db, q, plans, Options(o))
+}
+
+// EvalPlansCtx is EvalPlans bound to a context.
+func EvalPlansCtx(ctx context.Context, db *engine.DB, q *cq.Query, plans []plan.Node, o engine.Options) *engine.Result {
+	return engine.EvalPlansCtx(ctx, db, q, plans, Options(o))
+}
+
+// EvalPlansParallel evaluates plans in parallel through the reference
+// executor.
+func EvalPlansParallel(db *engine.DB, q *cq.Query, plans []plan.Node, o engine.Options, workers int) *engine.Result {
+	return engine.EvalPlansParallel(db, q, plans, Options(o), workers)
+}

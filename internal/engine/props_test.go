@@ -471,19 +471,103 @@ func TestPropOracleBothPaths(t *testing.T) {
 	}
 }
 
+// TestPropExecutorOracleDifferential: the columnar executor (streaming
+// fused projection at Workers=1, morsel-parallel materialized operators
+// otherwise) returns byte-identical results to the retained
+// row-at-a-time oracle on random instances, across the optimization
+// variants and Workers 1/4.
+func TestPropExecutorOracleDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 24; iter++ {
+		qs := propQueries[iter%len(propQueries)]
+		q := cq.MustParse(qs)
+		db := randomDB(q, 4, 12, 1.0, rng)
+		plans := core.MinimalPlans(q, nil)
+		for name, base := range map[string]Options{
+			"plain":  {},
+			"opt23":  {ReuseSubplans: true, SemiJoin: true},
+			"costdp": {CostBasedJoins: true},
+		} {
+			for _, w := range []int{1, 4} {
+				opts := base
+				opts.Workers = w
+				got := EvalPlans(db, q, plans, opts)
+				opts.Oracle = true
+				want := EvalPlans(db, q, plans, opts)
+				assertIdenticalResults(t, fmt.Sprintf("%s/%s/w=%d", qs, name, w), want, got)
+			}
+		}
+	}
+}
+
+// TestExecutorOracleDifferentialLarge runs the executor-vs-oracle
+// differential on chain and star instances larger than a morsel, where
+// the streaming fused Project(Join), the partitioned join build, and
+// the chunked projection all take their multi-chunk paths.
+func TestExecutorOracleDifferentialLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large differential skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(24))
+	n := 2*morselSize + 31
+	shapes := []struct {
+		label string
+		query string
+		rels  map[string]int // relation name -> arity
+	}{
+		{"chain3", "q(x0, x3) :- R1(x0, x1), R2(x1, x2), R3(x2, x3)",
+			map[string]int{"R1": 2, "R2": 2, "R3": 2}},
+		{"star3", "q(x1) :- R0(x1, x2, x3), R1(x1), R2(x2), R3(x3)",
+			map[string]int{"R0": 3, "R1": 1, "R2": 1, "R3": 1}},
+	}
+	for _, sh := range shapes {
+		q := cq.MustParse(sh.query)
+		db := NewDB()
+		domain := 250
+		for name, ar := range sh.rels {
+			cols := make([]string, ar)
+			for i := range cols {
+				cols[i] = string(rune('a' + i))
+			}
+			r := db.CreateRelation(name, cols)
+			rows := n
+			if ar == 1 {
+				rows = domain // unary sides stay dense but small
+			}
+			tuple := make([]Value, ar)
+			for i := 0; i < rows; i++ {
+				for j := range tuple {
+					tuple[j] = Value(rng.Intn(domain))
+				}
+				r.Insert(tuple, rng.Float64())
+			}
+		}
+		plans := core.MinimalPlans(q, nil)
+		for _, w := range []int{1, 4} {
+			opts := Options{Workers: w, ReuseSubplans: true, SemiJoin: true}
+			got := EvalPlans(db, q, plans, opts)
+			opts.Oracle = true
+			want := EvalPlans(db, q, plans, opts)
+			assertIdenticalResults(t, fmt.Sprintf("%s/w=%d", sh.label, w), want, got)
+		}
+	}
+}
+
 // TestScoreOfIndexed is the regression test for the indexed ScoreOf: on
 // a 10k-row result every present key resolves to its own score, absent
 // keys miss, and duplicate rows keep first-occurrence semantics.
 func TestScoreOfIndexed(t *testing.T) {
 	const n = 10_000
-	r := &Result{Cols: []cq.Var{"x", "y"}}
+	r := newResult([]cq.Var{"x", "y"})
 	for i := 0; i < n; i++ {
-		r.rows = append(r.rows, Value(i), Value(i%7))
+		r.vals[0] = append(r.vals[0], Value(i))
+		r.vals[1] = append(r.vals[1], Value(i%7))
 		r.scores = append(r.scores, float64(i+1)/float64(n+1))
 	}
 	// A duplicate of row 42 with a different score: lookups must keep
 	// returning the first occurrence, as the linear scan did.
-	r.rows = append(r.rows, Value(42), Value(42%7))
+	r.vals[0] = append(r.vals[0], Value(42))
+	r.vals[1] = append(r.vals[1], Value(42%7))
 	r.scores = append(r.scores, 0.123456)
 	for i := 0; i < n; i++ {
 		got, ok := r.ScoreOf([]Value{Value(i), Value(i % 7)})

@@ -13,6 +13,10 @@ import (
 	"math/rand"
 	"testing"
 
+	"lapushdb/internal/core"
+	"lapushdb/internal/cq"
+	"lapushdb/internal/engine"
+	"lapushdb/internal/engine/oracle"
 	"lapushdb/internal/workload"
 )
 
@@ -113,6 +117,49 @@ func TestRankBatchDifferentialTPCH(t *testing.T) {
 		bs := assertBatchMatchesRank(t, "tpch", db, queries, w)
 		if bs.SharedSubplanHits == 0 {
 			t.Errorf("w=%d: no shared subplan hits on duplicated TPC-H query", w)
+		}
+	}
+}
+
+// TestRankBatchOracleDifferential cross-checks the executor the batch
+// path rides on: for each batch workload shape, the columnar executor's
+// plan evaluation is bit-identical to the retained row-at-a-time oracle
+// at Workers 1 and 4, with the batch's optimization flags on.
+func TestRankBatchOracleDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	chainDB, chainQ := workload.Chain(3, 2000, 300, 0.5, rng)
+	starDB, starQ := workload.Star(3, 1500, 200, 0.5, rng)
+	tp := workload.NewTPCH(0.02, 0.1, rng)
+	for _, tc := range []struct {
+		label string
+		db    *engine.DB
+		q     string
+	}{
+		{"chain3", chainDB, chainQ.String()},
+		{"star3", starDB, starQ.String()},
+		{"tpch", tp.DB, tp.Query(tp.Suppliers, "%red%").String()},
+	} {
+		q := cq.MustParse(tc.q)
+		plans := core.MinimalPlans(q, nil)
+		for _, w := range []int{1, 4} {
+			opts := engine.Options{Workers: w, ReuseSubplans: true, SemiJoin: true}
+			got := engine.EvalPlans(tc.db, q, plans, opts)
+			want := oracle.EvalPlans(tc.db, q, plans, opts)
+			if got.Len() != want.Len() {
+				t.Fatalf("%s/w=%d: %d rows vs oracle %d", tc.label, w, got.Len(), want.Len())
+			}
+			for i := 0; i < want.Len(); i++ {
+				gr, wr := got.Row(i), want.Row(i)
+				for j := range wr {
+					if gr[j] != wr[j] {
+						t.Fatalf("%s/w=%d: row %d differs: %v vs %v", tc.label, w, i, gr, wr)
+					}
+				}
+				if math.Float64bits(got.Score(i)) != math.Float64bits(want.Score(i)) {
+					t.Fatalf("%s/w=%d: row %d score bits %x != oracle %x",
+						tc.label, w, i, math.Float64bits(got.Score(i)), math.Float64bits(want.Score(i)))
+				}
+			}
 		}
 	}
 }
